@@ -1,0 +1,147 @@
+// E12 — google-benchmark micro-benchmarks of the core data structures:
+// level-stamp algebra, checkpoint-table operations, the event queue, the
+// gradient proximity relaxation, and whole-simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "checkpoint/checkpoint_table.h"
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "runtime/level_stamp.h"
+#include "sched/gradient.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace splice;
+
+runtime::LevelStamp random_stamp(util::Xoshiro256& rng, std::size_t depth) {
+  runtime::LevelStamp s;
+  for (std::size_t i = 0; i < depth; ++i) {
+    s = s.child(static_cast<runtime::StampDigit>(rng.next_below(4)));
+  }
+  return s;
+}
+
+void BM_LevelStampChild(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  const runtime::LevelStamp base =
+      random_stamp(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.child(7));
+  }
+}
+BENCHMARK(BM_LevelStampChild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LevelStampAncestry(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const runtime::LevelStamp a = random_stamp(rng, depth);
+  const runtime::LevelStamp b = a.child(1).child(2).child(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.is_ancestor_of(b));
+  }
+}
+BENCHMARK(BM_LevelStampAncestry)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CheckpointTableRecord(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<checkpoint::CheckpointRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    checkpoint::CheckpointRecord r;
+    r.owner = i;
+    r.site = 1;
+    r.packet.stamp = random_stamp(rng, 1 + rng.next_below(6));
+    records.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    checkpoint::CheckpointTable table(0, 8);
+    for (const auto& r : records) {
+      benchmark::DoNotOptimize(
+          table.record(static_cast<net::ProcId>(r.owner % 8), r));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CheckpointTableRecord)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(4);
+  std::vector<std::int64_t> times(n);
+  for (auto& t : times) t = static_cast<std::int64_t>(rng.next_below(100000));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::int64_t sink = 0;
+    for (std::int64_t t : times) {
+      q.schedule(sim::SimTime(t), [&sink] { ++sink; });
+    }
+    while (!q.empty()) q.run_next();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_GradientRelaxation(benchmark::State& state) {
+  const auto n = static_cast<net::ProcId>(state.range(0));
+  net::Topology topo(net::TopologyKind::kTorus2D, n);
+  lang::Program program = lang::programs::fib(3);
+  std::vector<std::uint32_t> load(n, 5);
+  load[n / 2] = 0;
+  sched::GradientScheduler sched(100, 0);
+  sched::SchedulerEnv env;
+  env.topology = &topo;
+  env.program = &program;
+  env.alive = [](net::ProcId) { return true; };
+  env.queue_length = [&load](net::ProcId p) { return load[p]; };
+  env.seed = 1;
+  sched.attach(env);
+  for (auto _ : state) {
+    sched.refresh_now();
+    benchmark::DoNotOptimize(sched.proximities().data());
+  }
+}
+BENCHMARK(BM_GradientRelaxation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WholeSimulationFib(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    cfg.processors = 8;
+    cfg.topology = net::TopologyKind::kMesh2D;
+    cfg.recovery.kind = core::RecoveryKind::kSplice;
+    cfg.heartbeat_interval = 2000;
+    const core::RunResult r =
+        core::run_once(cfg, lang::programs::fib(n, 20));
+    if (!r.completed) state.SkipWithError("did not complete");
+    benchmark::DoNotOptimize(r.makespan_ticks);
+  }
+}
+BENCHMARK(BM_WholeSimulationFib)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_WholeSimulationWithFault(benchmark::State& state) {
+  const lang::Program program = lang::programs::tree_sum(4, 3, 150, 30);
+  core::SystemConfig cfg;
+  cfg.processors = 8;
+  cfg.topology = net::TopologyKind::kMesh2D;
+  cfg.recovery.kind = core::RecoveryKind::kSplice;
+  cfg.heartbeat_interval = 2000;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  for (auto _ : state) {
+    const core::RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(3, makespan / 2));
+    if (!r.completed) state.SkipWithError("did not complete");
+    benchmark::DoNotOptimize(r.makespan_ticks);
+  }
+}
+BENCHMARK(BM_WholeSimulationWithFault)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E9 — §5.3: replicated-task redundancy.
+//
+// "Replicating tasks provides a means of emulating hardware redundancy in
+//  applicative systems." Replicas run asynchronously; a majority consensus
+//  (identical by determinacy) resolves each slot; crashes are *masked*
+//  rather than recovered — no recovery pause at all.
+//
+// Rows: replication factor x voting mode. Columns: fault-free overhead
+// (work, makespan), and under a single fault: completion without any
+// respawn (pure masking), recovery latency.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "recovery/replicated.h"
+
+using namespace splice;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+
+  const lang::Program program = lang::programs::tree_sum(4, 2, 350, 40);
+
+  auto config_for = [&](std::uint32_t factor, bool majority,
+                        std::uint64_t seed) {
+    core::SystemConfig cfg;
+    cfg.processors = 12;
+    cfg.topology = net::TopologyKind::kTorus2D;
+    // §5.3 masking is policy-free: keep kNone so every completion is due
+    // to replication alone.
+    cfg.recovery.kind = core::RecoveryKind::kNone;
+    cfg.replication.factor = factor;
+    cfg.replication.max_depth = 1;
+    cfg.replication.majority = majority;
+    cfg.heartbeat_interval = 1500;
+    cfg.deadline_ticks = 0;
+    cfg.seed = seed * 61 + 17;
+    return cfg;
+  };
+
+  util::Table table({"replicas", "voting", "tolerates", "work x", "makespan x",
+                     "faulted: completed", "faulted: masked latency"});
+  table.set_title("§5.3 — replicated-task redundancy (12 procs, policy=none)");
+
+  // Fault-free baseline for the multipliers.
+  auto base = bench::run_replicates(
+      opt.replicates, program,
+      [&](std::uint64_t s) { return config_for(1, false, s); });
+  const double base_busy = bench::mean_of(base, [](const bench::Replicate& r) {
+    return static_cast<double>(r.result.counters.busy_ticks);
+  });
+  const double base_makespan =
+      bench::mean_of(base, [](const bench::Replicate& r) {
+        return static_cast<double>(r.result.makespan_ticks);
+      });
+
+  struct Mode {
+    std::uint32_t factor;
+    bool majority;
+  };
+  for (const Mode mode : {Mode{1, false}, Mode{3, false}, Mode{3, true},
+                          Mode{5, false}, Mode{5, true}}) {
+    auto clean = bench::run_replicates(
+        opt.replicates, program,
+        [&](std::uint64_t s) { return config_for(mode.factor, mode.majority, s); });
+    auto faulted = bench::run_replicates(
+        opt.replicates, program,
+        [&](std::uint64_t s) { return config_for(mode.factor, mode.majority, s); },
+        [&](const core::SystemConfig& cfg, std::int64_t makespan,
+            std::uint64_t seed) {
+          const auto victim =
+              static_cast<net::ProcId>((seed * 11 + 1) % cfg.processors);
+          return net::FaultPlan::single(victim, makespan / 2);
+        });
+    const double busy = bench::mean_of(clean, [](const bench::Replicate& r) {
+      return static_cast<double>(r.result.counters.busy_ticks);
+    });
+    const double makespan =
+        bench::mean_of(clean, [](const bench::Replicate& r) {
+          return static_cast<double>(r.result.makespan_ticks);
+        });
+    const double masked_latency =
+        bench::mean_of(faulted, [](const bench::Replicate& r) {
+          if (!r.result.completed) return 0.0;
+          return static_cast<double>(r.result.makespan_ticks -
+                                     r.clean_makespan);
+        });
+    table.add_row(
+        {util::Table::num(static_cast<std::uint64_t>(mode.factor)),
+         mode.factor == 1 ? "-" : (mode.majority ? "majority" : "first"),
+         util::Table::num(static_cast<std::uint64_t>(
+             recovery::replicas_tolerated(mode.factor, mode.majority))),
+         util::Table::num(busy / base_busy, 2),
+         util::Table::num(makespan / base_makespan, 2),
+         std::to_string(bench::correct_count(faulted)) + "/" +
+             std::to_string(static_cast<int>(faulted.size())),
+         util::Table::num(masked_latency, 0)});
+  }
+  bench::emit(table, opt);
+  std::printf(
+      "expected shape: r replicas cost ~r x work; first-result voting adds\n"
+      "little makespan (asynchronous redundancy, §5.3: no waiting for the\n"
+      "slowest); majority waits for the quorum-th return. A single fault is\n"
+      "masked with near-zero latency for r>=3 in most placements, versus a\n"
+      "hang (0/n) for r=1 with no recovery policy.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E10 — §3.3: "the ability to recover by simply reissuing checkpointed
+// tasks depends on the availability of a dynamic allocation strategy, such
+// as the gradient model approach".
+//
+// Rows: scheduler. Columns: fault-free makespan & load balance (CoV of
+// per-processor busy time), and recovery success/latency under a mid-run
+// fault. All dynamic schedulers must recover transparently; the pinned
+// (static) scheduler works only because its fallback is dynamic — the
+// paper's §3.3 point about static allocation needing linkage surgery.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace splice;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+
+  const lang::Program program = lang::programs::fib(13, 220);
+
+  auto config_for = [&](core::SchedulerKind kind, std::uint64_t seed) {
+    core::SystemConfig cfg;
+    cfg.processors = 16;
+    cfg.topology = net::TopologyKind::kTorus2D;
+    cfg.scheduler.kind = kind;
+    cfg.scheduler.gradient_refresh = 400;
+    cfg.recovery.kind = core::RecoveryKind::kSplice;
+    cfg.heartbeat_interval = 1500;
+    cfg.seed = seed * 57 + 13;
+    return cfg;
+  };
+
+  util::Table table({"scheduler", "makespan", "sched msgs", "faulted correct",
+                     "recovery latency", "reissued"});
+  table.set_title(
+      "§3.3 — dynamic allocation strategies under splice recovery (16 procs)");
+
+  for (auto kind :
+       {core::SchedulerKind::kRandom, core::SchedulerKind::kRoundRobin,
+        core::SchedulerKind::kLocalFirst, core::SchedulerKind::kGradient,
+        core::SchedulerKind::kNeighbor}) {
+    auto clean = bench::run_replicates(
+        opt.replicates, program,
+        [&](std::uint64_t s) { return config_for(kind, s); });
+    auto faulted = bench::run_replicates(
+        opt.replicates, program,
+        [&](std::uint64_t s) { return config_for(kind, s); },
+        [&](const core::SystemConfig& cfg, std::int64_t makespan,
+            std::uint64_t seed) {
+          const auto victim =
+              static_cast<net::ProcId>((seed * 13 + 4) % cfg.processors);
+          return net::FaultPlan::single(victim, makespan / 2);
+        });
+    table.add_row(
+        {std::string(core::to_string(kind)),
+         util::Table::num(bench::mean_of(clean,
+                                         [](const bench::Replicate& r) {
+                                           return static_cast<double>(
+                                               r.result.makespan_ticks);
+                                         }),
+                          0),
+         util::Table::num(
+             bench::mean_of(clean,
+                            [](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                  r.result.net.sent[static_cast<std::size_t>(
+                                      net::MsgKind::kLoadUpdate)]);
+                            }),
+             0),
+         std::to_string(bench::correct_count(faulted)) + "/" +
+             std::to_string(static_cast<int>(faulted.size())),
+         util::Table::num(bench::mean_of(faulted,
+                                         [](const bench::Replicate& r) {
+                                           return static_cast<double>(
+                                               r.result.makespan_ticks -
+                                               r.clean_makespan);
+                                         }),
+                          0),
+         util::Table::num(bench::mean_of(faulted,
+                                         [](const bench::Replicate& r) {
+                                           return static_cast<double>(
+                                               r.result.counters
+                                                   .tasks_respawned);
+                                         }),
+                          1)});
+  }
+  bench::emit(table, opt);
+  std::printf(
+      "expected shape: every dynamic scheduler recovers all runs; the\n"
+      "gradient model pays load-update traffic for better placement under\n"
+      "skewed load. Recovery needs no scheduler-specific logic — reissued\n"
+      "tasks are ordinary tasks (§3.3).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "checkpoint/checkpoint_table.h"
+
+#include <algorithm>
+
+namespace splice::checkpoint {
+
+CheckpointTable::CheckpointTable(net::ProcId self, net::ProcId processors)
+    : self_(self), entries_(processors) {}
+
+RecordOutcome CheckpointTable::record(net::ProcId dest,
+                                      CheckpointRecord record) {
+  auto& entry = entries_.at(dest);
+  // §3.2: descendant of an existing checkpoint -> nothing to store.
+  for (const CheckpointRecord& existing : entry) {
+    if (existing.packet.stamp.subsumes(record.packet.stamp)) {
+      ++subsumed_;
+      return RecordOutcome::kSubsumed;
+    }
+  }
+  // Maintain the antichain: drop records the new stamp subsumes. (With
+  // ancestor-before-descendant spawn order this rarely fires, but recovery
+  // respawns can reorder arrivals.)
+  std::erase_if(entry, [&](const CheckpointRecord& existing) {
+    return record.packet.stamp.is_ancestor_of(existing.packet.stamp);
+  });
+  entry.push_back(std::move(record));
+  ++records_made_;
+  note_peak();
+  return RecordOutcome::kRecorded;
+}
+
+std::vector<CheckpointRecord> CheckpointTable::take(net::ProcId dead) {
+  auto& entry = entries_.at(dead);
+  std::vector<CheckpointRecord> out = std::move(entry);
+  entry.clear();
+  return out;
+}
+
+bool CheckpointTable::release(net::ProcId dest,
+                              const runtime::LevelStamp& stamp) {
+  auto& entry = entries_.at(dest);
+  const auto before = entry.size();
+  std::erase_if(entry, [&](const CheckpointRecord& existing) {
+    return existing.packet.stamp == stamp;
+  });
+  const bool found = entry.size() != before;
+  if (found) ++released_;
+  return found;
+}
+
+bool CheckpointTable::release_anywhere(const runtime::LevelStamp& stamp) {
+  for (net::ProcId dest = 0; dest < entries_.size(); ++dest) {
+    if (release(dest, stamp)) return true;
+  }
+  return false;
+}
+
+std::size_t CheckpointTable::total_records() const noexcept {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) n += entry.size();
+  return n;
+}
+
+std::uint64_t CheckpointTable::total_units() const noexcept {
+  std::uint64_t units = 0;
+  for (const auto& entry : entries_) {
+    for (const CheckpointRecord& record : entry) {
+      units += record.packet.size_units();
+    }
+  }
+  return units;
+}
+
+void CheckpointTable::note_peak() {
+  peak_records_ = std::max(peak_records_, total_records());
+  peak_units_ = std::max(peak_units_, total_units());
+}
+
+}  // namespace splice::checkpoint

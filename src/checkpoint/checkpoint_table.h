@@ -1,0 +1,89 @@
+// The functional checkpoint table (§3.2).
+//
+// "Each processor maintains a table of linked lists. The Nth entry of the
+//  table contains all topmost checkpoints from the host processor to
+//  processor N. ... If B2 is a descendant of an existing functional
+//  checkpoint, C does nothing. Otherwise, processor C makes a checkpoint
+//  for B2 in entry B."
+//
+// Invariant (property-tested): every entry is an antichain under the
+// level-stamp ancestry order — no record subsumes another.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/expr.h"
+#include "net/topology.h"
+#include "runtime/level_stamp.h"
+#include "runtime/task_packet.h"
+
+namespace splice::checkpoint {
+
+/// One retained checkpoint: enough to reissue the child and to route its
+/// eventual result back into the owning slot.
+struct CheckpointRecord {
+  runtime::TaskUid owner = runtime::kNoTask;  // local parent task
+  lang::ExprId site = lang::kNoExpr;          // slot in the owner's body
+  runtime::TaskPacket packet;                 // the retained task packet
+};
+
+enum class RecordOutcome : std::uint8_t {
+  kRecorded,   // inserted as a (new) topmost checkpoint
+  kSubsumed,   // an existing checkpoint is an ancestor: nothing stored
+};
+
+class CheckpointTable {
+ public:
+  CheckpointTable(net::ProcId self, net::ProcId processors);
+
+  /// Record a spawn of `record.packet` onto `dest`. Applies the §3.2
+  /// subsumption rule and maintains the antichain (descendants of the new
+  /// stamp are dropped — they are recoverable through it).
+  RecordOutcome record(net::ProcId dest, CheckpointRecord record);
+
+  /// Remove and return every checkpoint held against `dead` — the
+  /// processor's reissue obligation when `dead` fails.
+  [[nodiscard]] std::vector<CheckpointRecord> take(net::ProcId dead);
+
+  /// Release the checkpoint for `stamp` held against `dest` (child result
+  /// arrived; the checkpoint is no longer needed). Returns true if found.
+  bool release(net::ProcId dest, const runtime::LevelStamp& stamp);
+
+  /// Release wherever it is held (used when the destination moved due to a
+  /// prior respawn). Returns true if found.
+  bool release_anywhere(const runtime::LevelStamp& stamp);
+
+  [[nodiscard]] const std::vector<CheckpointRecord>& entry(
+      net::ProcId dest) const {
+    return entries_.at(dest);
+  }
+
+  [[nodiscard]] std::size_t total_records() const noexcept;
+  [[nodiscard]] std::uint64_t total_units() const noexcept;
+  [[nodiscard]] std::size_t peak_records() const noexcept {
+    return peak_records_;
+  }
+  [[nodiscard]] std::uint64_t peak_units() const noexcept {
+    return peak_units_;
+  }
+  [[nodiscard]] std::uint64_t records_made() const noexcept {
+    return records_made_;
+  }
+  [[nodiscard]] std::uint64_t subsumed() const noexcept { return subsumed_; }
+  [[nodiscard]] std::uint64_t released() const noexcept { return released_; }
+  [[nodiscard]] net::ProcId self() const noexcept { return self_; }
+
+ private:
+  void note_peak();
+
+  net::ProcId self_;
+  std::vector<std::vector<CheckpointRecord>> entries_;
+  std::size_t peak_records_ = 0;
+  std::uint64_t peak_units_ = 0;
+  std::uint64_t records_made_ = 0;
+  std::uint64_t subsumed_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace splice::checkpoint

@@ -1,0 +1,58 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace splice::core {
+
+std::string_view to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case SchedulerKind::kLocalFirst:
+      return "local-first";
+    case SchedulerKind::kPinned:
+      return "pinned";
+    case SchedulerKind::kGradient:
+      return "gradient";
+    case SchedulerKind::kNeighbor:
+      return "neighbor";
+  }
+  return "?";
+}
+
+std::string_view to_string(RecoveryKind kind) noexcept {
+  switch (kind) {
+    case RecoveryKind::kNone:
+      return "none";
+    case RecoveryKind::kRestart:
+      return "restart";
+    case RecoveryKind::kRollback:
+      return "rollback";
+    case RecoveryKind::kSplice:
+      return "splice";
+    case RecoveryKind::kPeriodicGlobal:
+      return "periodic-global";
+  }
+  return "?";
+}
+
+std::string SystemConfig::describe() const {
+  std::ostringstream out;
+  out << "procs=" << processors << " topo=" << net::to_string(topology)
+      << " sched=" << to_string(scheduler.kind)
+      << " recovery=" << to_string(recovery.kind);
+  if (recovery.kind == RecoveryKind::kSplice) {
+    out << "(depth=" << recovery.ancestor_depth
+        << (recovery.eager_respawn ? ",eager" : ",topmost") << ")";
+  }
+  if (replication.enabled()) {
+    out << " repl=" << replication.factor << "x@d<" << replication.max_depth
+        << (replication.majority ? "(majority)" : "(first)");
+  }
+  out << " seed=" << seed;
+  return out.str();
+}
+
+}  // namespace splice::core

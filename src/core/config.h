@@ -1,0 +1,125 @@
+// System configuration: every knob of the simulated applicative machine.
+//
+// This header is dependency-light (net + plain enums) so that runtime,
+// scheduler, and recovery modules can all consume it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace splice::core {
+
+enum class SchedulerKind : std::uint8_t {
+  kRandom,      // uniform over alive processors
+  kRoundRobin,  // cyclic over alive processors
+  kLocalFirst,  // keep local until the queue exceeds a threshold
+  kPinned,      // honour FunctionDef::pinned_processor (Fig. 1 scripting)
+  kGradient,    // gradient model of Lin & Keller [10]
+  kNeighbor,    // Grit-style: spawn only to self or immediate neighbours [6]
+};
+
+enum class RecoveryKind : std::uint8_t {
+  kNone,            // no fault tolerance (control)
+  kRestart,         // restart whole program from the super-root on failure
+  kRollback,        // §3: reissue topmost functional checkpoints
+  kSplice,          // §4: rollback + orphan-result salvage via grandparents
+  kPeriodicGlobal,  // baseline: coordinated global snapshots (Tamir–Sequin)
+};
+
+[[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(RecoveryKind kind) noexcept;
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kRandom;
+  /// kLocalFirst: spawn locally while the local queue is below this.
+  std::uint32_t local_threshold = 2;
+  /// kGradient: proximity-field refresh period (ticks); models the
+  /// propagation delay of load information.
+  std::int64_t gradient_refresh = 500;
+  /// kGradient: queue length at or below which a processor advertises
+  /// itself as a task sink (an "idle" node creating suction).
+  std::uint32_t gradient_idle_threshold = 0;
+};
+
+struct RecoveryConfig {
+  RecoveryKind kind = RecoveryKind::kSplice;
+  /// Length of the ancestor chain carried in packets: 2 = parent +
+  /// grandparent (the paper's splice), 3 adds the great-grandparent
+  /// extension of §5.2. Rollback needs only 1 but carries 2 harmlessly.
+  std::uint32_t ancestor_depth = 2;
+  /// Splice variant: false = reissue only topmost checkpoints (§4.2,
+  /// paper-faithful); true = every live parent respawns every trapped child
+  /// (aggressive salvage ablation).
+  bool eager_respawn = false;
+  /// kPeriodicGlobal: snapshot period in ticks.
+  std::int64_t checkpoint_interval = 30000;
+  /// kPeriodicGlobal: freeze duration = freeze_base + freeze_per_unit *
+  /// total state units (the "virtually stop all computational operations"
+  /// cost of §2).
+  std::int64_t freeze_base = 100;
+  double freeze_per_unit = 0.25;
+  /// kPeriodicGlobal: delay between detection and restore completion.
+  std::int64_t restore_delay = 500;
+};
+
+struct ReplicationConfig {
+  /// §5.3: number of copies of each replicated task packet (1 = off).
+  std::uint32_t factor = 1;
+  /// Replicate tasks whose stamp depth is < max_depth ("the user may
+  /// specify certain critical sections"). Depth 1 replicates the root only.
+  std::uint32_t max_depth = 1;
+  /// true: wait for a majority of identical results (paper's consensus);
+  /// false: first result wins (fail-silent optimisation ablation).
+  bool majority = true;
+  /// Confine each replica's subtree to a disjoint processor partition
+  /// (lane p % factor == replica), emulating Misunas's "carefully
+  /// distributed" copies (§5.4). Without confinement a single crash can
+  /// damage every replica's subtree at once.
+  bool zoned = true;
+
+  [[nodiscard]] bool enabled() const noexcept { return factor > 1; }
+  [[nodiscard]] std::uint32_t quorum() const noexcept {
+    return majority ? factor / 2 + 1 : 1;
+  }
+};
+
+struct SystemConfig {
+  std::uint32_t processors = 8;
+  net::TopologyKind topology = net::TopologyKind::kMesh2D;
+  net::LatencyModel latency;
+
+  SchedulerConfig scheduler;
+  RecoveryConfig recovery;
+  ReplicationConfig replication;
+
+  /// Liveness probing period (ticks); 0 disables. Needed so failures of
+  /// quiescent processors are detected (§1's "identified as faulty by other
+  /// processors").
+  std::int64_t heartbeat_interval = 2000;
+
+  /// §4.3.1 super-root: checkpoints the root program so the system survives
+  /// failure of the root's host.
+  bool super_root = true;
+
+  std::uint64_t seed = 1;
+
+  /// Hard stop for the simulation; 0 derives a generous bound from the
+  /// program's reference work.
+  std::int64_t deadline_ticks = 0;
+
+  /// Cost scale: simulated ticks per abstract primitive-op unit.
+  std::int64_t op_cost = 1;
+  /// DEMAND_IT overhead: packet formation + checkpoint + queueing (§4.2).
+  std::int64_t spawn_cost = 5;
+
+  /// Record a human-readable event trace (fig-walkthrough benches).
+  bool collect_trace = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace splice::core

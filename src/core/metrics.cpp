@@ -1,0 +1,43 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace splice::core {
+
+void Counters::merge(const Counters& other) noexcept {
+  tasks_created += other.tasks_created;
+  tasks_completed += other.tasks_completed;
+  tasks_aborted += other.tasks_aborted;
+  scans += other.scans;
+  tasks_respawned += other.tasks_respawned;
+  twins_created += other.twins_created;
+  orphan_results_salvaged += other.orphan_results_salvaged;
+  results_relayed += other.results_relayed;
+  duplicate_results_ignored += other.duplicate_results_ignored;
+  late_results_discarded += other.late_results_discarded;
+  orphans_stranded += other.orphans_stranded;
+  checkpoint_records += other.checkpoint_records;
+  checkpoint_subsumed += other.checkpoint_subsumed;
+  checkpoint_released += other.checkpoint_released;
+  checkpoint_peak_entries += other.checkpoint_peak_entries;
+  checkpoint_peak_units += other.checkpoint_peak_units;
+  snapshots_taken += other.snapshots_taken;
+  snapshot_units += other.snapshot_units;
+  restores += other.restores;
+  freeze_ticks += other.freeze_ticks;
+  error_broadcasts += other.error_broadcasts;
+  busy_ticks += other.busy_ticks;
+}
+
+std::string RunResult::summary() const {
+  std::ostringstream out;
+  out << (completed ? "completed" : "INCOMPLETE") << " makespan="
+      << makespan_ticks << " answer=" << answer.to_string();
+  if (answer_checked) out << (answer_correct ? " (correct)" : " (WRONG)");
+  out << " tasks=" << counters.tasks_created << " respawned="
+      << counters.tasks_respawned << " salvaged="
+      << counters.orphan_results_salvaged << " msgs=" << net.total_sent();
+  return out.str();
+}
+
+}  // namespace splice::core

@@ -1,0 +1,75 @@
+// Run-level metrics: what every experiment table is built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lang/value.h"
+#include "net/network.h"
+
+namespace splice::core {
+
+/// Protocol-level counters aggregated across processors.
+struct Counters {
+  // Task lifecycle.
+  std::uint64_t tasks_created = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_aborted = 0;
+  std::uint64_t scans = 0;
+
+  // Recovery activity.
+  std::uint64_t tasks_respawned = 0;       // reissued checkpoints (all kinds)
+  std::uint64_t twins_created = 0;         // splice step-parents
+  std::uint64_t orphan_results_salvaged = 0;  // slots filled by relayed returns
+  std::uint64_t results_relayed = 0;       // grandparent transport actions
+  std::uint64_t duplicate_results_ignored = 0;  // cases 6/7
+  std::uint64_t late_results_discarded = 0;     // case 8 / unknown target
+  std::uint64_t orphans_stranded = 0;      // undeliverable with no ancestor left
+
+  // Functional checkpointing.
+  std::uint64_t checkpoint_records = 0;
+  std::uint64_t checkpoint_subsumed = 0;   // level-stamp dedup hits (§3.2)
+  std::uint64_t checkpoint_released = 0;
+  std::uint64_t checkpoint_peak_entries = 0;
+  std::uint64_t checkpoint_peak_units = 0;
+
+  // Periodic-global baseline.
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t snapshot_units = 0;
+  std::uint64_t restores = 0;
+  std::int64_t freeze_ticks = 0;
+
+  // Failure handling.
+  std::uint64_t error_broadcasts = 0;
+
+  // Work accounting (busy processor time in ticks).
+  std::int64_t busy_ticks = 0;
+
+  void merge(const Counters& other) noexcept;
+};
+
+/// Result of one simulated run.
+struct RunResult {
+  bool completed = false;
+  lang::Value answer;
+  bool answer_checked = false;  // reference answer was computed
+  bool answer_correct = false;
+
+  std::int64_t makespan_ticks = 0;
+  std::int64_t first_failure_ticks = -1;   // -1: no fault injected/fired
+  std::int64_t detection_ticks = -1;       // first error-detection handling
+  std::uint64_t faults_injected = 0;
+
+  Counters counters;
+  net::NetworkStats net;
+  std::uint64_t sim_events = 0;
+  std::uint32_t processors = 0;
+  std::uint32_t processors_alive_at_end = 0;
+  /// Tasks still resident and unfinished when the run ended (orphans the
+  /// system never reclaimed — §3.4's observation made measurable).
+  std::uint64_t stranded_tasks = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace splice::core

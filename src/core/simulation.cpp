@@ -1,0 +1,96 @@
+#include "core/simulation.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace splice::core {
+
+Simulation::Simulation(SystemConfig config, lang::Program program)
+    : config_(std::move(config)), program_(std::move(program)) {
+  program_.validate();
+}
+
+Simulation::~Simulation() = default;
+
+RunResult Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run may be called once");
+  ran_ = true;
+
+  sim_ = std::make_unique<sim::Simulator>();
+  network_ = std::make_unique<net::Network>(
+      *sim_, net::Topology(config_.topology, config_.processors),
+      config_.latency);
+  runtime_ = std::make_unique<runtime::Runtime>(*sim_, *network_, config_,
+                                                program_);
+  injector_ = std::make_unique<net::FaultInjector>(
+      *sim_, *network_, fault_plan_,
+      [this](net::ProcId dead) { runtime_->on_kill(dead); });
+  if (!fault_plan_.triggered.empty()) {
+    runtime_->set_trigger_sink(
+        [this](const std::string& name) { injector_->fire_trigger(name); });
+  }
+
+  // Reference answer: the determinacy oracle (§2.1).
+  lang::EvalStats ref_stats;
+  lang::Interpreter interp(program_);
+  const lang::Value expected = interp.run(ref_stats);
+
+  std::int64_t deadline = config_.deadline_ticks;
+  if (deadline <= 0) {
+    // Generous auto-bound: sequential work, fully serialised on one node,
+    // times a recovery headroom factor.
+    const std::int64_t serial =
+        static_cast<std::int64_t>(ref_stats.total_work) * config_.op_cost +
+        static_cast<std::int64_t>(ref_stats.calls) *
+            (config_.spawn_cost + 4 * config_.latency.base + 40);
+    deadline = 1000000 + serial * 50;
+  }
+
+  injector_->arm();
+  runtime_->start();
+  sim_->run_until(sim::SimTime(deadline));
+
+  std::int64_t first_failure = -1;
+  for (const auto& fault : fault_plan_.timed) {
+    if (first_failure < 0 || fault.when.ticks() < first_failure) {
+      first_failure = fault.when.ticks();
+    }
+  }
+
+  RunResult result =
+      runtime_->collect(sim_->now(), injector_->kills_executed());
+  result.first_failure_ticks = first_failure;
+  result.answer_checked = true;
+  result.answer_correct = result.completed && result.answer == expected;
+  if (result.completed && !result.answer_correct) {
+    SPLICE_ERROR() << "determinacy violation: got "
+                   << result.answer.to_string() << " expected "
+                   << expected.to_string() << " [" << config_.describe()
+                   << "]";
+  }
+  return result;
+}
+
+std::int64_t Simulation::fault_free_makespan(const SystemConfig& config,
+                                             const lang::Program& program) {
+  SystemConfig clean = config;
+  clean.collect_trace = false;
+  Simulation twin(clean, program);
+  const RunResult result = twin.run();
+  return result.makespan_ticks;
+}
+
+const Trace& Simulation::trace() const {
+  if (!runtime_) throw std::logic_error("trace: run() first");
+  return const_cast<runtime::Runtime&>(*runtime_).trace();
+}
+
+RunResult run_once(const SystemConfig& config, const lang::Program& program,
+                   const net::FaultPlan& plan) {
+  Simulation simulation(config, program);
+  simulation.set_fault_plan(plan);
+  return simulation.run();
+}
+
+}  // namespace splice::core

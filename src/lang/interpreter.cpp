@@ -1,0 +1,78 @@
+#include "lang/interpreter.h"
+
+#include <stdexcept>
+
+namespace splice::lang {
+
+Value Interpreter::run() {
+  EvalStats stats;
+  return run(stats);
+}
+
+Value Interpreter::run(EvalStats& stats) {
+  program_.validate();
+  return apply(program_.entry(), program_.entry_args(), stats, 1);
+}
+
+Value Interpreter::apply(FuncId fn, const std::vector<Value>& args,
+                         EvalStats& stats, std::uint32_t depth) {
+  if (depth > depth_limit_) {
+    throw std::runtime_error("interpreter: depth limit exceeded");
+  }
+  const FunctionDef& def = program_.function(fn);
+  if (args.size() != def.arity) {
+    throw std::runtime_error("interpreter: arity mismatch calling " + def.name);
+  }
+  ++stats.calls;
+  stats.max_depth = std::max(stats.max_depth, depth);
+  return eval_expr(def, def.root, args, stats, depth);
+}
+
+Value Interpreter::eval_expr(const FunctionDef& def, ExprId expr,
+                             const std::vector<Value>& args, EvalStats& stats,
+                             std::uint32_t depth) {
+  const ExprNode& node = def.nodes.at(expr);
+  switch (node.kind) {
+    case ExprKind::kConst:
+      return node.literal;
+    case ExprKind::kArg:
+      return args[node.arg_index];
+    case ExprKind::kPrim: {
+      std::vector<Value> operands;
+      operands.reserve(node.children.size());
+      for (ExprId child : node.children) {
+        operands.push_back(eval_expr(def, child, args, stats, depth));
+      }
+      return apply_prim(node.op, operands, &stats.total_work);
+    }
+    case ExprKind::kIf: {
+      const Value cond = eval_expr(def, node.children[0], args, stats, depth);
+      ++stats.total_work;
+      const ExprId branch = cond.truthy() ? node.children[1] : node.children[2];
+      return eval_expr(def, branch, args, stats, depth);
+    }
+    case ExprKind::kCall: {
+      std::vector<Value> call_args;
+      call_args.reserve(node.children.size());
+      for (ExprId child : node.children) {
+        call_args.push_back(eval_expr(def, child, args, stats, depth));
+      }
+      return apply(node.callee, call_args, stats, depth + 1);
+    }
+  }
+  throw std::logic_error("interpreter: bad expr kind");
+}
+
+Value reference_answer(const Program& program) {
+  Interpreter interp(program);
+  return interp.run();
+}
+
+EvalStats reference_stats(const Program& program) {
+  Interpreter interp(program);
+  EvalStats stats;
+  (void)interp.run(stats);
+  return stats;
+}
+
+}  // namespace splice::lang

@@ -1,0 +1,56 @@
+// Reference sequential interpreter.
+//
+// Evaluates a Program exactly as the distributed runtime would (same strict
+// semantics, same lazy If), without any distribution. Its answer is the
+// determinacy oracle: every distributed run — faulted or not — must return
+// the same value (§2.1 of the paper). It also reports call-tree statistics
+// used to size experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "lang/program.h"
+
+namespace splice::lang {
+
+struct EvalStats {
+  /// Number of function applications (call-tree node count, root included).
+  std::uint64_t calls = 0;
+  /// Deepest call chain (root = depth 1).
+  std::uint32_t max_depth = 0;
+  /// Total abstract primitive cost across all applications.
+  std::uint64_t total_work = 0;
+};
+
+class Interpreter {
+ public:
+  /// depth_limit guards against runaway recursion in malformed programs.
+  explicit Interpreter(const Program& program, std::uint32_t depth_limit = 100000)
+      : program_(program), depth_limit_(depth_limit) {}
+
+  /// Evaluate the entry application. Throws on malformed programs or
+  /// primitive domain errors.
+  [[nodiscard]] Value run();
+  [[nodiscard]] Value run(EvalStats& stats);
+
+  /// Evaluate one application fn(args) and its whole subtree.
+  [[nodiscard]] Value apply(FuncId fn, const std::vector<Value>& args,
+                            EvalStats& stats, std::uint32_t depth = 1);
+
+  /// Evaluate the local (prim-only) part of a body given already-computed
+  /// call results — shared with the runtime's final-fold logic in tests.
+  [[nodiscard]] Value eval_expr(const FunctionDef& def, ExprId expr,
+                                const std::vector<Value>& args,
+                                EvalStats& stats, std::uint32_t depth);
+
+ private:
+  const Program& program_;
+  std::uint32_t depth_limit_;
+};
+
+/// Convenience: reference answer of a program.
+[[nodiscard]] Value reference_answer(const Program& program);
+/// Convenience: call-tree statistics of a program.
+[[nodiscard]] EvalStats reference_stats(const Program& program);
+
+}  // namespace splice::lang

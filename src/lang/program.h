@@ -1,0 +1,103 @@
+// Function definitions, whole programs, and a builder DSL.
+//
+// A Program is a set of named pure functions plus an entry application. Its
+// distributed evaluation unfolds the paper's call tree: every Call node in a
+// body spawns a child task.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/expr.h"
+#include "lang/value.h"
+
+namespace splice::lang {
+
+struct FunctionDef {
+  std::string name;
+  std::uint32_t arity = 0;
+  std::vector<ExprNode> nodes;  // arena; acyclic, children index lower nodes
+  ExprId root = kNoExpr;
+
+  /// Optional placement pin: when >= 0 and the scheduler honours pins, tasks
+  /// of this function run on that processor. Used to script the paper's
+  /// Figure 1 mapping exactly.
+  std::int32_t pinned_processor = -1;
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  [[nodiscard]] FuncId add_function(FunctionDef def);
+
+  [[nodiscard]] const FunctionDef& function(FuncId id) const {
+    return functions_.at(id);
+  }
+  [[nodiscard]] FunctionDef& function_mut(FuncId id) {
+    return functions_.at(id);
+  }
+  [[nodiscard]] std::size_t function_count() const noexcept {
+    return functions_.size();
+  }
+  [[nodiscard]] std::optional<FuncId> find(const std::string& name) const;
+
+  void set_entry(FuncId fn, std::vector<Value> args) {
+    entry_ = fn;
+    entry_args_ = std::move(args);
+  }
+  [[nodiscard]] FuncId entry() const noexcept { return entry_; }
+  [[nodiscard]] const std::vector<Value>& entry_args() const noexcept {
+    return entry_args_;
+  }
+
+  /// Structural validation: arities, arg indices, callee ids, child links,
+  /// If shapes. Throws std::invalid_argument describing the first violation.
+  void validate() const;
+
+  [[nodiscard]] std::string name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  std::vector<FunctionDef> functions_;
+  FuncId entry_ = 0;
+  std::vector<Value> entry_args_;
+};
+
+/// Fluent builder for one function body. Nodes are appended to an arena;
+/// helpers return ExprIds to be combined.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(std::string name, std::uint32_t arity)
+      : def_{std::move(name), arity, {}, kNoExpr, -1} {}
+
+  ExprId constant(Value v);
+  ExprId constant(std::int64_t v) { return constant(Value::integer(v)); }
+  ExprId arg(std::uint32_t index);
+  ExprId prim(Op op, std::initializer_list<ExprId> children);
+  ExprId prim(Op op, std::vector<ExprId> children);
+  ExprId iff(ExprId cond, ExprId then_branch, ExprId else_branch);
+  ExprId call(FuncId callee, std::initializer_list<ExprId> args);
+  ExprId call(FuncId callee, std::vector<ExprId> args);
+
+  // Common shorthands.
+  ExprId add(ExprId a, ExprId b) { return prim(Op::kAdd, {a, b}); }
+  ExprId sub(ExprId a, ExprId b) { return prim(Op::kSub, {a, b}); }
+  ExprId lt(ExprId a, ExprId b) { return prim(Op::kLt, {a, b}); }
+  ExprId le(ExprId a, ExprId b) { return prim(Op::kLe, {a, b}); }
+  ExprId eq(ExprId a, ExprId b) { return prim(Op::kEq, {a, b}); }
+  ExprId burn(ExprId a) { return prim(Op::kBurn, {a}); }
+
+  /// Finish: set the root expression and (optionally) a placement pin.
+  [[nodiscard]] FunctionDef build(ExprId root, std::int32_t pin = -1) &&;
+
+ private:
+  ExprId push(ExprNode node);
+  FunctionDef def_;
+};
+
+}  // namespace splice::lang

@@ -1,0 +1,324 @@
+#include "lang/programs.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace splice::lang::programs {
+
+namespace {
+
+/// burn(work) - work == 0, at a cost of `work` ticks: pure compute.
+ExprId burn0(FunctionBuilder& b, std::int64_t work) {
+  const ExprId w = b.constant(work);
+  return b.sub(b.burn(w), w);
+}
+
+std::vector<std::int64_t> pseudo_random_list(std::size_t length,
+                                             std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> xs(length);
+  for (auto& x : xs) x = static_cast<std::int64_t>(rng.next_below(1000000));
+  return xs;
+}
+
+}  // namespace
+
+Program fib(std::int64_t n, std::int64_t leaf_work) {
+  Program p;
+  p.set_name("fib(" + std::to_string(n) + ")");
+  // fib(n) = n < 2 ? n + burn0 : fib(n-1) + fib(n-2)
+  FunctionBuilder b("fib", 1);
+  const FuncId self = 0;  // will be function 0
+  const ExprId arg_n = b.arg(0);
+  const ExprId base = b.add(arg_n, burn0(b, leaf_work));
+  const ExprId n1 = b.call(self, {b.sub(arg_n, b.constant(1))});
+  const ExprId n2 = b.call(self, {b.sub(arg_n, b.constant(2))});
+  const ExprId rec = b.add(n1, n2);
+  const ExprId root = b.iff(b.lt(arg_n, b.constant(2)), base, rec);
+  const FuncId fn = p.add_function(std::move(b).build(root));
+  p.set_entry(fn, {Value::integer(n)});
+  return p;
+}
+
+Program binomial(std::int64_t n, std::int64_t k, std::int64_t leaf_work) {
+  Program p;
+  p.set_name("C(" + std::to_string(n) + "," + std::to_string(k) + ")");
+  // binom(n,k) = (k == 0 || k == n) ? 1 + burn0 : binom(n-1,k-1)+binom(n-1,k)
+  FunctionBuilder b("binom", 2);
+  const FuncId self = 0;
+  const ExprId an = b.arg(0);
+  const ExprId ak = b.arg(1);
+  const ExprId is_edge = b.prim(
+      Op::kOr, {b.eq(ak, b.constant(0)), b.eq(ak, an)});
+  const ExprId base = b.add(b.constant(1), burn0(b, leaf_work));
+  const ExprId left =
+      b.call(self, {b.sub(an, b.constant(1)), b.sub(ak, b.constant(1))});
+  const ExprId right = b.call(self, {b.sub(an, b.constant(1)), ak});
+  const ExprId root = b.iff(is_edge, base, b.add(left, right));
+  const FuncId fn = p.add_function(std::move(b).build(root));
+  p.set_entry(fn, {Value::integer(n), Value::integer(k)});
+  return p;
+}
+
+Program tree_sum(std::uint32_t depth, std::uint32_t fanout,
+                 std::int64_t leaf_work, std::int64_t interior_work) {
+  if (fanout == 0) throw std::invalid_argument("tree_sum: fanout >= 1");
+  Program p;
+  p.set_name("tree(" + std::to_string(depth) + "^" + std::to_string(fanout) +
+             ")");
+  // t(d) = d == 0 ? 1 + burn0(leaf) : burn0(interior) + sum_i t(d-1)
+  FunctionBuilder b("tree", 1);
+  const FuncId self = 0;
+  const ExprId d = b.arg(0);
+  const ExprId leaf = b.add(b.constant(1), burn0(b, leaf_work));
+  ExprId acc = burn0(b, interior_work);
+  for (std::uint32_t i = 0; i < fanout; ++i) {
+    acc = b.add(acc, b.call(self, {b.sub(d, b.constant(1))}));
+  }
+  const ExprId root = b.iff(b.le(d, b.constant(0)), leaf, acc);
+  const FuncId fn = p.add_function(std::move(b).build(root));
+  p.set_entry(fn, {Value::integer(depth)});
+  return p;
+}
+
+Program mergesort(std::size_t length, std::uint64_t seed, std::size_t cutoff) {
+  Program p;
+  p.set_name("mergesort(" + std::to_string(length) + ")");
+  // ms(xs) = len(xs) <= cutoff ? slow_sort_local : merge(ms(lo), ms(hi))
+  // The local base case sorts by repeated min-extraction via merge of
+  // singletons — modelled as a merge of the (short) list with [] after a
+  // burn proportional to len^2, which is what an insertion sort costs.
+  FunctionBuilder b("msort", 1);
+  const FuncId self = 0;
+  const ExprId xs = b.arg(0);
+  const ExprId len = b.prim(Op::kLen, {xs});
+  // Splitting always recurses down to singletons, which are sorted by
+  // definition, so the merge tree produces an exactly sorted list.
+  const ExprId base = xs;
+  const ExprId half = b.prim(Op::kDiv, {len, b.constant(2)});
+  const ExprId lo = b.prim(Op::kTake, {xs, half});
+  const ExprId hi = b.prim(Op::kDrop, {xs, half});
+  const ExprId merged =
+      b.prim(Op::kMerge, {b.call(self, {lo}), b.call(self, {hi})});
+  const ExprId root = b.iff(b.le(len, b.constant(1)), base, merged);
+  const FuncId fn = p.add_function(std::move(b).build(root));
+  (void)cutoff;  // exact variant always splits to singletons
+  p.set_entry(fn, {Value::list(pseudo_random_list(length, seed))});
+  return p;
+}
+
+Program quicksort(std::size_t length, std::uint64_t seed, std::size_t cutoff) {
+  Program p;
+  p.set_name("quicksort(" + std::to_string(length) + ")");
+  // qs(xs) = len <= 1 ? xs
+  //        : append(qs(filt_lt(tail, head)),
+  //                 cons(head, qs(filt_ge(tail, head))))
+  FunctionBuilder b("qsort", 1);
+  const FuncId self = 0;
+  const ExprId xs = b.arg(0);
+  const ExprId len = b.prim(Op::kLen, {xs});
+  const ExprId head = b.prim(Op::kHead, {xs});
+  const ExprId tail = b.prim(Op::kTail, {xs});
+  const ExprId less = b.prim(Op::kFiltLt, {tail, head});
+  const ExprId more = b.prim(Op::kFiltGe, {tail, head});
+  const ExprId sorted = b.prim(
+      Op::kAppend,
+      {b.call(self, {less}),
+       b.prim(Op::kCons, {head, b.call(self, {more})})});
+  const ExprId root = b.iff(b.le(len, b.constant(1)), xs, sorted);
+  const FuncId fn = p.add_function(std::move(b).build(root));
+  (void)cutoff;
+  p.set_entry(fn, {Value::list(pseudo_random_list(length, seed))});
+  return p;
+}
+
+Program nqueens(std::uint32_t n) {
+  Program p;
+  p.set_name("nqueens(" + std::to_string(n) + ")");
+  const std::int64_t full = (1LL << n) - 1;
+  // solve(cols, ld, rd): number of completions given occupied columns /
+  //   left- / right-diagonals.
+  // scan(cols, ld, rd, avail): iterate available positions.
+  //   solve = cols == full ? 1 : scan(cols, ld, rd, ~(cols|ld|rd) & full)
+  //   scan  = avail == 0 ? 0 :
+  //           scan(cols, ld, rd, avail & (avail-1))            [drop lowbit]
+  //         + solve(cols|p, (ld|p)<<1 & full, (rd|p)>>1)  where p = lowbit
+  Program prog;
+  {
+    FunctionBuilder b("solve", 3);
+    const FuncId kScan = 1;
+    const ExprId cols = b.arg(0), ld = b.arg(1), rd = b.arg(2);
+    const ExprId fullc = b.constant(full);
+    const ExprId occupied = b.prim(Op::kBOr, {b.prim(Op::kBOr, {cols, ld}), rd});
+    const ExprId avail =
+        b.prim(Op::kBAnd, {b.prim(Op::kBNot, {occupied}), fullc});
+    const ExprId rec = b.call(kScan, {cols, ld, rd, avail});
+    const ExprId root = b.iff(b.eq(cols, fullc), b.constant(1), rec);
+    (void)prog.add_function(std::move(b).build(root));
+  }
+  {
+    FunctionBuilder b("scan", 4);
+    const FuncId kSolve = 0, kScan = 1;
+    const ExprId cols = b.arg(0), ld = b.arg(1), rd = b.arg(2),
+                 avail = b.arg(3);
+    const ExprId fullc = b.constant(full);
+    // p = avail & -avail  (lowest set bit)
+    const ExprId lowbit =
+        b.prim(Op::kBAnd, {avail, b.prim(Op::kNeg, {avail})});
+    const ExprId rest =
+        b.call(kScan,
+               {cols, ld, rd,
+                b.prim(Op::kBAnd, {avail, b.sub(avail, b.constant(1))})});
+    const ExprId place = b.call(
+        kSolve,
+        {b.prim(Op::kBOr, {cols, lowbit}),
+         b.prim(Op::kBAnd,
+                {b.prim(Op::kShl, {b.prim(Op::kBOr, {ld, lowbit}),
+                                   b.constant(1)}),
+                 fullc}),
+         b.prim(Op::kShr,
+                {b.prim(Op::kBOr, {rd, lowbit}), b.constant(1)})});
+    const ExprId root = b.iff(b.eq(avail, b.constant(0)), b.constant(0),
+                              b.add(rest, place));
+    (void)prog.add_function(std::move(b).build(root));
+  }
+  prog.set_entry(0, {Value::integer(0), Value::integer(0), Value::integer(0)});
+  prog.set_name(p.name());
+  return prog;
+}
+
+Program tak(std::int64_t x, std::int64_t y, std::int64_t z) {
+  Program p;
+  p.set_name("tak(" + std::to_string(x) + "," + std::to_string(y) + "," +
+             std::to_string(z) + ")");
+  // tak(x,y,z) = y >= x ? z
+  //            : tak(tak(x-1,y,z), tak(y-1,z,x), tak(z-1,x,y))
+  FunctionBuilder b("tak", 3);
+  const FuncId self = 0;
+  const ExprId ax = b.arg(0), ay = b.arg(1), az = b.arg(2);
+  const ExprId one = b.constant(1);
+  const ExprId t1 = b.call(self, {b.sub(ax, one), ay, az});
+  const ExprId t2 = b.call(self, {b.sub(ay, one), az, ax});
+  const ExprId t3 = b.call(self, {b.sub(az, one), ax, ay});
+  const ExprId rec = b.call(self, {t1, t2, t3});
+  const ExprId root = b.iff(b.prim(Op::kGe, {ay, ax}), az, rec);
+  const FuncId fn = p.add_function(std::move(b).build(root));
+  p.set_entry(fn, {Value::integer(x), Value::integer(y), Value::integer(z)});
+  return p;
+}
+
+Program map_reduce(std::int64_t n, std::uint32_t chunks,
+                   std::int64_t work_scale) {
+  if (chunks == 0) throw std::invalid_argument("map_reduce: chunks >= 1");
+  Program p;
+  p.set_name("map_reduce(" + std::to_string(n) + "," +
+             std::to_string(chunks) + ")");
+  // map(lo, hi): partial = sum(drop(take(iota(n), hi), lo));
+  //              burn(partial * scale) / scale == partial, costed scale-fold
+  const std::int64_t scale = std::max<std::int64_t>(1, work_scale);
+  FuncId map_fn;
+  {
+    FunctionBuilder b("map", 2);
+    const ExprId lo = b.arg(0), hi = b.arg(1);
+    const ExprId all = b.prim(Op::kIota, {b.constant(n)});
+    const ExprId range =
+        b.prim(Op::kDrop, {b.prim(Op::kTake, {all, hi}), lo});
+    const ExprId partial = b.prim(Op::kSum, {range});
+    const ExprId burned =
+        b.burn(b.prim(Op::kMul, {partial, b.constant(scale)}));
+    const ExprId root = b.prim(Op::kDiv, {burned, b.constant(scale)});
+    map_fn = p.add_function(std::move(b).build(root));
+  }
+  {
+    FunctionBuilder b("reduce", 0);
+    ExprId acc = b.constant(0);
+    const std::int64_t step =
+        (n + static_cast<std::int64_t>(chunks) - 1) /
+        static_cast<std::int64_t>(chunks);
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = std::min<std::int64_t>(n, c * step);
+      const std::int64_t hi = std::min<std::int64_t>(n, lo + step);
+      acc = b.add(acc, b.call(map_fn, {b.constant(lo), b.constant(hi)}));
+    }
+    const FuncId fn = p.add_function(std::move(b).build(acc));
+    p.set_entry(fn, {});
+  }
+  return p;
+}
+
+Program scripted_tree(const std::vector<ScriptedNode>& nodes) {
+  if (nodes.empty()) throw std::invalid_argument("scripted_tree: empty");
+  Program p;
+  p.set_name("scripted(" + nodes.front().name + ")");
+  std::map<std::string, FuncId> ids;
+  // Children reference later definitions, so allocate ids first by adding
+  // placeholder functions in order, then rebuild each body.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!ids.emplace(nodes[i].name, static_cast<FuncId>(i)).second) {
+      throw std::invalid_argument("scripted_tree: duplicate node " +
+                                  nodes[i].name);
+    }
+    FunctionBuilder placeholder(nodes[i].name, 0);
+    ExprId zero = placeholder.constant(0);
+    (void)p.add_function(std::move(placeholder).build(zero));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const ScriptedNode& node = nodes[i];
+    FunctionBuilder b(node.name, 0);
+    // value = burn(work) + sum(children)
+    ExprId acc = b.burn(b.constant(node.work));
+    for (const std::string& child : node.children) {
+      const auto it = ids.find(child);
+      if (it == ids.end()) {
+        throw std::invalid_argument("scripted_tree: unknown child " + child);
+      }
+      acc = b.add(acc, b.call(it->second, {}));
+    }
+    p.function_mut(static_cast<FuncId>(i)) =
+        std::move(b).build(acc, node.pin);
+  }
+  p.set_entry(0, {});
+  return p;
+}
+
+std::int64_t scripted_tree_answer(const std::vector<ScriptedNode>& nodes) {
+  std::int64_t total = 0;
+  for (const ScriptedNode& node : nodes) total += node.work;
+  return total;
+}
+
+const std::vector<ScriptedNode>& figure1_nodes() {
+  // Processor pins: A=0, B=1, C=2, D=3 (the paper's mapping).
+  static const std::vector<ScriptedNode> kNodes = {
+      {"A1", {"B1", "C1", "C2", "C3"}, 60, 0},
+      {"B1", {}, 60, 1},
+      {"C1", {"B2"}, 60, 2},
+      {"C2", {"B3"}, 60, 2},
+      {"C3", {"D3"}, 60, 2},
+      {"B2", {"D4", "A2"}, 60, 1},
+      {"B3", {}, 60, 1},
+      {"D3", {}, 60, 3},
+      {"D4", {"D5"}, 60, 3},
+      {"D5", {"A5"}, 60, 3},
+      {"A5", {}, 60, 0},
+      {"A2", {"D1", "D2"}, 60, 0},
+      {"D1", {"C4"}, 60, 3},
+      {"D2", {"B7"}, 60, 3},
+      {"C4", {"B5"}, 60, 2},
+      {"B5", {}, 60, 1},
+      {"B7", {}, 60, 1},
+  };
+  return kNodes;
+}
+
+Program figure1_tree(std::int64_t node_work) {
+  std::vector<ScriptedNode> nodes = figure1_nodes();
+  for (ScriptedNode& node : nodes) node.work = node_work;
+  Program p = scripted_tree(nodes);
+  p.set_name("figure1");
+  return p;
+}
+
+}  // namespace splice::lang::programs

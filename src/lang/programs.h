@@ -1,0 +1,87 @@
+// The workload library: applicative programs whose distributed evaluation
+// unfolds the call trees the recovery experiments operate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace splice::lang::programs {
+
+/// fib(n) with `leaf_work` ticks of pure compute at each leaf — the classic
+/// unbalanced divide-and-conquer tree (2*fib(n+1)-1 tasks).
+[[nodiscard]] Program fib(std::int64_t n, std::int64_t leaf_work = 1);
+
+/// Binomial coefficient C(n, k) by Pascal recursion — a DAG-shaped
+/// recomputation-heavy tree.
+[[nodiscard]] Program binomial(std::int64_t n, std::int64_t k,
+                               std::int64_t leaf_work = 1);
+
+/// Balanced tree: `fanout`^`depth` leaves, `leaf_work` ticks each,
+/// `interior_work` ticks per interior node. The workhorse synthetic
+/// workload (task count and shape known in closed form).
+[[nodiscard]] Program tree_sum(std::uint32_t depth, std::uint32_t fanout,
+                               std::int64_t leaf_work = 20,
+                               std::int64_t interior_work = 5);
+
+/// Parallel merge sort over a deterministic pseudo-random list.
+[[nodiscard]] Program mergesort(std::size_t length, std::uint64_t seed = 42,
+                                std::size_t cutoff = 8);
+
+/// Parallel quicksort (head pivot) over a deterministic pseudo-random list.
+[[nodiscard]] Program quicksort(std::size_t length, std::uint64_t seed = 42,
+                                std::size_t cutoff = 8);
+
+/// n-queens solution count via the bitmask formulation — irregular fanout,
+/// data-dependent tree shape.
+[[nodiscard]] Program nqueens(std::uint32_t n);
+
+/// Takeuchi's function tak(x,y,z) — the classic call-by-value stress test:
+/// deep, heavily revisiting recursion with data-dependent shape.
+[[nodiscard]] Program tak(std::int64_t x, std::int64_t y, std::int64_t z);
+
+/// Map-reduce over iota(n): split into `chunks` ranges, "map" burns work
+/// proportional to each range's sum, "reduce" adds partial sums. A flat,
+/// wide farm — the opposite shape of the deep recursions above.
+[[nodiscard]] Program map_reduce(std::int64_t n, std::uint32_t chunks,
+                                 std::int64_t work_scale = 1);
+
+/// One node of a scripted (explicit) call tree.
+struct ScriptedNode {
+  std::string name;
+  std::vector<std::string> children;
+  std::int64_t work = 10;
+  /// Processor this node is pinned to under the kPinned scheduler; -1 for
+  /// unpinned.
+  std::int32_t pin = -1;
+};
+
+/// Build a program whose call tree is exactly `nodes` (first node = root).
+/// Each node's value is its own `work` plus the sum of its children —
+/// checkable in closed form.
+[[nodiscard]] Program scripted_tree(const std::vector<ScriptedNode>& nodes);
+
+/// The exact call tree of the paper's Figure 1, with tasks pinned to
+/// processors A=0, B=1, C=2, D=3:
+///
+///   A1 ── B1
+///     ├── C1 ── B2 ── D4 ── D5 ── A5
+///     │          └── A2 ── D1 ── C4 ── B5
+///     │                └── D2 ── B7
+///     ├── C2 ── B3
+///     └── C3 ── D3
+///
+/// Killing processor B (=1) fragments it into {A1,C1,C2,C3,D3},
+/// {A2,D1,D2,C4}, {D4,D5,A5} exactly as in §3.
+[[nodiscard]] Program figure1_tree(std::int64_t node_work = 60);
+
+/// Names of all nodes in figure1_tree, in definition order.
+[[nodiscard]] const std::vector<ScriptedNode>& figure1_nodes();
+
+/// Expected answer of a scripted tree (sum of all work values).
+[[nodiscard]] std::int64_t scripted_tree_answer(
+    const std::vector<ScriptedNode>& nodes);
+
+}  // namespace splice::lang::programs

@@ -1,0 +1,59 @@
+// Runtime values of the applicative language.
+//
+// Two cases suffice for every workload in the paper's setting: 64-bit
+// integers and flat integer lists (for the sorting/merging programs).
+// Lists are shared immutably (copy = pointer copy), which matches
+// applicative semantics: no destructive modification ever happens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace splice::lang {
+
+class Value {
+ public:
+  /// Default-constructed value is the integer 0.
+  Value() = default;
+
+  [[nodiscard]] static Value integer(std::int64_t v) { return Value(v); }
+  [[nodiscard]] static Value list(std::vector<std::int64_t> items) {
+    return Value(std::make_shared<const std::vector<std::int64_t>>(
+        std::move(items)));
+  }
+  [[nodiscard]] static Value boolean(bool b) { return Value(b ? 1 : 0); }
+
+  [[nodiscard]] bool is_int() const noexcept { return list_ == nullptr; }
+  [[nodiscard]] bool is_list() const noexcept { return list_ != nullptr; }
+
+  /// Requires is_int().
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Requires is_list().
+  [[nodiscard]] const std::vector<std::int64_t>& as_list() const;
+
+  /// Truthiness: nonzero integer or non-empty list.
+  [[nodiscard]] bool truthy() const noexcept;
+
+  /// Abstract wire size in network "units" (ints are 1; lists scale with
+  /// length). Drives message latency.
+  [[nodiscard]] std::uint32_t size_units() const noexcept;
+
+  [[nodiscard]] bool operator==(const Value& other) const noexcept;
+  [[nodiscard]] bool operator!=(const Value& other) const noexcept {
+    return !(*this == other);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit Value(std::int64_t v) : int_(v) {}
+  explicit Value(std::shared_ptr<const std::vector<std::int64_t>> l)
+      : list_(std::move(l)) {}
+
+  std::int64_t int_ = 0;
+  std::shared_ptr<const std::vector<std::int64_t>> list_;
+};
+
+}  // namespace splice::lang

@@ -1,0 +1,45 @@
+#include "net/fault_injector.h"
+
+#include "util/logging.h"
+
+namespace splice::net {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, Network& network,
+                             FaultPlan plan,
+                             std::function<void(ProcId)> on_kill)
+    : sim_(simulator),
+      network_(network),
+      plan_(std::move(plan)),
+      on_kill_(std::move(on_kill)),
+      triggered_done_(plan_.triggered.size(), false) {}
+
+void FaultInjector::arm() {
+  for (const TimedFault& fault : plan_.timed) {
+    sim_.at(fault.when, [this, target = fault.target] { kill_now(target); });
+  }
+}
+
+void FaultInjector::fire_trigger(const std::string& name) {
+  for (std::size_t i = 0; i < plan_.triggered.size(); ++i) {
+    if (triggered_done_[i] || plan_.triggered[i].trigger != name) continue;
+    triggered_done_[i] = true;
+    const TriggeredFault& fault = plan_.triggered[i];
+    if (fault.delay_ticks <= 0) {
+      kill_now(fault.target);
+    } else {
+      sim_.after(sim::SimTime(fault.delay_ticks),
+                 [this, target = fault.target] { kill_now(target); });
+    }
+  }
+}
+
+void FaultInjector::kill_now(ProcId target) {
+  if (!network_.alive(target)) return;
+  SPLICE_INFO() << "fault: killing processor " << target << " at t="
+                << sim_.now().ticks();
+  network_.kill(target);
+  ++kills_;
+  if (on_kill_) on_kill_(target);
+}
+
+}  // namespace splice::net

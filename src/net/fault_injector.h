@@ -1,0 +1,87 @@
+// Fault injection (§1 fault model).
+//
+// Supports the fault plans the paper's analysis needs:
+//  * timed crashes: kill processor P at absolute time T;
+//  * fractional crashes: kill P when a fraction f of the fault-free makespan
+//    has elapsed (the rollback-cost experiment sweeps this);
+//  * triggered crashes: kill P when the runtime reports a named trigger
+//    (used by the Fig. 6 residue experiment to kill a node exactly when a
+//    task reaches state a..g);
+//  * multi-fault plans: any combination of the above, on one or many nodes.
+//
+// All faults are fail-silent whole-processor crashes, matching the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace splice::net {
+
+struct TimedFault {
+  ProcId target = kNoProc;
+  sim::SimTime when;
+};
+
+struct TriggeredFault {
+  ProcId target = kNoProc;
+  std::string trigger;          // fired by the runtime via fire_trigger()
+  std::int64_t delay_ticks = 0; // extra delay after the trigger fires
+};
+
+struct FaultPlan {
+  std::vector<TimedFault> timed;
+  std::vector<TriggeredFault> triggered;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return timed.empty() && triggered.empty();
+  }
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return timed.size() + triggered.size();
+  }
+
+  static FaultPlan none() { return {}; }
+  static FaultPlan single(ProcId target, std::int64_t when_ticks) {
+    FaultPlan plan;
+    plan.timed.push_back({target, sim::SimTime(when_ticks)});
+    return plan;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// on_kill runs immediately after the network marks the node dead, so the
+  /// runtime can destroy the node's volatile state.
+  FaultInjector(sim::Simulator& simulator, Network& network, FaultPlan plan,
+                std::function<void(ProcId)> on_kill);
+
+  /// Schedule all timed faults. Call once before Simulator::run_until.
+  void arm();
+
+  /// The runtime calls this when a named trigger point is reached; any
+  /// triggered faults matching the name are scheduled.
+  void fire_trigger(const std::string& name);
+
+  /// Kill a processor right now (used by tests and by replicated-redundancy
+  /// scenarios).
+  void kill_now(ProcId target);
+
+  [[nodiscard]] std::uint32_t kills_executed() const noexcept {
+    return kills_;
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  sim::Simulator& sim_;
+  Network& network_;
+  FaultPlan plan_;
+  std::function<void(ProcId)> on_kill_;
+  std::vector<bool> triggered_done_;
+  std::uint32_t kills_ = 0;
+};
+
+}  // namespace splice::net

@@ -1,0 +1,50 @@
+// Message envelope.
+//
+// Packet kinds mirror the paper's protocol loop (§4.2): task packets,
+// forward-result, fetch-data, error-detection — plus the plumbing the paper
+// assumes implicitly: spawn acknowledgements (Fig. 6 states b/c), delivery-
+// failure notifications (best-effort send + timeout, §1), heartbeats, load
+// updates for the gradient scheduler, and checkpoint-transfer for the
+// periodic-global baseline.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string_view>
+
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace splice::net {
+
+enum class MsgKind : std::uint8_t {
+  kTaskPacket,       // parent spawns child (carries TaskPacket payload)
+  kSpawnAck,         // child's host acknowledges the spawn (Fig. 6 state c)
+  kForwardResult,    // child returns its value (level-stamped, §4.2)
+  kFetchData,        // demand for a remote datum (§4.2 "fetch data")
+  kDataReply,        // answer to kFetchData
+  kErrorDetection,   // "processor P is faulty" notification (§4.2)
+  kDeliveryFailure,  // network tells sender the destination is unreachable
+  kHeartbeat,        // liveness probe (optional detector)
+  kLoadUpdate,       // gradient-model pressure exchange
+  kCheckpointXfer,   // periodic-global baseline state transfer
+  kControl,          // runtime-internal control (super-root start, etc.)
+};
+
+inline constexpr std::size_t kMsgKindCount = 11;
+
+[[nodiscard]] std::string_view to_string(MsgKind kind) noexcept;
+
+/// An in-flight message. `payload` is owned; receivers any_cast to the
+/// concrete runtime payload type keyed by `kind`.
+struct Envelope {
+  MsgKind kind = MsgKind::kControl;
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  /// Abstract size in "data units"; scales transfer latency.
+  std::uint32_t size_units = 1;
+  sim::SimTime sent_at;
+  std::any payload;
+};
+
+}  // namespace splice::net

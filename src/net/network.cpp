@@ -1,0 +1,127 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace splice::net {
+
+std::string_view to_string(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kTaskPacket:
+      return "task-packet";
+    case MsgKind::kSpawnAck:
+      return "spawn-ack";
+    case MsgKind::kForwardResult:
+      return "forward-result";
+    case MsgKind::kFetchData:
+      return "fetch-data";
+    case MsgKind::kDataReply:
+      return "data-reply";
+    case MsgKind::kErrorDetection:
+      return "error-detection";
+    case MsgKind::kDeliveryFailure:
+      return "delivery-failure";
+    case MsgKind::kHeartbeat:
+      return "heartbeat";
+    case MsgKind::kLoadUpdate:
+      return "load-update";
+    case MsgKind::kCheckpointXfer:
+      return "checkpoint-xfer";
+    case MsgKind::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulator& simulator, Topology topology,
+                 LatencyModel latency)
+    : sim_(simulator),
+      topology_(std::move(topology)),
+      latency_(latency),
+      receivers_(topology_.size()),
+      alive_(topology_.size(), true) {}
+
+void Network::set_receiver(ProcId p, Receiver receiver) {
+  receivers_.at(p) = std::move(receiver);
+}
+
+void Network::send(Envelope envelope) {
+  assert(envelope.from < size() && envelope.to < size());
+  envelope.sent_at = sim_.now();
+  ++stats_.sent[static_cast<std::size_t>(envelope.kind)];
+  stats_.total_units += envelope.size_units;
+
+  // A dead processor transmits nothing (fail-silent, §1). Sends attempted
+  // by a processor after its death are artefacts of same-tick event
+  // ordering; drop them.
+  if (!alive_[envelope.from]) {
+    ++stats_.dropped_dead_sender;
+    return;
+  }
+
+  const std::uint32_t hops = topology_.hops(envelope.from, envelope.to);
+  stats_.total_hop_units +=
+      static_cast<std::uint64_t>(hops) * envelope.size_units;
+  const sim::SimTime delay = latency_.latency(hops, envelope.size_units);
+  sim_.after(delay, [this, env = std::move(envelope)]() mutable {
+    deliver(std::move(env));
+  });
+}
+
+void Network::deliver(Envelope envelope) {
+  if (!alive_[envelope.to]) {
+    bounce(std::move(envelope));
+    return;
+  }
+  ++stats_.delivered[static_cast<std::size_t>(envelope.kind)];
+  Receiver& receiver = receivers_[envelope.to];
+  if (!receiver) {
+    throw std::logic_error("no receiver installed for processor " +
+                           std::to_string(envelope.to));
+  }
+  receiver(std::move(envelope));
+}
+
+void Network::bounce(Envelope envelope) {
+  ++stats_.dropped_dead_dest;
+  // Sender learns of unreachability after the failure timeout (§1: coding /
+  // timeout mechanisms). The dead envelope rides along as payload so the
+  // protocol layer can tell *what* failed to arrive.
+  const ProcId sender = envelope.from;
+  if (!alive_[sender]) return;  // nobody left to notify
+  Envelope notice;
+  notice.kind = MsgKind::kDeliveryFailure;
+  notice.from = envelope.to;  // nominally "from" the dead node
+  notice.to = sender;
+  notice.size_units = 1;
+  notice.payload = std::move(envelope);
+  ++stats_.failure_notices;
+  sim_.after(sim::SimTime(latency_.failure_timeout),
+             [this, n = std::move(notice)]() mutable {
+               if (!alive_[n.to]) return;
+               ++stats_.delivered[static_cast<std::size_t>(n.kind)];
+               Receiver& receiver = receivers_[n.to];
+               if (receiver) receiver(std::move(n));
+             });
+}
+
+void Network::kill(ProcId p) {
+  assert(p < size());
+  if (!alive_[p]) return;
+  alive_[p] = false;
+  SPLICE_DEBUG() << "network: processor " << p << " killed at t="
+                 << sim_.now().ticks();
+}
+
+std::uint32_t Network::alive_count() const noexcept {
+  std::uint32_t n = 0;
+  for (bool a : alive_) {
+    n += a ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace splice::net

@@ -1,0 +1,110 @@
+// The simulated interconnection network.
+//
+// Semantics match §1 of the paper:
+//  * best-effort delivery: a message to a live processor arrives after a
+//    hop- and size-dependent latency;
+//  * a message to a dead (or killed-in-flight) processor is lost, and the
+//    *sender* receives a kDeliveryFailure notification after a timeout —
+//    "if the destination cannot be reached, the unreachable node is
+//    considered faulty";
+//  * a processor that dies transmits nothing thereafter, but messages it
+//    sent before dying are still delivered (they left the node while it was
+//    healthy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace splice::net {
+
+struct LatencyModel {
+  /// Fixed wire/software overhead per message.
+  std::int64_t base = 20;
+  /// Added per hop of topological distance.
+  std::int64_t per_hop = 10;
+  /// Added per payload size unit.
+  std::int64_t per_unit = 1;
+  /// Delay for a processor sending to itself (loopback through the local
+  /// queue, no network traversal).
+  std::int64_t local = 2;
+  /// How long the sender waits before concluding the destination is dead.
+  std::int64_t failure_timeout = 400;
+
+  [[nodiscard]] sim::SimTime latency(std::uint32_t hops,
+                                     std::uint32_t size_units) const noexcept {
+    if (hops == 0) return sim::SimTime(local);
+    return sim::SimTime(base + per_hop * static_cast<std::int64_t>(hops) +
+                        per_unit * static_cast<std::int64_t>(size_units));
+  }
+};
+
+/// Per-kind message counters, kept by the network for the experiment tables.
+struct NetworkStats {
+  std::uint64_t sent[kMsgKindCount] = {};
+  std::uint64_t delivered[kMsgKindCount] = {};
+  std::uint64_t dropped_dead_dest = 0;
+  std::uint64_t dropped_dead_sender = 0;
+  std::uint64_t failure_notices = 0;
+  std::uint64_t total_units = 0;
+  std::uint64_t total_hop_units = 0;  // size * hops, a bandwidth proxy
+
+  [[nodiscard]] std::uint64_t total_sent() const noexcept {
+    std::uint64_t n = 0;
+    for (auto v : sent) n += v;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept {
+    std::uint64_t n = 0;
+    for (auto v : delivered) n += v;
+    return n;
+  }
+};
+
+class Network {
+ public:
+  using Receiver = std::function<void(Envelope)>;
+
+  Network(sim::Simulator& simulator, Topology topology, LatencyModel latency);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] ProcId size() const noexcept { return topology_.size(); }
+
+  /// Install the message handler for processor p (the runtime's protocol
+  /// loop). Must be set before any send touches p.
+  void set_receiver(ProcId p, Receiver receiver);
+
+  /// Send a message. If the destination is dead now or at delivery time the
+  /// message is lost and the sender gets a kDeliveryFailure envelope (whose
+  /// payload is the original envelope) after `failure_timeout`.
+  void send(Envelope envelope);
+
+  /// Mark p dead. In-flight messages *from* p still arrive; everything
+  /// addressed to p from now on bounces.
+  void kill(ProcId p);
+
+  [[nodiscard]] bool alive(ProcId p) const { return alive_.at(p); }
+  [[nodiscard]] std::uint32_t alive_count() const noexcept;
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+    return latency_;
+  }
+
+ private:
+  void deliver(Envelope envelope);
+  void bounce(Envelope envelope);
+
+  sim::Simulator& sim_;
+  Topology topology_;
+  LatencyModel latency_;
+  std::vector<Receiver> receivers_;
+  std::vector<bool> alive_;
+  NetworkStats stats_;
+};
+
+}  // namespace splice::net

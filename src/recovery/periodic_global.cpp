@@ -1,0 +1,144 @@
+#include "recovery/periodic_global.h"
+
+#include "runtime/processor.h"
+#include "runtime/runtime.h"
+#include "util/logging.h"
+
+namespace splice::recovery {
+
+using runtime::ResultMsg;
+using runtime::Task;
+
+void PeriodicGlobalPolicy::attach(runtime::Runtime& rt) {
+  rt_ = &rt;
+  schedule_snapshot();
+}
+
+void PeriodicGlobalPolicy::schedule_snapshot() {
+  rt_->sim().after(sim::SimTime(cfg_.checkpoint_interval),
+                   [this] { begin_snapshot(); });
+}
+
+void PeriodicGlobalPolicy::begin_snapshot() {
+  if (rt_->done()) return;
+  rt_->freeze_all();
+  const std::uint64_t units = rt_->total_state_units();
+  snapshot_.assign(rt_->processor_count(), {});
+  for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
+    auto& proc = rt_->processor(p);
+    if (!proc.crashed()) snapshot_[p] = proc.snapshot_tasks();
+  }
+  snapshot_valid_ = true;
+  ++snapshots_;
+  snapshot_units_total_ += units;
+  rt_->trace().add(rt_->sim().now(), net::kNoProc, "snapshot",
+                   std::to_string(units) + " units");
+  // "Virtually stop all computational operations while ... checkpointing
+  // takes place": frozen for a state-size-dependent window.
+  const auto freeze =
+      cfg_.freeze_base +
+      static_cast<std::int64_t>(cfg_.freeze_per_unit *
+                                static_cast<double>(units));
+  freeze_ticks_ += freeze;
+  rt_->sim().after(sim::SimTime(freeze), [this] {
+    rt_->unfreeze_all();
+    if (!rt_->done()) schedule_snapshot();
+  });
+}
+
+void PeriodicGlobalPolicy::on_global_failure(runtime::Runtime& rt,
+                                             net::ProcId /*dead*/) {
+  rt.sim().after(sim::SimTime(cfg_.restore_delay), [this] { restore(); });
+}
+
+void PeriodicGlobalPolicy::restore() {
+  if (rt_->done()) return;
+  ++restores_;
+  rt_->trace().add(rt_->sim().now(), net::kNoProc, "restore",
+                   snapshot_valid_ ? "from last snapshot" : "from scratch");
+  if (!snapshot_valid_) {
+    // Failure before the first snapshot: nothing saved, restart everything.
+    for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
+      auto& proc = rt_->processor(p);
+      if (!proc.crashed()) proc.restore_tasks({});
+    }
+    rt_->super_root().restart_program();
+    return;
+  }
+  // Global rollback: every live processor reverts to the snapshot; tasks of
+  // dead processors are redistributed round-robin over the living.
+  std::vector<std::vector<Task>> plan(rt_->processor_count());
+  std::vector<net::ProcId> alive;
+  for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
+    if (!rt_->processor(p).crashed()) alive.push_back(p);
+  }
+  if (alive.empty()) return;
+  // Tasks whose packets were in flight at snapshot time are in nobody's
+  // snapshot; their parents' slots must be reset so the rescan re-demands
+  // them (otherwise the parent waits forever for a task the restore
+  // destroyed). The coordinator has global knowledge — this baseline is a
+  // global scheme by design.
+  std::set<runtime::LevelStamp> present;
+  bool root_present = false;
+  for (const auto& home : snapshot_) {
+    for (const Task& task : home) {
+      present.insert(task.stamp());
+      root_present |= task.stamp().is_root();
+    }
+  }
+  std::size_t rr = 0;
+  for (net::ProcId home = 0; home < snapshot_.size(); ++home) {
+    for (Task& task : snapshot_[home]) {
+      Task copy = task;
+      for (auto& [site, slot] : copy.slots_mut()) {
+        if (slot.outstanding() && !present.contains(slot.retained.stamp)) {
+          slot.spawned = false;
+          slot.sent_to.clear();
+          slot.child_procs.clear();
+          slot.child_uids.clear();
+        }
+      }
+      if (!rt_->processor(home).crashed()) {
+        plan[home].push_back(std::move(copy));
+      } else {
+        const net::ProcId host = alive[rr++ % alive.size()];
+        relocation_[copy.uid()] = host;
+        plan[host].push_back(std::move(copy));
+      }
+    }
+  }
+  for (net::ProcId p : alive) {
+    rt_->processor(p).restore_tasks(std::move(plan[p]));
+  }
+  if (!root_present) {
+    // The root itself was in flight when the snapshot was cut: only the
+    // super-root's preevaluation checkpoint can regenerate it.
+    rt_->super_root().restart_program();
+  }
+}
+
+void PeriodicGlobalPolicy::on_result_undeliverable(runtime::Processor& proc,
+                                                   ResultMsg msg) {
+  const auto it = relocation_.find(msg.target.uid);
+  if (it != relocation_.end() && !proc.knows_dead(it->second)) {
+    msg.target.proc = it->second;
+    const net::ProcId to = it->second;
+    proc.send_result_msg(std::move(msg), to);
+    return;
+  }
+  ++proc.counters().late_results_discarded;
+}
+
+void PeriodicGlobalPolicy::on_ancestor_result(runtime::Processor& proc,
+                                              ResultMsg /*msg*/) {
+  ++proc.counters().late_results_discarded;
+}
+
+void PeriodicGlobalPolicy::contribute(core::Counters& counters) const {
+  counters.snapshots_taken += snapshots_;
+  counters.snapshot_units += snapshot_units_total_;
+  counters.restores += restores_;
+  counters.freeze_ticks += freeze_ticks_;
+}
+
+}  // namespace splice::recovery

@@ -1,0 +1,112 @@
+// Recovery policy interface (strategy pattern over the §4.2 protocol loop).
+//
+// The Processor implements the policy-independent plumbing — task execution,
+// acks, result routing, failure detection, broadcast. Policies supply the
+// reactions that distinguish the paper's schemes:
+//   * what to do when a processor is first learned dead,
+//   * what to do with a result whose target is dead,
+//   * what to do with a spawn that never arrived,
+//   * what to do with an orphan result addressed to an ancestor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "net/topology.h"
+#include "runtime/task_packet.h"
+
+namespace splice::runtime {
+class Processor;
+class Runtime;
+}  // namespace splice::runtime
+
+namespace splice::recovery {
+
+class RecoveryPolicy {
+ public:
+  virtual ~RecoveryPolicy() = default;
+
+  [[nodiscard]] virtual core::RecoveryKind kind() const = 0;
+
+  /// Do parents retain packets and populate the checkpoint table? True for
+  /// the paper's schemes; false for the baselines (their overhead lives
+  /// elsewhere).
+  [[nodiscard]] virtual bool functional_checkpointing() const { return true; }
+
+  /// Called once, after construction, with the runtime (periodic-global
+  /// uses it to schedule snapshot cycles).
+  virtual void attach(runtime::Runtime& /*rt*/) {}
+
+  /// First time `proc` learns that `dead` failed (error-detection, §4.2).
+  virtual void on_error_detected(runtime::Processor& proc,
+                                 net::ProcId dead) = 0;
+
+  /// Runtime-level notification, fired once per dead processor system-wide
+  /// (restart and periodic-global act globally).
+  virtual void on_global_failure(runtime::Runtime& /*rt*/,
+                                 net::ProcId /*dead*/) {}
+
+  /// A completed task's result could not reach msg.target.
+  virtual void on_result_undeliverable(runtime::Processor& proc,
+                                       runtime::ResultMsg msg) = 0;
+
+  /// A spawned task packet never arrived (Fig. 6 state b: "processor G
+  /// times out and reissues a new task P"). Default: respawn through the
+  /// owning slot.
+  virtual void on_spawn_undeliverable(runtime::Processor& proc,
+                                      const runtime::TaskPacket& packet);
+
+  /// An orphan result addressed to a live local ancestor arrived
+  /// (relation kToAncestor).
+  virtual void on_ancestor_result(runtime::Processor& proc,
+                                  runtime::ResultMsg msg) = 0;
+
+  /// Extra counters this policy accumulated outside any processor.
+  virtual void contribute(core::Counters& /*counters*/) const {}
+};
+
+/// No fault tolerance: failures lose subtrees permanently (control arm).
+class NoRecoveryPolicy final : public RecoveryPolicy {
+ public:
+  [[nodiscard]] core::RecoveryKind kind() const override {
+    return core::RecoveryKind::kNone;
+  }
+  [[nodiscard]] bool functional_checkpointing() const override {
+    return false;
+  }
+  void on_error_detected(runtime::Processor&, net::ProcId) override {}
+  void on_result_undeliverable(runtime::Processor& proc,
+                               runtime::ResultMsg msg) override;
+  void on_spawn_undeliverable(runtime::Processor&,
+                              const runtime::TaskPacket&) override {}
+  void on_ancestor_result(runtime::Processor& proc,
+                          runtime::ResultMsg msg) override;
+};
+
+/// Restart the whole program from the super-root's preevaluation checkpoint
+/// on any failure (the no-checkpoint baseline).
+class RestartPolicy final : public RecoveryPolicy {
+ public:
+  [[nodiscard]] core::RecoveryKind kind() const override {
+    return core::RecoveryKind::kRestart;
+  }
+  [[nodiscard]] bool functional_checkpointing() const override {
+    return false;
+  }
+  void on_error_detected(runtime::Processor&, net::ProcId) override {}
+  void on_global_failure(runtime::Runtime& rt, net::ProcId dead) override;
+  void on_result_undeliverable(runtime::Processor& proc,
+                               runtime::ResultMsg msg) override;
+  void on_spawn_undeliverable(runtime::Processor&,
+                              const runtime::TaskPacket&) override {}
+  void on_ancestor_result(runtime::Processor& proc,
+                          runtime::ResultMsg msg) override;
+};
+
+/// Factory over the full policy set (rollback/splice/periodic included).
+[[nodiscard]] std::unique_ptr<RecoveryPolicy> make_policy(
+    const core::RecoveryConfig& config);
+
+}  // namespace splice::recovery

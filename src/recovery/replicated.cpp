@@ -1,0 +1,39 @@
+#include "recovery/replicated.h"
+
+#include <cmath>
+
+namespace splice::recovery {
+
+double replication_work_multiplier(std::uint32_t factor,
+                                   std::uint32_t max_depth,
+                                   std::uint32_t fanout,
+                                   std::uint32_t tree_depth) {
+  if (factor <= 1 || max_depth == 0) return 1.0;
+  // Node count at level d: fanout^d; instances at level d:
+  // fanout^d * factor^min(d+1, max_depth)  (the root is level 0 and is
+  // itself replicated when max_depth >= 1).
+  long double nodes = 0.0L;
+  long double instances = 0.0L;
+  for (std::uint32_t d = 0; d <= tree_depth; ++d) {
+    const long double level = std::pow(static_cast<long double>(fanout), d);
+    const auto replication_levels = std::min(d + 1, max_depth);
+    const long double mult =
+        std::pow(static_cast<long double>(factor), replication_levels);
+    nodes += level;
+    instances += level * mult;
+  }
+  return static_cast<double>(instances / nodes);
+}
+
+std::uint32_t majority_quorum(std::uint32_t factor) noexcept {
+  return factor / 2 + 1;
+}
+
+std::uint32_t replicas_tolerated(std::uint32_t factor,
+                                 bool majority) noexcept {
+  if (factor == 0) return 0;
+  const std::uint32_t quorum = majority ? majority_quorum(factor) : 1;
+  return factor - quorum;
+}
+
+}  // namespace splice::recovery

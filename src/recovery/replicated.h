@@ -1,0 +1,35 @@
+// Replicated-task redundancy analysis (§5.3).
+//
+// The mechanism itself lives in the runtime spawn path (replication factor /
+// quorum per stamp depth) and in CallSlot voting; this header provides the
+// closed-form cost model the replication experiment compares measurements
+// against:
+//
+//   "An applicative system can emulate hardware redundancy by simply
+//    replicating the task packets. ... The originating node compares these
+//    results and selects a majority consensus as the correct answer."
+#pragma once
+
+#include <cstdint>
+
+namespace splice::recovery {
+
+/// Expected multiplier on total task count when tasks at depth < max_depth
+/// are replicated `factor` times in a tree of uniform fanout `fanout` and
+/// depth `tree_depth`. Each replicated instance spawns its own children, so
+/// levels below the replication horizon inherit the product of their
+/// ancestors' replication factors.
+[[nodiscard]] double replication_work_multiplier(std::uint32_t factor,
+                                                 std::uint32_t max_depth,
+                                                 std::uint32_t fanout,
+                                                 std::uint32_t tree_depth);
+
+/// Majority quorum for `factor` replicas (the §5.3 consensus rule).
+[[nodiscard]] std::uint32_t majority_quorum(std::uint32_t factor) noexcept;
+
+/// Maximum number of crashed replicas a slot can tolerate while still
+/// reaching quorum without any respawn.
+[[nodiscard]] std::uint32_t replicas_tolerated(std::uint32_t factor,
+                                               bool majority) noexcept;
+
+}  // namespace splice::recovery

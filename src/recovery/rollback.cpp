@@ -1,0 +1,74 @@
+#include "recovery/rollback.h"
+
+#include "runtime/processor.h"
+#include "runtime/runtime.h"
+
+namespace splice::recovery {
+
+using runtime::CallSlot;
+using runtime::Processor;
+using runtime::ResultMsg;
+using runtime::Task;
+
+bool all_destinations_dead(Processor& proc, const CallSlot& slot) {
+  if (slot.sent_to.empty()) return false;
+  for (std::size_t i = 0; i < slot.sent_to.size(); ++i) {
+    // Prefer the acknowledged location (the packet may have been accepted
+    // by a node that later forwarded nothing), else the send destination.
+    net::ProcId where = slot.sent_to[i];
+    if (i < slot.child_procs.size() && slot.child_procs[i] != net::kNoProc) {
+      where = slot.child_procs[i];
+    }
+    if (!proc.knows_dead(where)) return false;
+  }
+  return true;
+}
+
+void RollbackPolicy::on_error_detected(Processor& proc, net::ProcId dead) {
+  // (a) Abort direct orphans: their results could only flow to the dead
+  //     parent ("the result of the task cannot be forwarded").
+  proc.abort_tasks_if(
+      [&](Task& task) { return task.packet().parent().proc == dead; },
+      "orphan: parent processor failed");
+
+  // (b) Reissue the topmost checkpoints held against the dead processor.
+  auto records = proc.table().take(dead);
+  for (auto& record : records) {
+    Task* owner = proc.find_task(record.owner);
+    if (owner == nullptr) continue;  // owner was aborted in (a): its branch
+                                     // regrows from a higher ancestor
+    CallSlot* slot = owner->find_slot(record.site);
+    if (slot == nullptr || slot->resolved()) continue;
+    proc.respawn_slot(*owner, *slot, /*as_twin=*/false, "rollback reissue");
+  }
+
+  // (c) Abort doomed descendants: tasks waiting on children trapped in the
+  //     dead node whose checkpoints were subsumed — their own topmost
+  //     ancestor is being regrown elsewhere, so "new arguments of the task
+  //     cannot be obtained". (Reissued slots in (b) already point at live
+  //     destinations and are skipped.)
+  proc.abort_tasks_if(
+      [&](Task& task) {
+        for (const auto& [site, slot] : task.slots()) {
+          if (slot.outstanding() && all_destinations_dead(proc, slot)) {
+            return true;
+          }
+        }
+        return false;
+      },
+      "doomed: child lost and not topmost");
+}
+
+void RollbackPolicy::on_result_undeliverable(Processor& proc,
+                                             ResultMsg /*msg*/) {
+  // "Returns from orphan tasks are theoretically harmless since they are
+  //  forwarded to a faulty processor." Rollback abandons the partial result.
+  ++proc.counters().late_results_discarded;
+}
+
+void RollbackPolicy::on_ancestor_result(Processor& proc, ResultMsg /*msg*/) {
+  // Rollback has no grandparent transport; "others: ignore the packet".
+  ++proc.counters().late_results_discarded;
+}
+
+}  // namespace splice::recovery

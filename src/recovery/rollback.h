@@ -1,0 +1,38 @@
+// Rollback recovery (§3).
+//
+// "When processor C identifies the failure of processor B, C simply
+//  reissues all the checkpointed tasks found in entry B of the table. By
+//  doing so, processor C fulfills its responsibility of recovering B. ...
+//  an efficient way to salvage a group of genealogical dependents is to
+//  redo only the most ancient ancestor and ignore the rest."
+//
+// Orphan handling: "a processor is required to abort a task if new
+// arguments of the task cannot be obtained due to failures of other
+// processors. A task is also aborted if the result of the task cannot be
+// forwarded to the parent task."
+#pragma once
+
+#include "recovery/policy.h"
+#include "runtime/task.h"
+
+namespace splice::recovery {
+
+class RollbackPolicy final : public RecoveryPolicy {
+ public:
+  [[nodiscard]] core::RecoveryKind kind() const override {
+    return core::RecoveryKind::kRollback;
+  }
+  void on_error_detected(runtime::Processor& proc, net::ProcId dead) override;
+  void on_result_undeliverable(runtime::Processor& proc,
+                               runtime::ResultMsg msg) override;
+  void on_ancestor_result(runtime::Processor& proc,
+                          runtime::ResultMsg msg) override;
+};
+
+/// True when every destination the slot's packet was last sent to is known
+/// dead (no live or potentially-live incarnation of the child remains).
+/// Shared by rollback's doomed-orphan rule and splice's twin-creation rule.
+[[nodiscard]] bool all_destinations_dead(runtime::Processor& proc,
+                                         const runtime::CallSlot& slot);
+
+}  // namespace splice::recovery

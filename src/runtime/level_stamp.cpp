@@ -1,0 +1,57 @@
+#include "runtime/level_stamp.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace splice::runtime {
+
+LevelStamp LevelStamp::child(StampDigit digit) const {
+  std::vector<StampDigit> digits = digits_;
+  digits.push_back(digit);
+  return LevelStamp(std::move(digits));
+}
+
+LevelStamp LevelStamp::parent() const {
+  assert(!is_root());
+  std::vector<StampDigit> digits(digits_.begin(), digits_.end() - 1);
+  return LevelStamp(std::move(digits));
+}
+
+bool LevelStamp::is_ancestor_of(const LevelStamp& other) const noexcept {
+  if (digits_.size() >= other.digits_.size()) return false;
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    if (digits_[i] != other.digits_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t LevelStamp::common_prefix(const LevelStamp& other) const noexcept {
+  const std::size_t n = std::min(digits_.size(), other.digits_.size());
+  std::size_t i = 0;
+  while (i < n && digits_[i] == other.digits_[i]) ++i;
+  return i;
+}
+
+std::string LevelStamp::to_string() const {
+  if (digits_.empty()) return "<root>";
+  std::ostringstream out;
+  out << "<";
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    if (i) out << ".";
+    out << digits_[i];
+  }
+  out << ">";
+  return out.str();
+}
+
+std::size_t LevelStamp::Hash::operator()(const LevelStamp& s) const noexcept {
+  // FNV-1a over the digit words.
+  std::size_t h = 14695981039346656037ULL;
+  for (StampDigit d : s.digits_) {
+    h ^= d;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace splice::runtime

@@ -1,0 +1,581 @@
+#include "runtime/processor.h"
+
+#include <any>
+#include <cassert>
+
+#include "runtime/runtime.h"
+#include "util/logging.h"
+
+namespace splice::runtime {
+
+using net::Envelope;
+using net::MsgKind;
+
+Processor::Processor(Runtime& rt, net::ProcId id)
+    : rt_(rt), id_(id), table_(id, rt.config().processors) {}
+
+// ---------------------------------------------------------------------------
+// Protocol loop dispatch
+// ---------------------------------------------------------------------------
+
+void Processor::handle(Envelope env) {
+  if (dead_) return;  // fail-silent: a dead node processes nothing
+  switch (env.kind) {
+    case MsgKind::kTaskPacket:
+      accept_packet(std::any_cast<TaskPacket&&>(std::move(env.payload)));
+      break;
+    case MsgKind::kSpawnAck:
+      handle_ack(std::any_cast<AckMsg&&>(std::move(env.payload)));
+      break;
+    case MsgKind::kForwardResult:
+      handle_result(std::any_cast<ResultMsg&&>(std::move(env.payload)));
+      break;
+    case MsgKind::kErrorDetection: {
+      const auto msg = std::any_cast<ErrorMsg>(env.payload);
+      learn_dead(msg.dead, /*direct_detection=*/false);
+      break;
+    }
+    case MsgKind::kDeliveryFailure:
+      handle_delivery_failure(
+          std::any_cast<Envelope&&>(std::move(env.payload)));
+      break;
+    case MsgKind::kHeartbeat:
+    case MsgKind::kLoadUpdate:
+    case MsgKind::kCheckpointXfer:
+    case MsgKind::kFetchData:
+    case MsgKind::kDataReply:
+    case MsgKind::kControl:
+      // "if a processor receives a packet and cannot find a proper rule to
+      // handle it, the processor simply ignores the received message."
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task intake & execution
+// ---------------------------------------------------------------------------
+
+void Processor::accept_packet(TaskPacket packet) {
+  if (dead_) return;
+  ++counters_.tasks_created;
+  const TaskUid uid = rt_.next_uid();
+  const LevelStamp stamp = packet.stamp;
+  const TaskRef parent = packet.parent();
+  const lang::ExprId call_site = packet.call_site;
+  const std::uint32_t replica = packet.replica;
+  const lang::FuncId fn = packet.fn;
+  auto task = std::make_unique<Task>(uid, std::move(packet), rt_.sim().now());
+  tasks_.emplace(uid, std::move(task));
+
+  rt_.trace().add(rt_.sim().now(), id_, "place",
+                  rt_.program().function(fn).name + " " + stamp.to_string() +
+                      " uid=" + std::to_string(uid));
+
+  // Positive acknowledgement: establishes the parent-to-child pointer
+  // (Fig. 6 state b -> c).
+  AckMsg ack;
+  ack.stamp = stamp;
+  ack.call_site = call_site;
+  ack.parent = parent;
+  ack.child = TaskRef{id_, uid};
+  ack.replica = replica;
+  if (parent.proc == net::kNoProc) {
+    rt_.super_root_ack(ack);
+  } else {
+    Envelope env;
+    env.kind = MsgKind::kSpawnAck;
+    env.from = id_;
+    env.to = parent.proc;
+    env.size_units = 1;
+    env.payload = ack;
+    rt_.network().send(std::move(env));
+  }
+  enqueue_scan(uid);
+}
+
+void Processor::enqueue_scan(TaskUid uid) {
+  Task* task = find_task(uid);
+  if (task == nullptr) return;
+  task->set_state(TaskState::kQueued);
+  step_queue_.push_back(uid);
+  start_next_step();
+}
+
+void Processor::start_next_step() {
+  if (dead_ || frozen_ || executing_) return;
+  // Skip stale queue entries (aborted / completed tasks).
+  while (!step_queue_.empty()) {
+    const TaskUid uid = step_queue_.front();
+    Task* task = find_task(uid);
+    if (task == nullptr || task->state() != TaskState::kQueued) {
+      step_queue_.pop_front();
+      continue;
+    }
+    step_queue_.pop_front();
+    task->set_state(TaskState::kRunning);
+    task->set_dirty(false);
+    if (rt_.has_triggers() && task->scan_count() == 0) {
+      rt_.fire_trigger("exec:" + rt_.program().function(task->packet().fn).name);
+    }
+    // The scan's outcome is computed now; its cost advances the clock and
+    // its effects (sends, completion) apply when the step finishes.
+    ScanOutcome outcome = task->scan(rt_.program());
+    ++counters_.scans;
+    const auto& cfg = rt_.config();
+    const std::int64_t cost =
+        1 + static_cast<std::int64_t>(outcome.cost) * cfg.op_cost +
+        static_cast<std::int64_t>(outcome.spawns.size()) * cfg.spawn_cost;
+    counters_.busy_ticks += cost;
+    executing_ = true;
+    rt_.sim().after(sim::SimTime(cost),
+                    [this, uid, outcome = std::move(outcome)] {
+                      if (dead_) return;
+                      executing_ = false;
+                      finish_scan(uid, outcome);
+                      start_next_step();
+                    });
+    return;
+  }
+}
+
+void Processor::finish_scan(TaskUid uid, const ScanOutcome& outcome) {
+  Task* task = find_task(uid);
+  if (task == nullptr || task->state() == TaskState::kAborted) return;
+  if (outcome.result.has_value()) {
+    complete_task(uid, *outcome.result);
+    return;
+  }
+  for (const SpawnRequest& request : outcome.spawns) {
+    spawn_child(*task, request);
+  }
+  // A result may have landed while this scan executed.
+  if (task->dirty()) {
+    task->set_dirty(false);
+    task->set_state(TaskState::kQueued);
+    step_queue_.push_back(uid);
+  } else {
+    task->set_state(TaskState::kWaiting);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DEMAND_IT (§4.2)
+// ---------------------------------------------------------------------------
+//   "Create a task packet. Level-stamp the task packet. Attach parent and
+//    grandparent identifications to the task. Queue the task packet to load
+//    balancing manager. Functional checkpoint the packet."
+
+void Processor::spawn_child(Task& owner, const SpawnRequest& request) {
+  TaskPacket packet;
+  packet.stamp = owner.stamp().child(request.site);
+  packet.fn = request.fn;
+  packet.args = request.args;
+  packet.call_site = request.site;
+  // Ancestor chain: self as parent, then the owner's own chain, truncated
+  // to the configured resilience depth (>= 1).
+  packet.ancestors.push_back(TaskRef{id_, owner.uid()});
+  const auto depth =
+      std::max<std::uint32_t>(1, rt_.config().recovery.ancestor_depth);
+  for (const TaskRef& ref : owner.packet().ancestors) {
+    if (packet.ancestors.size() >= depth) break;
+    packet.ancestors.push_back(ref);
+  }
+  packet.zone = owner.packet().zone;  // lane confinement is inherited
+  owner.note_spawned(request.site, packet);
+  send_packet(owner, owner.slot(request.site));
+}
+
+void Processor::send_packet(Task& owner, CallSlot& slot) {
+  const TaskPacket& packet = slot.retained;
+  const std::uint32_t replicas =
+      rt_.replication_for(packet.stamp.depth());
+  const bool zoned = rt_.config().replication.enabled() &&
+                     rt_.config().replication.zoned && replicas > 1;
+  std::vector<net::ProcId> dests;
+  if (zoned) {
+    // Each replica is placed within its own lane, so destinations must be
+    // chosen with the replica's zone annotated.
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      TaskPacket probe = packet;
+      probe.replica = r;
+      probe.zone = static_cast<std::int32_t>(r);
+      const net::ProcId dest = rt_.scheduler().choose(id_, probe);
+      if (dest != net::kNoProc) dests.push_back(dest);
+    }
+  } else {
+    dests = rt_.scheduler().choose_replicas(id_, packet, replicas);
+  }
+  if (dests.empty()) return;  // no alive processor: the system is gone
+  slot.sent_to = dests;
+  slot.child_procs.assign(dests.size(), net::kNoProc);
+  slot.child_uids.assign(dests.size(), kNoTask);
+  if (rt_.has_triggers()) {
+    rt_.fire_trigger("spawn:" + rt_.program().function(packet.fn).name);
+  }
+  for (std::uint32_t r = 0; r < dests.size(); ++r) {
+    TaskPacket copy = packet;
+    copy.replica = r;
+    if (zoned) copy.zone = static_cast<std::int32_t>(r);
+    Envelope env;
+    env.kind = MsgKind::kTaskPacket;
+    env.from = id_;
+    env.to = dests[r];
+    env.size_units = copy.size_units();
+    env.payload = std::move(copy);
+    rt_.network().send(std::move(env));
+  }
+  rt_.trace().add(rt_.sim().now(), id_, "spawn",
+                  rt_.program().function(packet.fn).name + " " +
+                      packet.stamp.to_string() + " -> P" +
+                      std::to_string(dests[0]) +
+                      (dests.size() > 1
+                           ? " (+" + std::to_string(dests.size() - 1) + ")"
+                           : ""));
+  // Functional checkpoint (replica 0's destination keys the table entry).
+  if (rt_.policy().functional_checkpointing()) {
+    checkpoint::CheckpointRecord record;
+    record.owner = owner.uid();
+    record.site = slot.site;
+    record.packet = packet;
+    const auto outcome = table_.record(dests[0], std::move(record));
+    rt_.trace().add(rt_.sim().now(), id_, "checkpoint",
+                    packet.stamp.to_string() + " entry P" +
+                        std::to_string(dests[0]) +
+                        (outcome == checkpoint::RecordOutcome::kSubsumed
+                             ? " (subsumed)"
+                             : ""));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion & result routing
+// ---------------------------------------------------------------------------
+
+void Processor::complete_task(TaskUid uid, const lang::Value& value) {
+  Task* task = find_task(uid);
+  if (task == nullptr) return;
+  task->set_state(TaskState::kCompleted);
+  ++counters_.tasks_completed;
+
+  ResultMsg msg;
+  msg.stamp = task->stamp();
+  msg.call_site = task->packet().call_site;
+  msg.value = value;
+  msg.target = task->packet().parent();
+  msg.relation = ResultRelation::kToParent;
+  msg.ancestor_index = 0;
+  msg.ancestors = task->packet().ancestors;
+  msg.replica = task->packet().replica;
+
+  rt_.trace().add(rt_.sim().now(), id_, "complete",
+                  rt_.program().function(task->packet().fn).name + " " +
+                      task->stamp().to_string() + " = " + value.to_string());
+  if (rt_.has_triggers()) {
+    rt_.fire_trigger("complete:" +
+                     rt_.program().function(task->packet().fn).name);
+  }
+
+  // The task is fully reduced; free the node's copy before routing the
+  // result (matches the paper's reduction of the evaluation structure).
+  tasks_.erase(uid);
+
+  if (msg.target.proc == net::kNoProc) {
+    rt_.deliver_to_super_root(std::move(msg));
+    return;
+  }
+  if (knows_dead(msg.target.proc)) {
+    // "C sends the result to G after failing to communicate with parent P"
+    // — when the parent is already known dead, skip the doomed send and let
+    // the policy route (splice: to the grandparent; rollback: drop).
+    rt_.policy().on_result_undeliverable(*this, std::move(msg));
+    return;
+  }
+  send_result_msg(std::move(msg), msg.target.proc);
+}
+
+void Processor::send_result_msg(ResultMsg msg, net::ProcId to) {
+  Envelope env;
+  env.kind = MsgKind::kForwardResult;
+  env.from = id_;
+  env.to = to;
+  env.size_units = msg.size_units();
+  env.payload = std::move(msg);
+  rt_.network().send(std::move(env));
+}
+
+void Processor::handle_result(ResultMsg msg) {
+  if (msg.relation == ResultRelation::kToAncestor) {
+    rt_.policy().on_ancestor_result(*this, std::move(msg));
+    return;
+  }
+  Task* task = find_task(msg.target.uid);
+  if (task == nullptr || task->state() == TaskState::kCompleted ||
+      task->state() == TaskState::kAborted) {
+    // Case 8: "The processor which contained P' may no longer recognize the
+    // arrived answer. The result is discarded."
+    ++counters_.late_results_discarded;
+    return;
+  }
+  deliver_parent_result(*task, msg);
+}
+
+void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
+  CallSlot& slot = task.slot(msg.call_site);
+  if (slot.resolved()) {
+    // Cases 6/7: "Since they are identical, the second copy is simply
+    // ignored."
+    ++counters_.duplicate_results_ignored;
+    return;
+  }
+  const std::uint32_t quorum =
+      msg.relayed ? 1U : rt_.quorum_for(msg.stamp.depth());
+  const bool newly = task.deliver_result(msg.call_site, msg.value, quorum);
+  if (!newly) return;  // vote registered, quorum pending (§5.3)
+
+  if (msg.relayed) {
+    ++counters_.orphan_results_salvaged;
+    rt_.trace().add(rt_.sim().now(), id_, "salvage",
+                    msg.stamp.to_string() + " into " +
+                        task.stamp().to_string());
+  }
+  if (rt_.has_triggers()) {
+    rt_.fire_trigger("result:" +
+                     rt_.program().function(slot.retained.fn).name);
+  }
+  // The child returned; its functional checkpoint is no longer needed.
+  if (rt_.policy().functional_checkpointing()) {
+    table_.release_anywhere(msg.stamp);
+  }
+  slot.retained.args.clear();
+  slot.retained.args.shrink_to_fit();
+  resume_after_fill(task);
+}
+
+void Processor::resume_after_fill(Task& task) {
+  switch (task.state()) {
+    case TaskState::kWaiting:
+      task.set_state(TaskState::kQueued);
+      step_queue_.push_back(task.uid());
+      start_next_step();
+      break;
+    case TaskState::kRunning:
+      task.set_dirty(true);
+      break;
+    case TaskState::kQueued:
+    case TaskState::kCompleted:
+    case TaskState::kAborted:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acks, failures, recovery plumbing
+// ---------------------------------------------------------------------------
+
+void Processor::handle_ack(const AckMsg& msg) {
+  Task* task = find_task(msg.parent.uid);
+  if (task == nullptr) return;
+  task->note_ack(msg.call_site, msg.child, msg.replica);
+  if (rt_.has_triggers()) {
+    rt_.fire_trigger("ack:" + rt_.program().function(
+                                  task->slot(msg.call_site).retained.fn)
+                                  .name);
+  }
+  // Grandparent transport role: flush orphan results buffered for the twin.
+  CallSlot& slot = task->slot(msg.call_site);
+  if (!slot.pending_relay.empty() && msg.replica == 0) {
+    std::vector<ResultMsg> pending = std::move(slot.pending_relay);
+    slot.pending_relay.clear();
+    for (ResultMsg& orphan : pending) {
+      relay_or_buffer(*task, slot, std::move(orphan));
+    }
+  }
+}
+
+void Processor::relay_or_buffer(Task& ancestor, CallSlot& slot,
+                                ResultMsg msg) {
+  // Target: the slot's current (step-)child, i.e. the twin of the orphan's
+  // dead ancestor.
+  if (slot.child_procs.empty() || slot.child_procs[0] == net::kNoProc ||
+      knows_dead(slot.child_procs[0])) {
+    slot.pending_relay.push_back(std::move(msg));
+    return;
+  }
+  const TaskRef twin{slot.child_procs[0], slot.child_uids[0]};
+  const std::size_t producer_depth = msg.stamp.depth();
+  const std::size_t twin_depth = ancestor.stamp().depth() + 1;
+  assert(producer_depth > twin_depth);
+  const auto gap = producer_depth - twin_depth;
+  msg.target = twin;
+  msg.relation =
+      gap == 1 ? ResultRelation::kToParent : ResultRelation::kToAncestor;
+  msg.ancestor_index = static_cast<std::uint32_t>(gap - 1);
+  msg.relayed = true;
+  ++counters_.results_relayed;
+  rt_.trace().add(rt_.sim().now(), id_, "relay",
+                  msg.stamp.to_string() + " -> twin " +
+                      std::to_string(twin.uid) + "@P" +
+                      std::to_string(twin.proc));
+  send_result_msg(std::move(msg), twin.proc);
+}
+
+void Processor::handle_delivery_failure(Envelope original) {
+  const net::ProcId dead = original.to;
+  learn_dead(dead, /*direct_detection=*/true);
+  switch (original.kind) {
+    case MsgKind::kTaskPacket:
+      rt_.policy().on_spawn_undeliverable(
+          *this, std::any_cast<TaskPacket&>(original.payload));
+      break;
+    case MsgKind::kForwardResult:
+      rt_.policy().on_result_undeliverable(
+          *this, std::any_cast<ResultMsg&&>(std::move(original.payload)));
+      break;
+    default:
+      break;  // acks/heartbeats: detection above is all that matters
+  }
+}
+
+void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
+  if (dead == id_ || known_dead_.contains(dead)) return;
+  known_dead_.insert(dead);
+  rt_.trace().add(rt_.sim().now(), id_, "detect",
+                  "P" + std::to_string(dead) +
+                      (direct_detection ? " (direct)" : " (broadcast)"));
+  rt_.note_detection(dead);
+  if (direct_detection) {
+    // First-hand detector: broadcast error-detection so every processor can
+    // honour its reissue obligations.
+    ++counters_.error_broadcasts;
+    for (net::ProcId p = 0; p < rt_.network().size(); ++p) {
+      if (p == id_ || p == dead || !rt_.network().alive(p)) continue;
+      Envelope env;
+      env.kind = MsgKind::kErrorDetection;
+      env.from = id_;
+      env.to = p;
+      env.size_units = 1;
+      env.payload = ErrorMsg{dead, id_};
+      rt_.network().send(std::move(env));
+    }
+  }
+  rt_.policy().on_error_detected(*this, dead);
+}
+
+void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
+                             std::string_view reason) {
+  if (slot.resolved() || !slot.spawned) return;
+  ++slot.respawns;
+  ++counters_.tasks_respawned;
+  if (as_twin) {
+    slot.twin_active = true;
+    ++counters_.twins_created;
+  }
+  rt_.trace().add(rt_.sim().now(), id_, as_twin ? "twin" : "reissue",
+                  rt_.program().function(slot.retained.fn).name + " " +
+                      slot.retained.stamp.to_string() + " (" +
+                      std::string(reason) + ")");
+  send_packet(owner, slot);
+}
+
+void Processor::abort_task(TaskUid uid, std::string_view reason) {
+  Task* task = find_task(uid);
+  if (task == nullptr) return;
+  if (task->state() == TaskState::kCompleted ||
+      task->state() == TaskState::kAborted) {
+    return;
+  }
+  task->set_state(TaskState::kAborted);
+  ++counters_.tasks_aborted;
+  rt_.trace().add(rt_.sim().now(), id_, "abort",
+                  task->stamp().to_string() + " (" + std::string(reason) +
+                      ")");
+  tasks_.erase(uid);
+}
+
+Task* Processor::find_task(TaskUid uid) {
+  auto it = tasks_.find(uid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Crash / freeze / snapshot
+// ---------------------------------------------------------------------------
+
+void Processor::nuke() {
+  dead_ = true;
+  tasks_.clear();
+  step_queue_.clear();
+  executing_ = false;
+}
+
+void Processor::freeze() { frozen_ = true; }
+
+void Processor::unfreeze() {
+  frozen_ = false;
+  start_next_step();
+}
+
+std::vector<Task> Processor::snapshot_tasks() const {
+  std::vector<Task> out;
+  out.reserve(tasks_.size());
+  for (const auto& [uid, task] : tasks_) {
+    Task copy = *task;
+    // An in-flight step is not part of durable state; the restored task
+    // rescans from its slots.
+    if (copy.state() == TaskState::kRunning) copy.set_state(TaskState::kQueued);
+    copy.set_dirty(false);
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+void Processor::restore_tasks(std::vector<Task> tasks) {
+  if (dead_) return;
+  tasks_.clear();
+  step_queue_.clear();
+  for (Task& task : tasks) {
+    const TaskUid uid = task.uid();
+    task.set_state(TaskState::kQueued);
+    tasks_.emplace(uid, std::make_unique<Task>(std::move(task)));
+    step_queue_.push_back(uid);
+  }
+  start_next_step();
+}
+
+std::uint64_t Processor::state_units() const {
+  std::uint64_t units = 0;
+  for (const auto& [uid, task] : tasks_) units += task->state_units();
+  return units;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+void Processor::start_heartbeats() {
+  const std::int64_t interval = rt_.config().heartbeat_interval;
+  if (interval <= 0) return;
+  // Stagger initial probes so the fleet does not heartbeat in lockstep.
+  const std::int64_t offset =
+      static_cast<std::int64_t>(id_) * (interval / (rt_.network().size() + 1));
+  rt_.sim().after(sim::SimTime(interval + offset), [this] { do_heartbeat(); });
+}
+
+void Processor::do_heartbeat() {
+  if (dead_ || rt_.done()) return;
+  ++heartbeat_seq_;
+  for (net::ProcId q : rt_.network().topology().neighbors(id_)) {
+    if (knows_dead(q)) continue;
+    Envelope env;
+    env.kind = MsgKind::kHeartbeat;
+    env.from = id_;
+    env.to = q;
+    env.size_units = 1;
+    env.payload = HeartbeatMsg{heartbeat_seq_};
+    rt_.network().send(std::move(env));
+  }
+  rt_.sim().after(sim::SimTime(rt_.config().heartbeat_interval),
+                  [this] { do_heartbeat(); });
+}
+
+}  // namespace splice::runtime

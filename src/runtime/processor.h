@@ -1,0 +1,161 @@
+// A partitioned-memory processing node.
+//
+// Implements the §4.2 protocol loop:
+//
+//   LOOP CASE received packet OF
+//     forward result:   interpret the level stamp (child / grandchild /
+//                       others), place data, resume tasks, create
+//                       step-parents, relay orphan results
+//     task packet:      execute; DEMAND_IT unevaluated functions; suspend
+//                       when blocked; send the result to the parent (or
+//                       its ancestors when the parent is dead)
+//     error-detection:  hand to the recovery policy (respawn topmost
+//                       checkpoints etc.)
+//   ENDCASE ENDLOOP
+//
+// plus the plumbing the paper assumes: spawn acknowledgements, delivery-
+// failure timeouts, heartbeats, and the functional checkpoint table.
+//
+// Execution model: one task step (a body scan) runs at a time; its abstract
+// cost advances the simulated clock. Steps queue FIFO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "checkpoint/checkpoint_table.h"
+#include "core/metrics.h"
+#include "net/network.h"
+#include "runtime/task.h"
+#include "runtime/task_packet.h"
+
+namespace splice::runtime {
+
+class Runtime;
+
+class Processor {
+ public:
+  Processor(Runtime& rt, net::ProcId id);
+
+  [[nodiscard]] net::ProcId id() const noexcept { return id_; }
+
+  /// Network receiver: the protocol loop's dispatch.
+  void handle(net::Envelope env);
+
+  /// Accept a task packet (from the network or the super-root's host
+  /// channel): create the task, acknowledge, queue its first scan.
+  void accept_packet(TaskPacket packet);
+
+  // ---- execution ----------------------------------------------------------
+  void enqueue_scan(TaskUid uid);
+  [[nodiscard]] std::uint32_t queue_length() const noexcept {
+    return static_cast<std::uint32_t>(step_queue_.size()) +
+           (executing_ ? 1U : 0U);
+  }
+
+  // ---- liveness -----------------------------------------------------------
+  /// Crash: lose all volatile state (tasks, queue, table). Fail-silent.
+  void nuke();
+  [[nodiscard]] bool crashed() const noexcept { return dead_; }
+
+  /// Record that `dead` failed. Idempotent. When `direct_detection`, this
+  /// processor is the detector and broadcasts error-detection packets.
+  void learn_dead(net::ProcId dead, bool direct_detection);
+  [[nodiscard]] bool knows_dead(net::ProcId p) const {
+    return known_dead_.contains(p);
+  }
+
+  // ---- services used by recovery policies ---------------------------------
+  [[nodiscard]] Task* find_task(TaskUid uid);
+  /// Reissue the child of `slot` from its retained packet. `as_twin` marks
+  /// a splice step-parent (enables orphan-result inheritance).
+  void respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
+                    std::string_view reason);
+  void abort_task(TaskUid uid, std::string_view reason);
+  /// Deliver a direct-child result into a live local task (shared by the
+  /// network path and policy relays).
+  void deliver_parent_result(Task& task, const ResultMsg& msg);
+  /// Relay an orphan result to the slot's (step-)child now, or buffer it
+  /// until the twin's ack arrives.
+  void relay_or_buffer(Task& ancestor, CallSlot& slot, ResultMsg msg);
+  /// Send a result message into the network (policy escalation helper).
+  void send_result_msg(ResultMsg msg, net::ProcId to);
+  /// Abort every live task matching a predicate; returns count.
+  template <typename Pred>
+  std::size_t abort_tasks_if(Pred pred, std::string_view reason) {
+    std::vector<TaskUid> victims;
+    for (auto& [uid, task] : tasks_) {
+      if (task->state() != TaskState::kCompleted &&
+          task->state() != TaskState::kAborted && pred(*task)) {
+        victims.push_back(uid);
+      }
+    }
+    for (TaskUid uid : victims) abort_task(uid, reason);
+    return victims.size();
+  }
+  /// Iterate live tasks (policies use this for reissue sweeps).
+  template <typename Fn>
+  void for_each_task(Fn fn) {
+    // Snapshot uids first: respawns may mutate the table.
+    std::vector<TaskUid> uids;
+    uids.reserve(tasks_.size());
+    for (auto& [uid, task] : tasks_) uids.push_back(uid);
+    for (TaskUid uid : uids) {
+      if (Task* task = find_task(uid)) fn(*task);
+    }
+  }
+
+  [[nodiscard]] checkpoint::CheckpointTable& table() noexcept { return table_; }
+  [[nodiscard]] Runtime& runtime() noexcept { return rt_; }
+  [[nodiscard]] core::Counters& counters() noexcept { return counters_; }
+
+  // ---- periodic-global baseline support ------------------------------------
+  void freeze();
+  void unfreeze();
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  /// Logical state snapshot: value-copies of all live tasks.
+  [[nodiscard]] std::vector<Task> snapshot_tasks() const;
+  /// Replace all volatile state with `tasks` and requeue them.
+  void restore_tasks(std::vector<Task> tasks);
+  [[nodiscard]] std::uint64_t state_units() const;
+
+  // ---- end-of-run accounting ----------------------------------------------
+  [[nodiscard]] std::uint64_t live_task_count() const noexcept {
+    return tasks_.size();
+  }
+
+  void start_heartbeats();
+
+ private:
+  void start_next_step();
+  void finish_scan(TaskUid uid, const ScanOutcome& outcome);
+  void spawn_child(Task& owner, const SpawnRequest& request);
+  /// Send packet replicas, record the functional checkpoint. The packet
+  /// must already be retained in the slot.
+  void send_packet(Task& owner, CallSlot& slot);
+  void complete_task(TaskUid uid, const lang::Value& value);
+  void handle_result(ResultMsg msg);
+  void handle_ack(const AckMsg& msg);
+  void handle_delivery_failure(net::Envelope original);
+  void do_heartbeat();
+  void resume_after_fill(Task& task);
+
+  Runtime& rt_;
+  net::ProcId id_;
+  std::unordered_map<TaskUid, std::unique_ptr<Task>> tasks_;
+  std::deque<TaskUid> step_queue_;
+  bool executing_ = false;
+  bool frozen_ = false;
+  bool dead_ = false;
+  std::unordered_set<net::ProcId> known_dead_;
+  checkpoint::CheckpointTable table_;
+  core::Counters counters_;
+  std::uint64_t heartbeat_seq_ = 0;
+};
+
+}  // namespace splice::runtime

@@ -1,0 +1,236 @@
+#include "runtime/runtime.h"
+
+#include "recovery/rollback.h"
+#include "util/logging.h"
+
+namespace splice::runtime {
+
+Runtime::Runtime(sim::Simulator& sim, net::Network& network,
+                 const core::SystemConfig& config,
+                 const lang::Program& program)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      program_(program),
+      trace_(config.collect_trace),
+      detection_noted_(config.processors, false) {
+  scheduler_ = sched::make_scheduler(config_.scheduler);
+  policy_ = recovery::make_policy(config_.recovery);
+
+  procs_.reserve(config_.processors);
+  for (net::ProcId p = 0; p < config_.processors; ++p) {
+    procs_.push_back(std::make_unique<Processor>(*this, p));
+    network_.set_receiver(
+        p, [this, p](net::Envelope env) { procs_[p]->handle(std::move(env)); });
+  }
+
+  sched::SchedulerEnv env;
+  env.topology = &network_.topology();
+  env.program = &program_;
+  env.alive = [this](net::ProcId p) { return network_.alive(p); };
+  env.queue_length = [this](net::ProcId p) {
+    return procs_[p]->queue_length();
+  };
+  if (config_.replication.enabled() && config_.replication.zoned) {
+    // Replica-lane confinement: zone z tasks live on processors p with
+    // p % factor == z, so one crash damages at most one lane (§5.3/§5.4).
+    env.eligible = [this](net::ProcId p, const TaskPacket& packet) {
+      if (packet.zone < 0) return true;
+      return static_cast<std::int32_t>(p % config_.replication.factor) ==
+             packet.zone % static_cast<std::int32_t>(
+                               config_.replication.factor);
+    };
+  }
+  env.seed = config_.seed;
+  scheduler_->attach(env);
+
+  checkpoint::SuperRoot::Env sr;
+  sr.spawn = [this](TaskPacket packet) {
+    return spawn_root_packet(std::move(packet));
+  };
+  sr.relay = [this](ResultMsg msg) { host_send_result(std::move(msg)); };
+  sr.on_stranded = [this] { ++stranded_from_host_; };
+  sr.trace = &trace_;
+  sr.quorum = quorum_for(0);
+  sr.replicas = replication_for(0);
+  // Root respawn is itself a recovery action: the no-recovery control arm
+  // must not get it, and periodic-global restores the root from its own
+  // snapshots instead.
+  sr.recover_root = config_.super_root &&
+                    config_.recovery.kind != core::RecoveryKind::kNone &&
+                    config_.recovery.kind !=
+                        core::RecoveryKind::kPeriodicGlobal;
+  super_root_ = std::make_unique<checkpoint::SuperRoot>(std::move(sr));
+
+  policy_->attach(*this);
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::start() {
+  TaskPacket root;
+  root.stamp = LevelStamp::root();
+  root.fn = program_.entry();
+  root.args = program_.entry_args();
+  root.call_site = lang::kNoExpr;
+  root.ancestors.push_back(super_root_->ref());
+  super_root_->start(std::move(root));
+
+  for (auto& proc : procs_) proc->start_heartbeats();
+  schedule_scheduler_tick();
+}
+
+net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
+  if (config_.replication.enabled() && config_.replication.zoned &&
+      replication_for(0) > 1) {
+    packet.zone = static_cast<std::int32_t>(packet.replica);
+  }
+  const net::ProcId dest = scheduler_->choose(0, packet);
+  if (dest == net::kNoProc) return net::kNoProc;
+  ++host_messages_;
+  trace_.add(sim_.now(), net::kNoProc, "inject-root",
+             "replica " + std::to_string(packet.replica) + " -> P" +
+                 std::to_string(dest));
+  sim_.after(sim::SimTime(config_.latency.base),
+             [this, dest, packet = std::move(packet)]() mutable {
+               if (!network_.alive(dest)) {
+                 // The host link observes the crash immediately and lets the
+                 // super-root place the root elsewhere.
+                 super_root_->on_processor_dead(dest);
+                 return;
+               }
+               procs_[dest]->accept_packet(std::move(packet));
+             });
+  return dest;
+}
+
+void Runtime::deliver_to_super_root(ResultMsg msg) {
+  ++host_messages_;
+  sim_.after(sim::SimTime(config_.latency.base),
+             [this, msg = std::move(msg)]() mutable {
+               const bool was_done = super_root_->done();
+               super_root_->on_result(std::move(msg));
+               if (!was_done && super_root_->done()) {
+                 done_ = true;
+                 completion_time_ = sim_.now();
+                 trace_.add(sim_.now(), net::kNoProc, "done",
+                            super_root_->answer().to_string());
+               }
+             });
+}
+
+void Runtime::super_root_ack(AckMsg msg) {
+  ++host_messages_;
+  sim_.after(sim::SimTime(config_.latency.base),
+             [this, msg] { super_root_->on_ack(msg); });
+}
+
+void Runtime::host_send_result(ResultMsg msg) {
+  ++host_messages_;
+  sim_.after(sim::SimTime(config_.latency.base),
+             [this, msg = std::move(msg)]() mutable {
+               const net::ProcId dest = msg.target.proc;
+               if (dest == net::kNoProc || !network_.alive(dest)) {
+                 ++stranded_from_host_;
+                 return;
+               }
+               net::Envelope env;
+               env.kind = net::MsgKind::kForwardResult;
+               env.from = dest;  // host channel surfaces at the destination
+               env.to = dest;
+               env.size_units = msg.size_units();
+               env.payload = std::move(msg);
+               procs_[dest]->handle(std::move(env));
+             });
+}
+
+void Runtime::note_detection(net::ProcId dead) {
+  if (dead >= detection_noted_.size() || detection_noted_[dead]) return;
+  detection_noted_[dead] = true;
+  if (first_detection_ticks_ < 0) first_detection_ticks_ = sim_.now().ticks();
+  super_root_->on_processor_dead(dead);
+  policy_->on_global_failure(*this, dead);
+}
+
+void Runtime::on_kill(net::ProcId dead) {
+  procs_.at(dead)->nuke();
+  trace_.add(sim_.now(), dead, "crash", "processor failed (fail-silent)");
+}
+
+std::uint32_t Runtime::replication_for(std::size_t depth) const noexcept {
+  const auto& repl = config_.replication;
+  if (!repl.enabled()) return 1;
+  return depth < repl.max_depth ? repl.factor : 1;
+}
+
+std::uint32_t Runtime::quorum_for(std::size_t depth) const noexcept {
+  const auto& repl = config_.replication;
+  if (!repl.enabled() || depth >= repl.max_depth) return 1;
+  return repl.quorum();
+}
+
+void Runtime::schedule_scheduler_tick() {
+  if (config_.scheduler.kind != core::SchedulerKind::kGradient) return;
+  const std::int64_t period = config_.scheduler.gradient_refresh;
+  if (period <= 0) return;
+  sim_.after(sim::SimTime(period), [this] {
+    if (done_) return;
+    scheduler_messages_ += scheduler_->on_tick(sim_.now());
+    schedule_scheduler_tick();
+  });
+}
+
+void Runtime::freeze_all() {
+  for (auto& proc : procs_) {
+    if (!proc->crashed()) proc->freeze();
+  }
+}
+
+void Runtime::unfreeze_all() {
+  for (auto& proc : procs_) {
+    if (!proc->crashed()) proc->unfreeze();
+  }
+}
+
+std::uint64_t Runtime::total_state_units() const {
+  std::uint64_t units = 0;
+  for (const auto& proc : procs_) {
+    if (!proc->crashed()) units += proc->state_units();
+  }
+  return units;
+}
+
+core::RunResult Runtime::collect(sim::SimTime end_time,
+                                 std::uint64_t faults_injected) const {
+  core::RunResult result;
+  result.completed = done_;
+  if (done_) result.answer = super_root_->answer();
+  result.makespan_ticks =
+      done_ ? completion_time_.ticks() : end_time.ticks();
+  result.detection_ticks = first_detection_ticks_;
+  result.faults_injected = faults_injected;
+  result.processors = config_.processors;
+  result.processors_alive_at_end = network_.alive_count();
+  result.sim_events = sim_.events_executed();
+  result.net = network_.stats();
+  result.net.sent[static_cast<std::size_t>(net::MsgKind::kLoadUpdate)] +=
+      scheduler_messages_;
+  result.counters.orphans_stranded += stranded_from_host_;
+  // A root reincarnation is a recovery respawn too (§4.3.1).
+  result.counters.tasks_respawned += super_root_->root_respawns();
+
+  for (const auto& proc : procs_) {
+    result.counters.merge(proc->counters());
+    result.stranded_tasks += proc->live_task_count();
+    const auto& table = proc->table();
+    result.counters.checkpoint_records += table.records_made();
+    result.counters.checkpoint_subsumed += table.subsumed();
+    result.counters.checkpoint_released += table.released();
+    result.counters.checkpoint_peak_entries += table.peak_records();
+    result.counters.checkpoint_peak_units += table.peak_units();
+  }
+  policy_->contribute(result.counters);
+  return result;
+}
+
+}  // namespace splice::runtime

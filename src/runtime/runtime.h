@@ -1,0 +1,138 @@
+// The distributed applicative runtime: processors + scheduler + recovery
+// policy + super-root, wired onto the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/super_root.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/trace.h"
+#include "lang/interpreter.h"
+#include "lang/program.h"
+#include "net/network.h"
+#include "recovery/policy.h"
+#include "runtime/processor.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace splice::runtime {
+
+class Runtime {
+ public:
+  Runtime(sim::Simulator& sim, net::Network& network,
+          const core::SystemConfig& config, const lang::Program& program);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Inject the root application through the super-root; arm heartbeats and
+  /// the scheduler tick. Call once before running the simulator.
+  void start();
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const lang::Value& answer() const {
+    return super_root_->answer();
+  }
+  [[nodiscard]] sim::SimTime completion_time() const noexcept {
+    return completion_time_;
+  }
+
+  // ---- services for processors & policies ---------------------------------
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] const core::SystemConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const lang::Program& program() const noexcept {
+    return program_;
+  }
+  [[nodiscard]] sched::Scheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] recovery::RecoveryPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] core::Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] checkpoint::SuperRoot& super_root() noexcept {
+    return *super_root_;
+  }
+  [[nodiscard]] Processor& processor(net::ProcId p) { return *procs_.at(p); }
+  [[nodiscard]] std::uint32_t processor_count() const noexcept {
+    return static_cast<std::uint32_t>(procs_.size());
+  }
+
+  [[nodiscard]] TaskUid next_uid() noexcept { return uid_counter_++; }
+
+  /// §5.3 replication: copies of a task at stamp depth `depth`.
+  [[nodiscard]] std::uint32_t replication_for(std::size_t depth) const noexcept;
+  /// Votes a slot needs before resolving a child at `depth`.
+  [[nodiscard]] std::uint32_t quorum_for(std::size_t depth) const noexcept;
+
+  /// Host channel: deliver a result addressed to the super-root sentinel.
+  void deliver_to_super_root(ResultMsg msg);
+  /// Host channel: root spawn acknowledgement.
+  void super_root_ack(AckMsg msg);
+  /// Host channel: relay a message to a processor (reliable, small delay).
+  void host_send_result(ResultMsg msg);
+
+  /// System-wide once-per-dead-processor bookkeeping (detection latency,
+  /// super-root notification, global policy hooks).
+  void note_detection(net::ProcId dead);
+
+  /// FaultInjector callback: destroy the node's volatile state.
+  void on_kill(net::ProcId dead);
+
+  // ---- fault triggers ------------------------------------------------------
+  void set_trigger_sink(std::function<void(const std::string&)> sink) {
+    trigger_sink_ = std::move(sink);
+  }
+  [[nodiscard]] bool has_triggers() const noexcept {
+    return static_cast<bool>(trigger_sink_);
+  }
+  void fire_trigger(const std::string& name) {
+    if (trigger_sink_) trigger_sink_(name);
+  }
+
+  // ---- periodic-global coordinator helpers ---------------------------------
+  void freeze_all();
+  void unfreeze_all();
+  [[nodiscard]] std::uint64_t total_state_units() const;
+
+  /// Aggregate the run's metrics. `end_time` is the simulator time when the
+  /// run loop stopped.
+  [[nodiscard]] core::RunResult collect(sim::SimTime end_time,
+                                        std::uint64_t faults_injected) const;
+
+  [[nodiscard]] std::int64_t first_detection_ticks() const noexcept {
+    return first_detection_ticks_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& network_;
+  core::SystemConfig config_;
+  const lang::Program& program_;
+
+  std::vector<std::unique_ptr<Processor>> procs_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<recovery::RecoveryPolicy> policy_;
+  std::unique_ptr<checkpoint::SuperRoot> super_root_;
+  core::Trace trace_;
+
+  TaskUid uid_counter_ = checkpoint::SuperRoot::kSuperRootUid + 1;
+  bool done_ = false;
+  sim::SimTime completion_time_;
+  std::int64_t first_detection_ticks_ = -1;
+  std::vector<bool> detection_noted_;
+  std::uint64_t scheduler_messages_ = 0;
+  std::uint64_t host_messages_ = 0;
+  std::uint64_t stranded_from_host_ = 0;
+  std::function<void(const std::string&)> trigger_sink_;
+
+  void schedule_scheduler_tick();
+  [[nodiscard]] net::ProcId spawn_root_packet(TaskPacket packet);
+};
+
+}  // namespace splice::runtime

@@ -1,0 +1,173 @@
+#include "runtime/task.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace splice::runtime {
+
+std::string_view to_string(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::kQueued:
+      return "queued";
+    case TaskState::kRunning:
+      return "running";
+    case TaskState::kWaiting:
+      return "waiting";
+    case TaskState::kCompleted:
+      return "completed";
+    case TaskState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+ScanOutcome Task::scan(const lang::Program& program) {
+  ++scans_;
+  ScanOutcome outcome;
+  const lang::FunctionDef& def = program.function(packet_.fn);
+  std::vector<lang::ExprId> requested;
+  outcome.result = eval(program, def, def.root, outcome, requested);
+  // Task setup / resume overhead: a few ticks per scan on top of prim work.
+  outcome.cost += 2;
+  return outcome;
+}
+
+std::optional<lang::Value> Task::eval(const lang::Program& program,
+                                      const lang::FunctionDef& def,
+                                      lang::ExprId expr, ScanOutcome& outcome,
+                                      std::vector<lang::ExprId>& requested) {
+  const lang::ExprNode& node = def.nodes[expr];
+  switch (node.kind) {
+    case lang::ExprKind::kConst:
+      return node.literal;
+    case lang::ExprKind::kArg:
+      return packet_.args[node.arg_index];
+    case lang::ExprKind::kPrim: {
+      // Evaluate every operand even after one suspends, so all ready calls
+      // under this prim are demanded in the same scan (maximal parallelism).
+      std::vector<lang::Value> operands;
+      operands.reserve(node.children.size());
+      bool complete = true;
+      for (lang::ExprId child : node.children) {
+        auto v = eval(program, def, child, outcome, requested);
+        if (v.has_value()) {
+          operands.push_back(std::move(*v));
+        } else {
+          complete = false;
+        }
+      }
+      if (!complete) return std::nullopt;
+      return lang::apply_prim(node.op, operands, &outcome.cost);
+    }
+    case lang::ExprKind::kIf: {
+      auto cond = eval(program, def, node.children[0], outcome, requested);
+      if (!cond.has_value()) return std::nullopt;
+      ++outcome.cost;
+      const lang::ExprId branch =
+          cond->truthy() ? node.children[1] : node.children[2];
+      return eval(program, def, branch, outcome, requested);
+    }
+    case lang::ExprKind::kCall: {
+      if (const CallSlot* existing = find_slot(expr);
+          existing != nullptr && existing->resolved()) {
+        return existing->result;
+      }
+      // Evaluate arguments; nested calls inside them are demanded first.
+      std::vector<lang::Value> call_args;
+      call_args.reserve(node.children.size());
+      bool args_ready = true;
+      for (lang::ExprId child : node.children) {
+        auto v = eval(program, def, child, outcome, requested);
+        if (v.has_value()) {
+          call_args.push_back(std::move(*v));
+        } else {
+          args_ready = false;
+        }
+      }
+      if (!args_ready) return std::nullopt;
+      const CallSlot* s = find_slot(expr);
+      const bool already_spawned = s != nullptr && s->spawned;
+      const bool already_requested =
+          std::find(requested.begin(), requested.end(), expr) !=
+          requested.end();
+      if (!already_spawned && !already_requested) {
+        requested.push_back(expr);
+        outcome.spawns.push_back(
+            SpawnRequest{expr, node.callee, std::move(call_args)});
+      }
+      return std::nullopt;  // waiting for the child's result
+    }
+  }
+  assert(false && "bad expr kind");
+  return std::nullopt;
+}
+
+void Task::note_spawned(lang::ExprId site, TaskPacket retained) {
+  CallSlot& s = slot(site);
+  s.spawned = true;
+  s.retained = std::move(retained);
+}
+
+void Task::note_ack(lang::ExprId site, TaskRef child, std::uint32_t replica) {
+  CallSlot& s = slot(site);
+  if (s.child_procs.size() <= replica) {
+    s.child_procs.resize(replica + 1, net::kNoProc);
+    s.child_uids.resize(replica + 1, kNoTask);
+  }
+  s.child_procs[replica] = child.proc;
+  s.child_uids[replica] = child.uid;
+}
+
+bool Task::deliver_result(lang::ExprId site, const lang::Value& value,
+                          std::uint32_t quorum) {
+  CallSlot& s = slot(site);
+  if (s.resolved()) return false;  // duplicate (cases 6-8): ignored
+  ++s.votes;
+  if (s.votes >= quorum) {
+    s.result = value;
+    return true;
+  }
+  return false;
+}
+
+void Task::prefill(lang::ExprId site, const lang::Value& value) {
+  CallSlot& s = slot(site);
+  if (s.resolved()) return;
+  s.result = value;
+}
+
+CallSlot* Task::find_slot(lang::ExprId site) {
+  auto it = slots_.find(site);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+const CallSlot* Task::find_slot(lang::ExprId site) const {
+  auto it = slots_.find(site);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+CallSlot& Task::slot(lang::ExprId site) {
+  auto [it, inserted] = slots_.try_emplace(site);
+  if (inserted) it->second.site = site;
+  return it->second;
+}
+
+std::uint32_t Task::outstanding_children() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& [site, s] : slots_) {
+    if (s.outstanding()) ++n;
+  }
+  return n;
+}
+
+std::uint32_t Task::state_units() const noexcept {
+  std::uint32_t units = packet_.size_units();
+  for (const auto& [site, s] : slots_) {
+    units += 1;
+    if (s.result.has_value()) units += s.result->size_units();
+    if (s.spawned) units += s.retained.size_units();
+  }
+  return units;
+}
+
+}  // namespace splice::runtime

@@ -1,0 +1,173 @@
+// A task: one function application in the call tree.
+//
+// Task evaluation follows §4.2's protocol loop:
+//   "task packet: Execute the task. DO each instruction. If an unevaluated
+//    function encountered, DEMAND IT. If cannot proceed, suspend the task.
+//    UNTIL completion. Send the result to the parent."
+//
+// Each *scan* interprets the body against the current call-slot contents:
+// primitive subtrees evaluate locally; Call nodes whose arguments are ready
+// and whose slot is empty become spawn requests (DEMAND_IT); when the root
+// expression folds to a value the task completes. If-branches are lazy, so
+// only the demanded side of a conditional spawns children — that is what
+// terminates recursion.
+//
+// The task state machine mirrors Fig. 6 (states a-g) from the task's own
+// viewpoint; transient states b/d of the figure live in the network as
+// unacknowledged packets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "lang/program.h"
+#include "runtime/task_packet.h"
+#include "sim/time.h"
+
+namespace splice::runtime {
+
+enum class TaskState : std::uint8_t {
+  kQueued,     // packet accepted by a processor, no scan yet
+  kRunning,    // a scan step is executing
+  kWaiting,    // suspended on outstanding children ("cannot proceed")
+  kCompleted,  // value produced and forwarded
+  kAborted,    // killed by recovery policy (rollback orphan rule)
+};
+
+[[nodiscard]] std::string_view to_string(TaskState state) noexcept;
+
+/// Bookkeeping for one call site of the body: the functional checkpoint
+/// (retained packet), the child pointer(s) learned from acks, the result,
+/// and splice-recovery relay state.
+struct CallSlot {
+  lang::ExprId site = lang::kNoExpr;
+
+  /// Functional checkpoint: "as a child task is spawned to a new node, the
+  /// parent task may retain a copy of the task packet. This retained copy
+  /// is all that the parent needs to regenerate the child task." (§2.1)
+  TaskPacket retained;
+
+  bool spawned = false;
+  std::optional<lang::Value> result;
+
+  /// Destinations the packet (replicas) went to at the last (re)spawn.
+  std::vector<net::ProcId> sent_to;
+  /// Where each replica of the child was acknowledged (kNoProc until ack).
+  std::vector<net::ProcId> child_procs;
+  std::vector<TaskUid> child_uids;
+
+  /// Replication votes (§5.3): values returned by replicas so far.
+  std::uint32_t votes = 0;
+
+  /// Times this slot was re-spawned by recovery.
+  std::uint32_t respawns = 0;
+
+  /// True when the current incarnation of the child is a recovery twin
+  /// (step-child) created after a failure.
+  bool twin_active = false;
+
+  /// Orphan results received for *grandchildren* under this slot, awaiting
+  /// the twin's ack so they can be relayed (grandparent transport role,
+  /// §4.1: "it transports the orphan results to their step-parent").
+  std::vector<ResultMsg> pending_relay;
+
+  [[nodiscard]] bool resolved() const noexcept { return result.has_value(); }
+  [[nodiscard]] bool outstanding() const noexcept {
+    return spawned && !result.has_value();
+  }
+};
+
+/// A spawn demanded by a scan: DEMAND_IT input.
+struct SpawnRequest {
+  lang::ExprId site = lang::kNoExpr;
+  lang::FuncId fn = 0;
+  std::vector<lang::Value> args;
+};
+
+struct ScanOutcome {
+  std::optional<lang::Value> result;
+  std::vector<SpawnRequest> spawns;
+  /// Abstract ticks of local work this scan performed.
+  std::uint64_t cost = 0;
+};
+
+class Task {
+ public:
+  Task(TaskUid uid, TaskPacket packet, sim::SimTime created_at)
+      : uid_(uid), packet_(std::move(packet)), created_at_(created_at) {}
+
+  [[nodiscard]] TaskUid uid() const noexcept { return uid_; }
+  [[nodiscard]] const TaskPacket& packet() const noexcept { return packet_; }
+  [[nodiscard]] const LevelStamp& stamp() const noexcept {
+    return packet_.stamp;
+  }
+  [[nodiscard]] TaskState state() const noexcept { return state_; }
+  void set_state(TaskState state) noexcept { state_ = state; }
+  [[nodiscard]] sim::SimTime created_at() const noexcept { return created_at_; }
+
+  /// Interpret the body against current slots. Does not mutate slot spawn
+  /// flags — the caller (processor) marks slots spawned once packets are
+  /// actually sent, then calls note_spawned().
+  [[nodiscard]] ScanOutcome scan(const lang::Program& program);
+
+  /// Mark a slot spawned and retain its checkpoint packet.
+  void note_spawned(lang::ExprId site, TaskPacket retained);
+
+  /// Record a child ack (parent-to-child pointer, Fig. 6 state c).
+  void note_ack(lang::ExprId site, TaskRef child, std::uint32_t replica);
+
+  /// Deliver a result into a slot. With replication, `quorum` > 1 results
+  /// must arrive before the slot resolves (§5.3 majority consensus; values
+  /// are identical by determinacy, so the vote is a count). Returns true if
+  /// the slot newly resolved — false for duplicates (cases 6-8: "the second
+  /// copy is simply ignored").
+  bool deliver_result(lang::ExprId site, const lang::Value& value,
+                      std::uint32_t quorum);
+
+  /// Pre-fill a slot that was never spawned (splice case 4: result arrives
+  /// before the twin first scans; "P' will not spawn C' because the answer
+  /// is already there").
+  void prefill(lang::ExprId site, const lang::Value& value);
+
+  [[nodiscard]] CallSlot* find_slot(lang::ExprId site);
+  [[nodiscard]] const CallSlot* find_slot(lang::ExprId site) const;
+  CallSlot& slot(lang::ExprId site);
+  [[nodiscard]] const std::map<lang::ExprId, CallSlot>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::map<lang::ExprId, CallSlot>& slots_mut() noexcept {
+    return slots_;
+  }
+
+  [[nodiscard]] std::uint32_t outstanding_children() const noexcept;
+  [[nodiscard]] std::uint64_t scan_count() const noexcept { return scans_; }
+
+  /// Dirty: a slot resolved while a scan step was executing, so the task
+  /// must be rescanned when the step finishes.
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+  void set_dirty(bool dirty) noexcept { dirty_ = dirty; }
+
+  /// State-resident size in abstract units (packet + resolved results);
+  /// used by the periodic-global baseline to cost snapshots and by the
+  /// storage-overhead experiment.
+  [[nodiscard]] std::uint32_t state_units() const noexcept;
+
+ private:
+  std::optional<lang::Value> eval(const lang::Program& program,
+                                  const lang::FunctionDef& def,
+                                  lang::ExprId expr, ScanOutcome& outcome,
+                                  std::vector<lang::ExprId>& requested);
+
+  TaskUid uid_;
+  TaskPacket packet_;
+  sim::SimTime created_at_;
+  TaskState state_ = TaskState::kQueued;
+  std::map<lang::ExprId, CallSlot> slots_;
+  std::uint64_t scans_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace splice::runtime

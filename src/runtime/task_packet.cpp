@@ -1,0 +1,27 @@
+#include "runtime/task_packet.h"
+
+#include <sstream>
+
+namespace splice::runtime {
+
+std::uint32_t TaskPacket::size_units() const noexcept {
+  std::uint32_t units = 1 + stamp.size_units();
+  for (const lang::Value& arg : args) units += arg.size_units();
+  units += static_cast<std::uint32_t>(ancestors.size());
+  return units;
+}
+
+std::string TaskPacket::describe() const {
+  std::ostringstream out;
+  out << "packet{fn=" << fn << " stamp=" << stamp.to_string() << " args=[";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out << " ";
+    out << args[i].to_string();
+  }
+  out << "]";
+  if (replica != 0) out << " replica=" << replica;
+  out << "}";
+  return out.str();
+}
+
+}  // namespace splice::runtime

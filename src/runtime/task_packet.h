@@ -1,0 +1,142 @@
+// Task packets and message payloads.
+//
+// "A task packet is formed for the new function and then waits for
+//  execution. The packet contains all necessary information, either directly
+//  or indirectly accessible, to activate the child task." (§2.1)
+//
+// The packet also carries the resilient-structure linkage of §4: the
+// identity of the parent, the grandparent ("may be just an integer"), and —
+// when the great-grandparent extension of §5.2 is enabled — deeper
+// ancestors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/expr.h"
+#include "lang/value.h"
+#include "net/topology.h"
+#include "runtime/level_stamp.h"
+
+namespace splice::runtime {
+
+using TaskUid = std::uint64_t;
+inline constexpr TaskUid kNoTask = 0;
+
+/// Where a task lives: which processor hosts which task instance.
+struct TaskRef {
+  net::ProcId proc = net::kNoProc;
+  TaskUid uid = kNoTask;
+
+  [[nodiscard]] bool valid() const noexcept { return proc != net::kNoProc; }
+  [[nodiscard]] bool operator==(const TaskRef&) const = default;
+};
+
+struct TaskPacket {
+  LevelStamp stamp;
+  lang::FuncId fn = 0;
+  std::vector<lang::Value> args;
+
+  /// Call site in the parent's body whose slot this task's result fills.
+  lang::ExprId call_site = lang::kNoExpr;
+
+  /// Ancestor chain: ancestors[0] is the parent, ancestors[1] the
+  /// grandparent, ancestors[2] the great-grandparent, ... Length is the
+  /// configured resilience depth (>= 2 for splice). The root's chain points
+  /// at the super-root sentinel.
+  std::vector<TaskRef> ancestors;
+
+  /// Replica ordinal for §5.3 replicated-task redundancy (0 for the
+  /// primary; replicas share the stamp).
+  std::uint32_t replica = 0;
+
+  /// Replication zone: lane confinement à la Misunas's TMR dataflow
+  /// machine ("each copy is executed by a different processor and utilizes
+  /// different communication paths", cited in §5.4). Tasks with zone >= 0
+  /// are placed only on processors p with p % factor == zone, so a single
+  /// crash damages at most one lane. -1 = unconstrained.
+  std::int32_t zone = -1;
+
+  [[nodiscard]] TaskRef parent() const {
+    return ancestors.empty() ? TaskRef{} : ancestors[0];
+  }
+  [[nodiscard]] TaskRef grandparent() const {
+    return ancestors.size() < 2 ? TaskRef{} : ancestors[1];
+  }
+
+  /// Wire size: stamp + args + bookkeeping.
+  [[nodiscard]] std::uint32_t size_units() const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// kForwardResult payload. `relation` says how the sender believes the
+/// receiver relates to the producing task — the receiver re-derives the
+/// truth from the stamp, per the protocol's "Interpret the level stamp".
+enum class ResultRelation : std::uint8_t {
+  kToParent,       // normal return
+  kToAncestor,     // orphan return diverted to grandparent or beyond (§4)
+};
+
+struct ResultMsg {
+  LevelStamp stamp;              // stamp of the producing task
+  lang::ExprId call_site = lang::kNoExpr;
+  lang::Value value;
+  TaskRef target;                // task expected to consume the result
+  ResultRelation relation = ResultRelation::kToParent;
+  /// Index into the producer's ancestor chain that `target` came from
+  /// (0 = parent). Lets the receiver escalate to the next ancestor on
+  /// failure when the §5.2 extension is active.
+  std::uint32_t ancestor_index = 0;
+  /// Remaining ancestor chain of the producer (for escalation).
+  std::vector<TaskRef> ancestors;
+  std::uint32_t replica = 0;
+  /// True once an ancestor relayed this result toward a step-parent —
+  /// consuming such a result is a *salvage* (§4's whole point).
+  bool relayed = false;
+
+  [[nodiscard]] std::uint32_t size_units() const noexcept {
+    return 1 + value.size_units();
+  }
+};
+
+/// kSpawnAck payload: "task G receives an acknowledge from P and establishes
+/// a parent-to-child pointer to P" (Fig. 6 state c).
+struct AckMsg {
+  LevelStamp stamp;      // stamp of the acknowledged child
+  lang::ExprId call_site = lang::kNoExpr;
+  TaskRef parent;        // who should record the pointer
+  TaskRef child;         // where the child actually landed
+  std::uint32_t replica = 0;
+};
+
+/// kErrorDetection payload: "processor `dead` is faulty".
+struct ErrorMsg {
+  net::ProcId dead = net::kNoProc;
+  net::ProcId reporter = net::kNoProc;
+};
+
+/// kHeartbeat payload (probe; liveness is inferred from delivery failures).
+struct HeartbeatMsg {
+  std::uint64_t sequence = 0;
+};
+
+/// kLoadUpdate payload for the gradient-model scheduler.
+struct LoadMsg {
+  std::uint32_t pressure = 0;
+  std::uint32_t proximity = 0;
+};
+
+/// kControl payload kinds used by the runtime.
+enum class ControlKind : std::uint8_t {
+  kStartRoot,        // super-root injects the root task
+  kFreeze,           // periodic-global baseline: stop-the-world begin
+  kUnfreeze,         // periodic-global baseline: resume
+};
+
+struct ControlMsg {
+  ControlKind kind = ControlKind::kStartRoot;
+};
+
+}  // namespace splice::runtime

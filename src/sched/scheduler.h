@@ -1,0 +1,163 @@
+// Dynamic task allocation (§3.3).
+//
+// "The ability to recover by simply reissuing checkpointed tasks depends on
+//  the availability of a dynamic allocation strategy, such as the gradient
+//  model approach [10]. ... Dynamic allocation does not distinguish between
+//  tasks generated for recovery and original tasks."
+//
+// The Scheduler decides, at DEMAND_IT time, which processor receives a task
+// packet. All schedulers must avoid dead processors — that single property
+// is what makes reissued recovery tasks need no linkage surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "lang/program.h"
+#include "net/topology.h"
+#include "runtime/task_packet.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace splice::sched {
+
+/// Environment handed to schedulers at attach time. Callbacks pull live
+/// system state (liveness, queue lengths) so schedulers stay decoupled from
+/// the runtime.
+struct SchedulerEnv {
+  const net::Topology* topology = nullptr;
+  const lang::Program* program = nullptr;
+  std::function<bool(net::ProcId)> alive;
+  std::function<std::uint32_t(net::ProcId)> queue_length;
+  /// Placement constraint beyond liveness (replication zones). Optional;
+  /// schedulers treat it as a soft preference: when no eligible processor
+  /// exists they fall back to any alive one rather than losing the task.
+  std::function<bool(net::ProcId, const runtime::TaskPacket&)> eligible;
+  std::uint64_t seed = 1;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void attach(const SchedulerEnv& env) { env_ = env; }
+
+  /// Choose the destination processor for `packet` spawned from `origin`.
+  /// Must return an alive processor; returns kNoProc only when none exist.
+  [[nodiscard]] virtual net::ProcId choose(net::ProcId origin,
+                                           const runtime::TaskPacket& packet) = 0;
+
+  /// Choose `count` destinations for replicated spawns; distinct processors
+  /// when possible (§5.3: "each copy is executed by a different processor").
+  [[nodiscard]] virtual std::vector<net::ProcId> choose_replicas(
+      net::ProcId origin, const runtime::TaskPacket& packet,
+      std::uint32_t count);
+
+  /// Periodic hook (gradient refresh). Returns the number of load-exchange
+  /// messages this refresh cost, so the runtime can account the traffic.
+  virtual std::uint64_t on_tick(sim::SimTime /*now*/) { return 0; }
+
+  [[nodiscard]] virtual core::SchedulerKind kind() const = 0;
+
+ protected:
+  [[nodiscard]] bool alive(net::ProcId p) const {
+    return env_.alive && env_.alive(p);
+  }
+  /// Liveness + zone eligibility (soft constraint; see SchedulerEnv).
+  [[nodiscard]] bool ok(net::ProcId p, const runtime::TaskPacket& packet)
+      const {
+    if (!alive(p)) return false;
+    return !env_.eligible || env_.eligible(p, packet);
+  }
+  [[nodiscard]] std::uint32_t load_of(net::ProcId p) const {
+    return env_.queue_length ? env_.queue_length(p) : 0;
+  }
+  [[nodiscard]] net::ProcId proc_count() const {
+    return env_.topology ? env_.topology->size() : 0;
+  }
+
+  SchedulerEnv env_;
+};
+
+/// Uniformly random over alive processors.
+class RandomScheduler final : public Scheduler {
+ public:
+  void attach(const SchedulerEnv& env) override;
+  [[nodiscard]] net::ProcId choose(net::ProcId origin,
+                                   const runtime::TaskPacket& packet) override;
+  [[nodiscard]] core::SchedulerKind kind() const override {
+    return core::SchedulerKind::kRandom;
+  }
+
+ private:
+  util::Xoshiro256 rng_{1};
+};
+
+/// Cyclic over alive processors.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] net::ProcId choose(net::ProcId origin,
+                                   const runtime::TaskPacket& packet) override;
+  [[nodiscard]] core::SchedulerKind kind() const override {
+    return core::SchedulerKind::kRoundRobin;
+  }
+
+ private:
+  net::ProcId cursor_ = 0;
+};
+
+/// Keep tasks local until the queue passes a threshold, then push to the
+/// least-loaded alive neighbour (random fallback).
+class LocalFirstScheduler final : public Scheduler {
+ public:
+  explicit LocalFirstScheduler(std::uint32_t threshold)
+      : threshold_(threshold) {}
+  void attach(const SchedulerEnv& env) override;
+  [[nodiscard]] net::ProcId choose(net::ProcId origin,
+                                   const runtime::TaskPacket& packet) override;
+  [[nodiscard]] core::SchedulerKind kind() const override {
+    return core::SchedulerKind::kLocalFirst;
+  }
+
+ private:
+  std::uint32_t threshold_;
+  util::Xoshiro256 rng_{1};
+};
+
+/// Grit's constraint (paper §5.4, ref. [6]): "each node in the system is
+/// limited to spawning child tasks to its immediate neighbors". Spawns go
+/// to the least-loaded of {self} ∪ neighbours; recovery reissues from a
+/// node whose neighbourhood died fall back to any alive processor (our
+/// dynamic-allocation substrate subsumes Grit's static recovery sites).
+class NeighborScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] net::ProcId choose(net::ProcId origin,
+                                   const runtime::TaskPacket& packet) override;
+  [[nodiscard]] core::SchedulerKind kind() const override {
+    return core::SchedulerKind::kNeighbor;
+  }
+};
+
+/// Honour FunctionDef::pinned_processor; random among alive otherwise or
+/// when the pinned host is dead. Used to script the paper's Figure 1.
+class PinnedScheduler final : public Scheduler {
+ public:
+  void attach(const SchedulerEnv& env) override;
+  [[nodiscard]] net::ProcId choose(net::ProcId origin,
+                                   const runtime::TaskPacket& packet) override;
+  [[nodiscard]] core::SchedulerKind kind() const override {
+    return core::SchedulerKind::kPinned;
+  }
+
+ private:
+  util::Xoshiro256 rng_{1};
+};
+
+/// Factory from configuration.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const core::SchedulerConfig& config);
+
+}  // namespace splice::sched

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace splice::sim {
+
+EventId EventQueue::schedule(SimTime when, EventFn fn) {
+  const EventId id = next_id_++;
+  if (callbacks_.size() <= id) callbacks_.resize(id + 1);
+  callbacks_[id] = std::move(fn);
+  heap_.push(Entry{when, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= callbacks_.size() || !callbacks_[id]) {
+    return false;
+  }
+  callbacks_[id] = nullptr;
+  --live_;
+  return true;
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+SimTime EventQueue::run_next(SimTime* clock) {
+  // Skip lazily-cancelled slots.
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    EventFn& slot = callbacks_[top.id];
+    if (!slot) continue;  // cancelled
+    EventFn fn = std::move(slot);
+    slot = nullptr;
+    --live_;
+    if (clock != nullptr) *clock = top.when;
+    fn();
+    return top.when;
+  }
+  assert(false && "run_next on empty queue");
+  return SimTime::zero();
+}
+
+}  // namespace splice::sim

@@ -1,0 +1,66 @@
+// Discrete-event priority queue.
+//
+// Events at equal times fire in insertion order (a monotone sequence number
+// breaks ties), which is what makes whole-system replay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace splice::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event. Cancellation is lazy: the slot
+/// stays queued but fires as a no-op.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedule fn at absolute time `when`. Returns a cancellable id.
+  EventId schedule(SimTime when, EventFn fn);
+
+  /// Cancel a pending event; cancelling an already-fired or invalid id is a
+  /// harmless no-op. Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and run the earliest event. Requires !empty().
+  /// `clock`, when non-null, is set to the event's time *before* the
+  /// callback runs, so the callback observes the advanced clock.
+  /// Returns the time the event fired at.
+  SimTime run_next(SimTime* clock = nullptr);
+
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept {
+    return next_id_ - 1;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id = kInvalidEvent;
+    // Heap entries own their callbacks through a side table so cancel() can
+    // drop the callable immediately (breaking reference cycles).
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among equal-time events
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventFn> callbacks_;   // indexed by id; empty fn == cancelled
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace splice::sim

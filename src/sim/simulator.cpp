@@ -1,0 +1,38 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace splice::sim {
+
+EventId Simulator::at(SimTime when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::after(SimTime delay, EventFn fn) {
+  assert(delay.ticks() >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulator::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty()) {
+    if (queue_.next_time() > deadline) return false;
+    queue_.run_next(&now_);
+    ++events_executed_;
+    if (stop_requested_) return false;
+  }
+  return true;
+}
+
+std::uint64_t Simulator::run_steps(std::uint64_t max_events) {
+  std::uint64_t ran = 0;
+  while (ran < max_events && !queue_.empty()) {
+    queue_.run_next(&now_);
+    ++events_executed_;
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace splice::sim

@@ -1,0 +1,53 @@
+// The simulation driver: owns the clock and the event queue.
+//
+// Components schedule work via after()/at(); run_until() drives the loop.
+// Everything is single-threaded and deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace splice::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId at(SimTime when, EventFn fn);
+
+  /// Schedule `delay` ticks from now.
+  EventId after(SimTime delay, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or the clock passes `deadline`.
+  /// Returns true if the queue drained (normal completion).
+  bool run_until(SimTime deadline = SimTime::max());
+
+  /// Run at most `max_events` events; returns events actually run.
+  std::uint64_t run_steps(std::uint64_t max_events);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  /// Hard stop: request run_until to return after the current event.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace splice::sim

@@ -1,0 +1,56 @@
+// Simulated time.
+//
+// Time is an integer tick count (strong typedef) so event ordering is exact
+// and replay is bit-identical; one tick nominally models one microsecond of
+// 1986-era hardware, but all results are reported in relative units.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace splice::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ticks) noexcept : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr std::int64_t ticks() const noexcept {
+    return ticks_;
+  }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ticks_) * 1e-6;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime rhs) const noexcept {
+    return SimTime(ticks_ + rhs.ticks_);
+  }
+  constexpr SimTime operator-(SimTime rhs) const noexcept {
+    return SimTime(ticks_ - rhs.ticks_);
+  }
+  constexpr SimTime& operator+=(SimTime rhs) noexcept {
+    ticks_ += rhs.ticks_;
+    return *this;
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime(0); }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime(INT64_MAX);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(ticks_);
+  }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+constexpr SimTime operator*(SimTime t, std::int64_t k) noexcept {
+  return SimTime(t.ticks() * k);
+}
+
+}  // namespace splice::sim

@@ -1,0 +1,34 @@
+// Umbrella header: the full public API of the splice library.
+//
+//   #include "splice.h"
+//
+// pulls in everything a downstream user needs:
+//   * core::SystemConfig / core::Simulation / core::RunResult — configure,
+//     run, measure (core/simulation.h);
+//   * lang::programs — the workload library; lang::FunctionBuilder — build
+//     your own applicative programs (lang/programs.h);
+//   * net::FaultPlan — schedule crashes (net/fault_injector.h);
+//   * the lower layers (runtime, sched, checkpoint, recovery) for embedders
+//     who extend the machine itself.
+#pragma once
+
+#include "checkpoint/checkpoint_table.h"
+#include "checkpoint/super_root.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/simulation.h"
+#include "core/trace.h"
+#include "lang/interpreter.h"
+#include "lang/program.h"
+#include "lang/programs.h"
+#include "net/fault_injector.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "recovery/policy.h"
+#include "recovery/replicated.h"
+#include "runtime/runtime.h"
+#include "sched/gradient.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/table.h"

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace splice::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+                   static_cast<int>(message.size()), message.data());
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_(level, message);
+}
+
+}  // namespace splice::util

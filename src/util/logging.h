@@ -1,0 +1,90 @@
+// Leveled logging with pluggable sinks.
+//
+// The simulator is single-threaded, but the experiment harness runs many
+// replicates concurrently, so the logger is thread-safe. Log lines carry the
+// simulated time when emitted through a Simulator-bound context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace splice::util {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Human-readable name for a level ("TRACE", "DEBUG", ...).
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Parse "trace" / "info" / ... (case-insensitive). Unknown -> kInfo.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
+
+/// Process-wide logger. Defaults to kWarn on stderr so tests stay quiet;
+/// examples and benches raise the level explicitly when tracing a scenario.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+  /// Replace the sink (default writes to stderr). Passing nullptr restores
+  /// the default sink.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  std::mutex mutex_;
+  Sink sink_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace splice::util
+
+#define SPLICE_LOG(level)                                      \
+  if (!::splice::util::Logger::instance().enabled(level)) {    \
+  } else                                                       \
+    ::splice::util::detail::LogLine(level)
+
+#define SPLICE_TRACE() SPLICE_LOG(::splice::util::LogLevel::kTrace)
+#define SPLICE_DEBUG() SPLICE_LOG(::splice::util::LogLevel::kDebug)
+#define SPLICE_INFO() SPLICE_LOG(::splice::util::LogLevel::kInfo)
+#define SPLICE_WARN() SPLICE_LOG(::splice::util::LogLevel::kWarn)
+#define SPLICE_ERROR() SPLICE_LOG(::splice::util::LogLevel::kError)

@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace splice::util {
+namespace {
+[[nodiscard]] std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 seeder(seed);
+  for (auto& word : state_) word = seeder.next();
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire 2019: multiply-shift with rejection on the low word.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::next_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Xoshiro256::next_double() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::next_bool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Xoshiro256::next_exponential(double mean) noexcept {
+  // Guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Xoshiro256 Xoshiro256::split() noexcept {
+  return Xoshiro256(next() ^ 0x6a09e667f3bcc909ULL);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 mixer(a ^ (b + 0x9e3779b97f4a7c15ULL));
+  return mixer.next();
+}
+
+}  // namespace splice::util

@@ -1,0 +1,116 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace splice::util {
+
+void Accumulator::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::cov() const noexcept {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::add(double x) noexcept {
+  const auto buckets = static_cast<double>(counts_.size());
+  double pos = (x - lo_) / (hi_ - lo_) * buckets;
+  pos = std::clamp(pos, 0.0, buckets - 1.0);
+  ++counts_[static_cast<std::size_t>(pos)];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = lo_ + step * static_cast<double>(i);
+    const auto bars = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "[" << lo << ", " << lo + step << ") "
+        << std::string(bars, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace splice::util

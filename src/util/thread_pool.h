@@ -1,0 +1,54 @@
+// Work-queue thread pool for the experiment harness.
+//
+// Simulations are deterministic and single-threaded; experiments sweep
+// (parameters x seeds) and are embarrassingly parallel, so the harness fans
+// replicates out across hardware threads with parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace splice::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 uses hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; runs on some worker.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, n) across a transient pool. Exceptions inside
+/// body terminate (simulator code reports failures via results, not throws).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace splice::util

@@ -1,0 +1,180 @@
+// Multiple faults (§5.2): disjoint-branch faults recover in parallel;
+// parent+grandparent same-branch faults strand orphans at ancestor depth 2
+// and are rescued by the great-grandparent extension at depth 3.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "test_util.h"
+
+namespace splice {
+namespace {
+
+using core::RecoveryKind;
+using core::RunResult;
+using core::SystemConfig;
+using splice::testing::base_config;
+
+TEST(MultiFault, RollbackSurvivesTwoFaults) {
+  SystemConfig cfg = base_config(8, 3);
+  cfg.recovery.kind = RecoveryKind::kRollback;
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan;
+  plan.timed.push_back({2, sim::SimTime(makespan / 3)});
+  plan.timed.push_back({5, sim::SimTime(makespan * 2 / 3)});
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.faults_injected, 2U);
+}
+
+TEST(MultiFault, SpliceSurvivesTwoFaultsOnDisjointBranches) {
+  // "Multiple failures on different branches of a structure do not disturb
+  //  the recovery algorithm at all."
+  SystemConfig cfg = base_config(8, 3);
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan;
+  plan.timed.push_back({2, sim::SimTime(makespan / 3)});
+  plan.timed.push_back({5, sim::SimTime(makespan / 3)});  // simultaneous
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+}
+
+TEST(MultiFault, SpliceSurvivesSequentialFaultsHittingRecoveryTasks) {
+  // The second fault may kill recovery twins of the first: respawn again.
+  SystemConfig cfg = base_config(8, 5);
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan;
+  plan.timed.push_back({1, sim::SimTime(makespan / 4)});
+  plan.timed.push_back({2, sim::SimTime(makespan / 4 + 2000)});
+  plan.timed.push_back({3, sim::SimTime(makespan / 4 + 4000)});
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+}
+
+TEST(MultiFault, HalfTheMachineDies) {
+  SystemConfig cfg = base_config(8, 7);
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  const auto program = lang::programs::tree_sum(4, 2, 250, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan;
+  for (net::ProcId p = 4; p < 8; ++p) {
+    plan.timed.push_back({p, sim::SimTime(makespan / 2)});
+  }
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.processors_alive_at_end, 4U);
+}
+
+// ---------------------------------------------------------------------------
+// Same-branch double fault: parent and grandparent processors die together.
+// ---------------------------------------------------------------------------
+//
+// Scripted chain  root -> p1 -> p2 -> leafwork...  pinned so that p1 (the
+// parent) and p0-hosted grandparent relationships are precise:
+//   root on P0, mid on P1, deep on P2, leaves on P3.
+// Killing P1 and P2 simultaneously leaves `leaf` tasks whose parent (P2)
+// and grandparent (P1) are both dead.
+
+lang::Program chain_program() {
+  using lang::programs::ScriptedNode;
+  // Long-running leaves under a two-level chain.
+  const std::vector<ScriptedNode> nodes = {
+      {"root", {"mid"}, 50, 0},
+      {"mid", {"deep"}, 50, 1},
+      {"deep", {"leafA", "leafB"}, 50, 2},
+      {"leafA", {}, 4000, 3},
+      {"leafB", {}, 4000, 3},
+  };
+  return lang::programs::scripted_tree(nodes);
+}
+
+TEST(MultiFault, GrandparentOnlyChainStrandsOrphansAtDepthTwo) {
+  // With the standard splice (ancestor_depth=2), killing the parent (P2)
+  // and grandparent (P1) of the running leaves means a leaf's return has
+  // nowhere to go: "the orphan task would be stranded". The run still
+  // completes because the surviving ancestor (root on P0) regrows the
+  // branch from its checkpoint of `mid`.
+  SystemConfig cfg = base_config(4, 1);
+  cfg.topology = net::TopologyKind::kComplete;
+  cfg.scheduler.kind = core::SchedulerKind::kPinned;
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  cfg.recovery.ancestor_depth = 2;
+  const auto program = chain_program();
+  net::FaultPlan plan;
+  plan.timed.push_back({1, sim::SimTime(600)});
+  plan.timed.push_back({2, sim::SimTime(600)});
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_GT(r.counters.orphans_stranded, 0U)
+      << "leaves' returns should have found no live ancestor";
+  EXPECT_EQ(r.counters.orphan_results_salvaged, 0U);
+}
+
+TEST(MultiFault, GreatGrandparentExtensionSalvagesSameBranchDoubleFault) {
+  // §5.2: "the resilient structure concept can be further extended to
+  // include pointers to the great grandparent ... to tolerate multiple
+  // failures on one branch of the graph."
+  SystemConfig cfg = base_config(4, 1);
+  cfg.topology = net::TopologyKind::kComplete;
+  cfg.scheduler.kind = core::SchedulerKind::kPinned;
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  cfg.recovery.ancestor_depth = 3;  // + great-grandparent
+  const auto program = chain_program();
+  net::FaultPlan plan;
+  plan.timed.push_back({1, sim::SimTime(600)});
+  plan.timed.push_back({2, sim::SimTime(600)});
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.counters.orphans_stranded, 0U)
+      << "great-grandparent chain should have caught every orphan";
+  EXPECT_GT(r.counters.orphan_results_salvaged, 0U);
+}
+
+TEST(MultiFault, RollbackAlsoSurvivesSameBranchDoubleFault) {
+  SystemConfig cfg = base_config(4, 1);
+  cfg.topology = net::TopologyKind::kComplete;
+  cfg.scheduler.kind = core::SchedulerKind::kPinned;
+  cfg.recovery.kind = RecoveryKind::kRollback;
+  const auto program = chain_program();
+  net::FaultPlan plan;
+  plan.timed.push_back({1, sim::SimTime(600)});
+  plan.timed.push_back({2, sim::SimTime(600)});
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+}
+
+TEST(MultiFault, AllButOneProcessorDies) {
+  SystemConfig cfg = base_config(4, 13);
+  cfg.topology = net::TopologyKind::kComplete;
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  const auto program = lang::programs::tree_sum(3, 2, 200, 30);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan;
+  plan.timed.push_back({1, sim::SimTime(makespan / 3)});
+  plan.timed.push_back({2, sim::SimTime(makespan / 2)});
+  plan.timed.push_back({3, sim::SimTime(makespan * 2 / 3)});
+  const RunResult r = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.processors_alive_at_end, 1U);
+}
+
+}  // namespace
+}  // namespace splice

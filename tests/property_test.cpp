@@ -1,0 +1,158 @@
+// Randomized end-to-end properties. Determinacy (§2.1) is the master
+// invariant: *whatever* the fault plan, a completed run returns the
+// reference answer. Seeds are fixed; every case is reproducible.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace splice {
+namespace {
+
+using core::RecoveryKind;
+using core::RunResult;
+using core::SystemConfig;
+using splice::testing::base_config;
+
+lang::Program workload(std::uint64_t which) {
+  switch (which % 4) {
+    case 0:
+      return lang::programs::fib(10, 80);
+    case 1:
+      return lang::programs::tree_sum(4, 3, 150, 30);
+    case 2:
+      return lang::programs::binomial(8, 4, 60);
+    default:
+      return lang::programs::quicksort(40, which);
+  }
+}
+
+class RandomFaultSweep
+    : public ::testing::TestWithParam<std::tuple<RecoveryKind, int>> {};
+
+TEST_P(RandomFaultSweep, CompletedRunsAreAlwaysCorrect) {
+  const auto [policy, salt] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(salt) * 7919 + 13);
+  for (int trial = 0; trial < 12; ++trial) {
+    SystemConfig cfg = base_config(
+        4 + static_cast<std::uint32_t>(rng.next_below(8)), rng.next());
+    cfg.topology = net::TopologyKind::kComplete;
+    cfg.recovery.kind = policy;
+    const lang::Program program = workload(rng.next());
+    const std::int64_t makespan =
+        core::Simulation::fault_free_makespan(cfg, program);
+    net::FaultPlan plan;
+    const auto faults = 1 + rng.next_below(2);
+    for (std::uint64_t f = 0; f < faults; ++f) {
+      const auto victim =
+          static_cast<net::ProcId>(rng.next_below(cfg.processors));
+      const auto when = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(makespan) + 1));
+      plan.timed.push_back({victim, sim::SimTime(when)});
+    }
+    const RunResult r = core::run_once(cfg, program, plan);
+    // Completion is guaranteed for the recovering policies as long as one
+    // processor survives (always true here: at most 2 victims of >= 4).
+    EXPECT_TRUE(r.completed)
+        << core::to_string(policy) << " trial " << trial << ": "
+        << r.summary();
+    if (r.completed) {
+      EXPECT_TRUE(r.answer_correct)
+          << core::to_string(policy) << " trial " << trial
+          << " answer=" << r.answer.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, RandomFaultSweep,
+    ::testing::Values(std::tuple{RecoveryKind::kRollback, 1},
+                      std::tuple{RecoveryKind::kRollback, 2},
+                      std::tuple{RecoveryKind::kSplice, 1},
+                      std::tuple{RecoveryKind::kSplice, 2},
+                      std::tuple{RecoveryKind::kSplice, 3},
+                      std::tuple{RecoveryKind::kRestart, 1},
+                      std::tuple{RecoveryKind::kPeriodicGlobal, 1}),
+    [](const ::testing::TestParamInfo<std::tuple<RecoveryKind, int>>& info) {
+      std::string name =
+          std::string(core::to_string(std::get<0>(info.param))) + "_s" +
+          std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Invariants, MessageConservation) {
+  // Delivered + dropped-dead + in-flight-at-end == sent; fault-free runs
+  // drain completely, so delivered == sent.
+  SystemConfig cfg = base_config(8, 21);
+  const RunResult r = core::run_once(cfg, lang::programs::fib(10, 40));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.net.total_delivered() + r.net.dropped_dead_dest +
+                r.net.dropped_dead_sender,
+            r.net.total_sent() -
+                r.net.sent[static_cast<std::size_t>(
+                    net::MsgKind::kLoadUpdate)]);
+}
+
+TEST(Invariants, TaskAccountingBalances) {
+  // created == completed + aborted + stranded for every policy and fault.
+  for (auto policy : {RecoveryKind::kRollback, RecoveryKind::kSplice}) {
+    SystemConfig cfg = base_config(6, 23);
+    cfg.topology = net::TopologyKind::kComplete;
+    cfg.recovery.kind = policy;
+    const auto program = lang::programs::tree_sum(4, 2, 300, 40);
+    const std::int64_t makespan =
+        core::Simulation::fault_free_makespan(cfg, program);
+    const RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(2, makespan / 2));
+    ASSERT_TRUE(r.completed);
+    // Tasks destroyed by the crash itself vanish without being counted
+    // aborted; they are bounded by created - completed - aborted -
+    // stranded >= 0.
+    EXPECT_GE(r.counters.tasks_created,
+              r.counters.tasks_completed + r.counters.tasks_aborted +
+                  r.stranded_tasks);
+  }
+}
+
+TEST(Invariants, SalvageNeverExceedsRelays) {
+  SystemConfig cfg = base_config(8, 25);
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  const auto program = lang::programs::tree_sum(6, 2, 500, 30);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  for (net::ProcId victim = 0; victim < 8; victim += 2) {
+    const RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+    ASSERT_TRUE(r.completed);
+    EXPECT_LE(r.counters.orphan_results_salvaged,
+              r.counters.results_relayed + 1 /* super-root relays */);
+  }
+}
+
+TEST(Invariants, DeterministicUnderFaults) {
+  SystemConfig cfg = base_config(8, 29);
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  const auto program = lang::programs::tree_sum(4, 3, 150, 30);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const auto plan = net::FaultPlan::single(3, makespan / 2);
+  const RunResult a = core::run_once(cfg, program, plan);
+  const RunResult b = core::run_once(cfg, program, plan);
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+  EXPECT_EQ(a.net.total_sent(), b.net.total_sent());
+  EXPECT_EQ(a.counters.tasks_respawned, b.counters.tasks_respawned);
+  EXPECT_EQ(a.counters.orphan_results_salvaged,
+            b.counters.orphan_results_salvaged);
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,159 @@
+// Baseline policies: no recovery, restart-from-scratch, periodic global
+// checkpointing.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "test_util.h"
+
+namespace splice {
+namespace {
+
+using core::RecoveryKind;
+using core::RunResult;
+using core::SystemConfig;
+using splice::testing::base_config;
+
+// ---------------------------------------------------------------------------
+// No recovery (control arm)
+// ---------------------------------------------------------------------------
+
+TEST(NoRecovery, FaultFreeRunsComplete) {
+  SystemConfig cfg = base_config();
+  cfg.recovery.kind = RecoveryKind::kNone;
+  const RunResult r = core::run_once(cfg, lang::programs::fib(10, 30));
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.counters.checkpoint_records, 0U);  // no checkpointing at all
+}
+
+TEST(NoRecovery, LosesComputationOnFault) {
+  // Killing a processor mid-run with no recovery must hang the program (we
+  // stop at the deadline) — demonstrating that fault tolerance is needed.
+  SystemConfig cfg = base_config(4, 3);
+  cfg.recovery.kind = RecoveryKind::kNone;
+  cfg.topology = net::TopologyKind::kComplete;
+  const auto program = lang::programs::tree_sum(4, 2, 500, 50);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.deadline_ticks = makespan * 20;
+  const RunResult r = core::run_once(
+      cfg, program, net::FaultPlan::single(1, makespan / 2));
+  EXPECT_FALSE(r.completed) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Restart-from-scratch
+// ---------------------------------------------------------------------------
+
+TEST(Restart, CompletesAfterFaultByRerunning) {
+  SystemConfig cfg = base_config(8, 3);
+  cfg.recovery.kind = RecoveryKind::kRestart;
+  const auto program = lang::programs::tree_sum(4, 3, 200, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const RunResult r = core::run_once(
+      cfg, program, net::FaultPlan::single(3, makespan / 2));
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+}
+
+TEST(Restart, LateFaultNearlyDoublesBusyWork) {
+  SystemConfig cfg = base_config(8, 3);
+  cfg.recovery.kind = RecoveryKind::kRestart;
+  const auto program = lang::programs::tree_sum(5, 2, 400, 50);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const RunResult clean = core::run_once(cfg, program);
+  const RunResult faulted = core::run_once(
+      cfg, program, net::FaultPlan::single(2, makespan * 3 / 4));
+  ASSERT_TRUE(faulted.completed);
+  EXPECT_TRUE(faulted.answer_correct);
+  // Restart reruns the program: busy work grows far more than under the
+  // functional-checkpoint schemes (most of a full second execution).
+  EXPECT_GT(faulted.counters.busy_ticks,
+            clean.counters.busy_ticks * 3 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic global checkpointing
+// ---------------------------------------------------------------------------
+
+SystemConfig periodic_config(std::uint32_t procs = 8, std::uint64_t seed = 3) {
+  SystemConfig cfg = base_config(procs, seed);
+  cfg.recovery.kind = RecoveryKind::kPeriodicGlobal;
+  cfg.recovery.checkpoint_interval = 4000;
+  return cfg;
+}
+
+TEST(PeriodicGlobal, FaultFreeRunsCompleteWithFreezeOverhead) {
+  SystemConfig cfg = periodic_config();
+  const auto program = lang::programs::tree_sum(4, 3, 300, 40);
+  const RunResult r = core::run_once(cfg, program);
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_GT(r.counters.snapshots_taken, 0U);
+  EXPECT_GT(r.counters.freeze_ticks, 0);
+  EXPECT_EQ(r.counters.restores, 0U);
+  // Freezing must cost wall-clock versus splice on the same workload.
+  SystemConfig splice_cfg = cfg;
+  splice_cfg.recovery.kind = RecoveryKind::kSplice;
+  const RunResult s = core::run_once(splice_cfg, program);
+  ASSERT_TRUE(s.completed);
+  EXPECT_GT(r.makespan_ticks, s.makespan_ticks);
+}
+
+TEST(PeriodicGlobal, RecoversFromFaultViaRestore) {
+  SystemConfig cfg = periodic_config();
+  const auto program = lang::programs::tree_sum(4, 3, 300, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const RunResult r = core::run_once(
+      cfg, program, net::FaultPlan::single(3, makespan * 2 / 3));
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_GE(r.counters.restores, 1U);
+}
+
+TEST(PeriodicGlobal, FaultBeforeFirstSnapshotRestartsProgram) {
+  SystemConfig cfg = periodic_config();
+  cfg.recovery.checkpoint_interval = 1000000;  // effectively never
+  const auto program = lang::programs::tree_sum(4, 2, 300, 40);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const RunResult r = core::run_once(
+      cfg, program, net::FaultPlan::single(2, makespan / 2));
+  ASSERT_TRUE(r.completed) << r.summary();
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_GE(r.counters.restores, 1U);
+  EXPECT_EQ(r.counters.snapshots_taken, 0U);
+}
+
+TEST(PeriodicGlobal, ShorterIntervalMeansMoreSnapshots) {
+  const auto program = lang::programs::tree_sum(4, 3, 300, 40);
+  SystemConfig fast = periodic_config();
+  fast.recovery.checkpoint_interval = 2000;
+  SystemConfig slow = periodic_config();
+  slow.recovery.checkpoint_interval = 16000;
+  const RunResult rf = core::run_once(fast, program);
+  const RunResult rs = core::run_once(slow, program);
+  ASSERT_TRUE(rf.completed && rs.completed);
+  EXPECT_GT(rf.counters.snapshots_taken, rs.counters.snapshots_taken);
+}
+
+TEST(PeriodicGlobal, SurvivesFaultOnEveryProcessor) {
+  SystemConfig cfg = periodic_config(4, 7);
+  cfg.topology = net::TopologyKind::kComplete;
+  const auto program = lang::programs::tree_sum(4, 2, 250, 30);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  for (net::ProcId target = 0; target < 4; ++target) {
+    const RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(target, makespan / 2));
+    EXPECT_TRUE(r.completed) << "killing P" << target << ": " << r.summary();
+    EXPECT_TRUE(r.answer_correct) << "killing P" << target;
+  }
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,95 @@
+// The full recovery matrix: every recovering policy x every workload shape,
+// one mid-run fault. This is the coarse safety net over the whole stack —
+// if any (policy, program) pairing mishandles an interleaving, determinacy
+// flags it here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "test_util.h"
+
+namespace splice {
+namespace {
+
+using core::RecoveryKind;
+using core::RunResult;
+using core::SystemConfig;
+using splice::testing::base_config;
+
+struct MatrixCase {
+  std::string workload;
+  RecoveryKind policy;
+};
+
+lang::Program workload_by_name(const std::string& name) {
+  if (name == "fib") return lang::programs::fib(11, 150);
+  if (name == "binomial") return lang::programs::binomial(9, 4, 80);
+  if (name == "tree_wide") return lang::programs::tree_sum(3, 5, 300, 40);
+  if (name == "tree_deep") return lang::programs::tree_sum(7, 2, 300, 40);
+  if (name == "mergesort") return lang::programs::mergesort(96, 11);
+  if (name == "quicksort") return lang::programs::quicksort(96, 11);
+  if (name == "nqueens") return lang::programs::nqueens(5);
+  if (name == "tak") return lang::programs::tak(8, 4, 1);
+  if (name == "mapreduce") return lang::programs::map_reduce(300, 16, 4);
+  throw std::invalid_argument(name);
+}
+
+class RecoveryMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(RecoveryMatrix, MidRunFaultIsSurvived) {
+  const MatrixCase& c = GetParam();
+  SystemConfig cfg = base_config(8, 17);
+  cfg.topology = net::TopologyKind::kTorus2D;
+  cfg.recovery.kind = c.policy;
+  cfg.recovery.checkpoint_interval = 3000;  // for periodic-global
+  const lang::Program program = workload_by_name(c.workload);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  ASSERT_GT(makespan, 0);
+  // Two fault times per combination: early and late.
+  for (const int pct : {30, 75}) {
+    const RunResult r = core::run_once(
+        cfg, program,
+        net::FaultPlan::single(static_cast<net::ProcId>(pct % 8),
+                               makespan * pct / 100));
+    EXPECT_TRUE(r.completed)
+        << c.workload << "/" << core::to_string(c.policy) << " fault@" << pct
+        << "%: " << r.summary();
+    if (r.completed) {
+      EXPECT_TRUE(r.answer_correct)
+          << c.workload << "/" << core::to_string(c.policy) << " fault@"
+          << pct << "%";
+    }
+  }
+}
+
+std::vector<MatrixCase> all_cases() {
+  std::vector<MatrixCase> cases;
+  for (const char* workload :
+       {"fib", "binomial", "tree_wide", "tree_deep", "mergesort", "quicksort",
+        "nqueens", "tak", "mapreduce"}) {
+    for (RecoveryKind policy :
+         {RecoveryKind::kRollback, RecoveryKind::kSplice,
+          RecoveryKind::kRestart, RecoveryKind::kPeriodicGlobal}) {
+      cases.push_back({workload, policy});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, RecoveryMatrix, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string name = info.param.workload + "_" +
+                         std::string(core::to_string(info.param.policy));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,153 @@
+// Replicated-task redundancy (§5.3): fault masking via task replication and
+// majority voting.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "recovery/replicated.h"
+#include "test_util.h"
+
+namespace splice {
+namespace {
+
+using core::RecoveryKind;
+using core::RunResult;
+using core::SystemConfig;
+using splice::testing::base_config;
+
+TEST(ReplicationMath, MajorityQuorum) {
+  EXPECT_EQ(recovery::majority_quorum(1), 1U);
+  EXPECT_EQ(recovery::majority_quorum(3), 2U);
+  EXPECT_EQ(recovery::majority_quorum(5), 3U);
+  EXPECT_EQ(recovery::majority_quorum(7), 4U);
+}
+
+TEST(ReplicationMath, Tolerance) {
+  EXPECT_EQ(recovery::replicas_tolerated(3, /*majority=*/true), 1U);
+  EXPECT_EQ(recovery::replicas_tolerated(5, true), 2U);
+  EXPECT_EQ(recovery::replicas_tolerated(3, /*majority=*/false), 2U);
+  EXPECT_EQ(recovery::replicas_tolerated(0, true), 0U);
+}
+
+TEST(ReplicationMath, WorkMultiplier) {
+  // No replication: x1. Root-only (max_depth 1): whole tree duplicated
+  // `factor` times -> exactly factor.
+  EXPECT_DOUBLE_EQ(recovery::replication_work_multiplier(1, 1, 2, 5), 1.0);
+  EXPECT_DOUBLE_EQ(recovery::replication_work_multiplier(3, 1, 2, 5), 3.0);
+  // Deeper horizons multiply further.
+  EXPECT_GT(recovery::replication_work_multiplier(3, 2, 2, 5), 3.0);
+}
+
+TEST(Replication, FaultFreeOverheadMatchesFactor) {
+  SystemConfig plain = base_config(8, 3);
+  SystemConfig repl = plain;
+  repl.replication.factor = 3;
+  repl.replication.max_depth = 1;  // root replicated: whole tree x3
+  const auto program = lang::programs::tree_sum(3, 3, 100, 20);
+  const RunResult a = core::run_once(plain, program);
+  const RunResult b = core::run_once(repl, program);
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_TRUE(b.answer_correct);
+  // Task instances triple (root and all descendants of each replica).
+  EXPECT_NEAR(static_cast<double>(b.counters.tasks_created),
+              3.0 * static_cast<double>(a.counters.tasks_created),
+              3.0 + 0.05 * static_cast<double>(a.counters.tasks_created));
+}
+
+TEST(Replication, MasksFaultWithoutRecoveryPolicy) {
+  // §5.3's point: with replicated tasks even a policy with NO recovery
+  // machinery survives a crash — the surviving replicas carry the answer.
+  SystemConfig cfg = base_config(6, 5);
+  cfg.topology = net::TopologyKind::kComplete;
+  cfg.recovery.kind = RecoveryKind::kNone;
+  cfg.replication.factor = 3;
+  cfg.replication.max_depth = 1;
+  cfg.replication.majority = false;  // first result wins
+  const auto program = lang::programs::tree_sum(3, 2, 400, 50);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  // Lane confinement (zones {0,3}, {1,4}, {2,5}) guarantees that any
+  // single crash damages exactly one replica's lane; the other two lanes
+  // finish untouched — every victim must be masked.
+  int masked = 0;
+  for (net::ProcId victim = 0; victim < 6; ++victim) {
+    const RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+    if (r.completed && r.answer_correct) ++masked;
+  }
+  EXPECT_EQ(masked, 6) << "replication masked only " << masked << "/6 faults";
+}
+
+TEST(Replication, UnzonedReplicationMasksLessReliably) {
+  // Ablation: without lane confinement the three subtrees interleave over
+  // the whole machine, so one crash usually damages every replica and the
+  // no-recovery policy cannot complete. This is why Misunas "carefully
+  // distributed" the copies (§5.4).
+  SystemConfig cfg = base_config(6, 5);
+  cfg.topology = net::TopologyKind::kComplete;
+  cfg.recovery.kind = RecoveryKind::kNone;
+  cfg.replication.factor = 3;
+  cfg.replication.max_depth = 1;
+  cfg.replication.majority = false;
+  cfg.replication.zoned = false;
+  const auto program = lang::programs::tree_sum(3, 2, 400, 50);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.deadline_ticks = makespan * 20;
+  int masked = 0;
+  for (net::ProcId victim = 0; victim < 6; ++victim) {
+    const RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+    if (r.completed && r.answer_correct) ++masked;
+  }
+  EXPECT_LT(masked, 6) << "unzoned replication unexpectedly masked all";
+}
+
+TEST(Replication, MajorityVotingWaitsForQuorum) {
+  SystemConfig first = base_config(8, 7);
+  first.replication.factor = 3;
+  first.replication.max_depth = 1;
+  first.replication.majority = false;
+  SystemConfig majority = first;
+  majority.replication.majority = true;
+  const auto program = lang::programs::tree_sum(3, 3, 100, 20);
+  const RunResult rf = core::run_once(first, program);
+  const RunResult rm = core::run_once(majority, program);
+  ASSERT_TRUE(rf.completed && rm.completed);
+  EXPECT_TRUE(rf.answer_correct && rm.answer_correct);
+  // Majority cannot finish before first-result on the same schedule.
+  EXPECT_GE(rm.makespan_ticks, rf.makespan_ticks);
+}
+
+TEST(Replication, ComposesWithSpliceRecovery) {
+  SystemConfig cfg = base_config(8, 9);
+  cfg.recovery.kind = RecoveryKind::kSplice;
+  cfg.replication.factor = 3;
+  cfg.replication.max_depth = 1;
+  const auto program = lang::programs::tree_sum(4, 2, 200, 30);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  for (net::ProcId victim = 0; victim < 4; ++victim) {
+    const RunResult r = core::run_once(
+        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+    EXPECT_TRUE(r.completed) << r.summary();
+    EXPECT_TRUE(r.answer_correct);
+  }
+}
+
+TEST(Replication, DeeperHorizonReplicatesMore) {
+  SystemConfig d1 = base_config(8, 11);
+  d1.replication.factor = 2;
+  d1.replication.max_depth = 1;
+  SystemConfig d2 = d1;
+  d2.replication.max_depth = 2;
+  const auto program = lang::programs::tree_sum(3, 3, 100, 20);
+  const RunResult r1 = core::run_once(d1, program);
+  const RunResult r2 = core::run_once(d2, program);
+  ASSERT_TRUE(r1.completed && r2.completed);
+  EXPECT_GT(r2.counters.tasks_created, r1.counters.tasks_created);
+  EXPECT_TRUE(r2.answer_correct);
+}
+
+}  // namespace
+}  // namespace splice

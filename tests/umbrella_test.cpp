@@ -1,0 +1,21 @@
+// The umbrella header must pull in the entire public API and stay
+// self-sufficient for downstream users.
+#include "splice.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughPublicApiOnly) {
+  splice::core::SystemConfig cfg;
+  cfg.processors = 4;
+  cfg.topology = splice::net::TopologyKind::kComplete;
+  cfg.recovery.kind = splice::core::RecoveryKind::kSplice;
+  splice::core::Simulation sim(cfg, splice::lang::programs::fib(8, 10));
+  const splice::core::RunResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.answer.as_int(), 21);
+}
+
+}  // namespace
