@@ -30,7 +30,8 @@ struct Options {
   static Options parse(int argc, char** argv) {
     Options opt;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--quick") == 0) {
+      if (std::strcmp(argv[i], "--quick") == 0 ||
+          std::strcmp(argv[i], "--smoke") == 0) {
         opt.quick = true;
         opt.replicates = 3;
       } else if (std::strcmp(argv[i], "--csv") == 0) {

@@ -1,0 +1,27 @@
+# Defines splice_options: the warning/sanitizer interface target every
+# splice target links against. Kept out of the root CMakeLists so the
+# warning contract is visible (and editable) in one place.
+#
+# Consumes: SPLICE_WERROR, SPLICE_SANITIZE.
+
+add_library(splice_options INTERFACE)
+
+target_compile_options(splice_options INTERFACE
+  -Wall
+  -Wextra
+  -Wpedantic
+  -Wshadow
+  -Wextra-semi
+  -Wnon-virtual-dtor
+  -Wcast-qual
+  -Wdouble-promotion)
+
+if(SPLICE_WERROR)
+  target_compile_options(splice_options INTERFACE -Werror)
+endif()
+
+if(SPLICE_SANITIZE)
+  target_compile_options(splice_options INTERFACE
+    -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(splice_options INTERFACE -fsanitize=address,undefined)
+endif()

@@ -439,9 +439,10 @@ void Processor::handle_delivery_failure(Envelope original) {
 void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
   if (dead == id_ || known_dead_.contains(dead)) return;
   known_dead_.insert(dead);
-  rt_.trace().add(rt_.sim().now(), id_, "detect",
-                  "P" + std::to_string(dead) +
-                      (direct_detection ? " (direct)" : " (broadcast)"));
+  std::string detail = "P";
+  detail += std::to_string(dead);
+  detail += direct_detection ? " (direct)" : " (broadcast)";
+  rt_.trace().add(rt_.sim().now(), id_, "detect", std::move(detail));
   rt_.note_detection(dead);
   if (direct_detection) {
     // First-hand detector: broadcast error-detection so every processor can

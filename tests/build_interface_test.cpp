@@ -1,0 +1,13 @@
+// Standalone TU that consumes only the public umbrella header, compiled with
+// -Wall -Wextra -Werror (see tests/CMakeLists.txt). This locks the guarantee
+// the umbrella suite asserts: "splice.h" alone is enough for a downstream
+// embedder, with no hidden include-order or warning landmines.
+#include "splice.h"
+
+int main() {
+  splice::core::SystemConfig cfg;
+  cfg.processors = 4;
+  const splice::lang::Program program = splice::lang::programs::fib(10);
+  const splice::core::RunResult result = splice::core::run_once(cfg, program, {});
+  return result.completed && result.answer_correct ? 0 : 1;
+}

@@ -78,10 +78,10 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{RecoveryKind::kSplice, 3},
                       std::tuple{RecoveryKind::kRestart, 1},
                       std::tuple{RecoveryKind::kPeriodicGlobal, 1}),
-    [](const ::testing::TestParamInfo<std::tuple<RecoveryKind, int>>& info) {
+    [](const ::testing::TestParamInfo<std::tuple<RecoveryKind, int>>& param_info) {
       std::string name =
-          std::string(core::to_string(std::get<0>(info.param))) + "_s" +
-          std::to_string(std::get<1>(info.param));
+          std::string(core::to_string(std::get<0>(param_info.param))) + "_s" +
+          std::to_string(std::get<1>(param_info.param));
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -82,9 +82,9 @@ std::vector<MatrixCase> all_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     All, RecoveryMatrix, ::testing::ValuesIn(all_cases()),
-    [](const ::testing::TestParamInfo<MatrixCase>& info) {
-      std::string name = info.param.workload + "_" +
-                         std::string(core::to_string(info.param.policy));
+    [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+      std::string name = param_info.param.workload + "_" +
+                         std::string(core::to_string(param_info.param.policy));
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

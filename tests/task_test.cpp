@@ -4,6 +4,8 @@
 // isolation from the network.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "lang/program.h"
 #include "lang/programs.h"
 #include "runtime/task.h"
@@ -29,7 +31,7 @@ TEST(TaskScan, PureBodyCompletesImmediately) {
   Program p;
   FunctionBuilder b("f", 0);
   const auto root = b.add(b.constant(1), b.constant(2));
-  p.add_function(std::move(b).build(root));
+  std::ignore = p.add_function(std::move(b).build(root));
   p.set_entry(0, {});
   Task task(10, packet_for(p), sim::SimTime(0));
   const ScanOutcome out = task.scan(p);
@@ -46,14 +48,14 @@ Program two_call_program() {
   {
     FunctionBuilder leaf("leaf", 1);
     const auto root = leaf.add(leaf.arg(0), leaf.constant(100));
-    p.add_function(std::move(leaf).build(root));
+    std::ignore = p.add_function(std::move(leaf).build(root));
   }
   {
     FunctionBuilder g("g", 1);
     const auto c1 = g.call(0, {g.sub(g.arg(0), g.constant(1))});
     const auto c2 = g.call(0, {g.sub(g.arg(0), g.constant(2))});
     const auto root = g.add(c1, c2);
-    p.add_function(std::move(g).build(root));
+    std::ignore = p.add_function(std::move(g).build(root));
   }
   p.set_entry(1, {Value::integer(10)});
   return p;
@@ -111,7 +113,7 @@ TEST(TaskScan, LazyConditionalSpawnsOnlyTakenBranch) {
   const auto cond = b.lt(b.arg(0), b.constant(2));
   const auto rec = b.call(0, {b.sub(b.arg(0), b.constant(1))});
   const auto root = b.iff(cond, b.arg(0), rec);
-  p.add_function(std::move(b).build(root));
+  std::ignore = p.add_function(std::move(b).build(root));
   p.set_entry(0, {Value::integer(0)});
 
   Task base_case(14, packet_for(p, {Value::integer(1)}), sim::SimTime(0));
@@ -133,13 +135,13 @@ TEST(TaskScan, NestedCallsSpawnInDependencyOrder) {
   {
     FunctionBuilder f("id", 1);
     const auto root = f.arg(0);
-    p.add_function(std::move(f).build(root));
+    std::ignore = p.add_function(std::move(f).build(root));
   }
   {
     FunctionBuilder g("outer", 1);
     const auto inner = g.call(0, {g.arg(0)});
     const auto outer = g.call(0, {inner});
-    p.add_function(std::move(g).build(outer));
+    std::ignore = p.add_function(std::move(g).build(outer));
   }
   p.set_entry(1, {Value::integer(7)});
   Task task(16, packet_for(p), sim::SimTime(0));
