@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const core::Trace& trace = clean_sim.trace();
 
   core::Simulation faulted_sim(cfg, program);
-  faulted_sim.set_fault_plan(net::FaultPlan::single(/*B=*/1, makespan / 2));
+  faulted_sim.set_fault_plan(net::FaultPlan::single(/*B=*/1, sim::SimTime(makespan / 2)));
   const core::RunResult r = faulted_sim.run();
 
   auto pname = [](net::ProcId p) {

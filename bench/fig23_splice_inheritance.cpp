@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       core::Simulation::fault_free_makespan(cfg, program);
 
   core::Simulation sim(cfg, program);
-  sim.set_fault_plan(net::FaultPlan::single(/*B=*/1, makespan / 2));
+  sim.set_fault_plan(net::FaultPlan::single(/*B=*/1, sim::SimTime(makespan / 2)));
   const core::RunResult r = sim.run();
 
   auto pname = [](net::ProcId p) {

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
             std::uint64_t seed) {
           const auto victim = static_cast<net::ProcId>(
               (seed * 3) % cfg.processors);
-          return net::FaultPlan::single(victim, makespan * pct / 100);
+          return net::FaultPlan::single(victim, sim::SimTime(makespan * pct / 100));
         });
 
     const double twins = bench::mean_of(reps, [](const bench::Replicate& r) {

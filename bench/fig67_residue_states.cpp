@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
       cfg.heartbeat_interval = 500;
       core::Simulation sim(cfg, chain());
       net::FaultPlan plan;
-      plan.triggered.push_back({/*target P's host=*/1, c.trigger, c.delay});
+      plan.triggered.push_back(
+          {/*target P's host=*/1, c.trigger, sim::SimTime(c.delay)});
       sim.set_fault_plan(plan);
       const core::RunResult r = sim.run();
       table.add_row({c.state, r.completed ? "yes" : "NO",

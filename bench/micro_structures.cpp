@@ -135,7 +135,7 @@ void BM_WholeSimulationWithFault(benchmark::State& state) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (auto _ : state) {
     const core::RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(3, makespan / 2));
+        cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
     if (!r.completed) state.SkipWithError("did not complete");
     benchmark::DoNotOptimize(r.makespan_ticks);
   }

@@ -37,8 +37,7 @@ int main(int argc, char** argv) {
           [&](const core::SystemConfig& cfg, std::int64_t makespan,
               std::uint64_t seed) {
             return net::FaultPlan::single(
-                static_cast<net::ProcId>((seed * 3 + 1) % cfg.processors),
-                makespan / 2);
+                static_cast<net::ProcId>((seed * 3 + 1) % cfg.processors), sim::SimTime(makespan / 2));
           });
       table.add_row(
           {util::Table::num(interval),

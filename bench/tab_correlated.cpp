@@ -1,0 +1,218 @@
+// E14 — correlated & regional faults with node rejoin.
+//
+// The paper injects isolated crashes; its confinement claim (recovery touches
+// only the residue of the failed subtree) is stressed hardest when failures
+// are *correlated*. Three sweeps:
+//
+// Part 1: regional faults — a growing mesh quadrant loses power at mid-run.
+// Part 2: cascades — a failure wave rolls outward from a mesh hot spot with
+//         per-hop decay; sweep the spread probability.
+// Part 3: fault *rates* — Poisson background crashes over the whole machine,
+//         with and without repair (rejoin), sweeping the mean inter-fault
+//         interval; crash-recovery keeps capacity up and the makespan down.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace splice;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::Options::parse(argc, argv);
+  const lang::Program program = lang::programs::tree_sum(5, 3, 300, 40);
+
+  // ---- Part 1: mesh quadrant outage ------------------------------------
+  util::Table part1({"region", "scheme", "correct", "recovery latency",
+                     "reissued", "salvaged"});
+  part1.set_title(
+      "E14a — regional outage: a mesh rectangle dies at makespan/2 "
+      "(16 procs, 4x4)");
+  struct Rect {
+    const char* name;
+    std::uint32_t rows, cols;
+  };
+  const Rect rects[] = {{"1x2 edge", 1, 2}, {"2x2 quadrant", 2, 2},
+                        {"2x3 block", 2, 3}};
+  for (const Rect& rect : rects) {
+    for (auto kind :
+         {core::RecoveryKind::kRollback, core::RecoveryKind::kSplice}) {
+      auto reps = bench::run_replicates(
+          opt.replicates, program,
+          [&](std::uint64_t s) {
+            core::SystemConfig cfg;
+            cfg.processors = 16;
+            cfg.topology = net::TopologyKind::kMesh2D;
+            cfg.recovery.kind = kind;
+            cfg.heartbeat_interval = 1500;
+            cfg.seed = s * 131 + 7;
+            return cfg;
+          },
+          [&](const core::SystemConfig&, std::int64_t makespan,
+              std::uint64_t seed) {
+            // Different replicate: different corner, same shape.
+            const std::uint32_t row0 = seed % 2 == 0 ? 0 : 4 - rect.rows;
+            const std::uint32_t col0 = seed % 3 == 0 ? 0 : 4 - rect.cols;
+            return net::FaultPlan::region(
+                net::RegionSpec::grid_rect(row0, col0, rect.rows, rect.cols),
+                sim::SimTime(makespan / 2));
+          });
+      part1.add_row(
+          {rect.name, std::string(core::to_string(kind)),
+           std::to_string(bench::correct_count(reps)) + "/" +
+               std::to_string(static_cast<int>(reps.size())),
+           util::Table::num(bench::mean_of(reps,
+                                           [](const bench::Replicate& r) {
+                                             return static_cast<double>(
+                                                 r.result.makespan_ticks -
+                                                 r.clean_makespan);
+                                           }),
+                            0),
+           util::Table::num(bench::mean_of(reps,
+                                           [](const bench::Replicate& r) {
+                                             return static_cast<double>(
+                                                 r.result.counters
+                                                     .tasks_respawned);
+                                           }),
+                            1),
+           util::Table::num(
+               bench::mean_of(reps,
+                              [](const bench::Replicate& r) {
+                                return static_cast<double>(
+                                    r.result.counters.orphan_results_salvaged);
+                              }),
+               1)});
+    }
+  }
+  bench::emit(part1, opt);
+
+  // ---- Part 2: failure cascade from a hot spot -------------------------
+  util::Table part2({"spread p", "mean kills", "correct", "recovery latency",
+                     "reissued"});
+  part2.set_title(
+      "E14b — cascade from mesh centre, 2 hops, decay 0.5 (splice, 16 "
+      "procs)");
+  for (double p : {0.25, 0.5, 0.9}) {
+    auto reps = bench::run_replicates(
+        opt.replicates, program,
+        [&](std::uint64_t s) {
+          core::SystemConfig cfg;
+          cfg.processors = 16;
+          cfg.topology = net::TopologyKind::kMesh2D;
+          cfg.recovery.kind = core::RecoveryKind::kSplice;
+          cfg.heartbeat_interval = 1500;
+          cfg.seed = s * 131 + 7;
+          return cfg;
+        },
+        [&](const core::SystemConfig&, std::int64_t makespan,
+            std::uint64_t seed) {
+          net::CascadeFault wave;
+          wave.seed = 5;  // interior node of the 4x4 mesh
+          wave.when = sim::SimTime(makespan / 2);
+          wave.probability = p;
+          wave.decay = 0.5;
+          wave.max_hops = 2;
+          wave.stagger = sim::SimTime(400);
+          return net::FaultPlan::cascade(wave).with_seed(seed);
+        });
+    part2.add_row(
+        {util::Table::num(p, 2),
+         util::Table::num(bench::mean_of(reps,
+                                         [](const bench::Replicate& r) {
+                                           return static_cast<double>(
+                                               r.result.faults_injected);
+                                         }),
+                          1),
+         std::to_string(bench::correct_count(reps)) + "/" +
+             std::to_string(static_cast<int>(reps.size())),
+         util::Table::num(bench::mean_of(reps,
+                                         [](const bench::Replicate& r) {
+                                           return static_cast<double>(
+                                               r.result.makespan_ticks -
+                                               r.clean_makespan);
+                                         }),
+                          0),
+         util::Table::num(bench::mean_of(reps,
+                                         [](const bench::Replicate& r) {
+                                           return static_cast<double>(
+                                               r.result.counters
+                                                   .tasks_respawned);
+                                         }),
+                          1)});
+  }
+  bench::emit(part2, opt);
+
+  // ---- Part 3: fault-rate sweep, crash-stop vs crash-recovery ----------
+  util::Table part3({"mean interval", "rejoin", "kills", "revived", "correct",
+                     "slowdown", "alive at end"});
+  part3.set_title(
+      "E14c — Poisson fault rate over the whole machine (splice, 16 procs)");
+  const std::int64_t intervals[] = {60000, 20000, 8000};
+  for (const std::int64_t mean : intervals) {
+    for (const bool rejoin : {false, true}) {
+      auto reps = bench::run_replicates(
+          opt.replicates, program,
+          [&](std::uint64_t s) {
+            core::SystemConfig cfg;
+            cfg.processors = 16;
+            cfg.topology = net::TopologyKind::kMesh2D;
+            cfg.recovery.kind = core::RecoveryKind::kSplice;
+            cfg.heartbeat_interval = 1500;
+            cfg.seed = s * 131 + 7;
+            return cfg;
+          },
+          [&](const core::SystemConfig&, std::int64_t makespan,
+              std::uint64_t seed) {
+            net::RecurringFault arrivals;
+            arrivals.start = sim::SimTime(makespan / 10);
+            // Leave the survivors room to finish: faults stop arriving
+            // after 3x the clean makespan.
+            arrivals.stop = sim::SimTime(makespan * 3);
+            arrivals.mean_interval = static_cast<double>(mean);
+            arrivals.max_faults = 12;
+            net::FaultPlan plan = net::FaultPlan::poisson(arrivals);
+            plan.with_seed(seed);
+            if (rejoin) plan.with_rejoin(sim::SimTime(makespan / 5));
+            return plan;
+          });
+      part3.add_row(
+          {util::Table::num(static_cast<std::uint64_t>(mean)),
+           rejoin ? "yes" : "no",
+           util::Table::num(bench::mean_of(reps,
+                                           [](const bench::Replicate& r) {
+                                             return static_cast<double>(
+                                                 r.result.faults_injected);
+                                           }),
+                            1),
+           util::Table::num(bench::mean_of(reps,
+                                           [](const bench::Replicate& r) {
+                                             return static_cast<double>(
+                                                 r.result.nodes_revived);
+                                           }),
+                            1),
+           std::to_string(bench::correct_count(reps)) + "/" +
+               std::to_string(static_cast<int>(reps.size())),
+           util::Table::num(bench::mean_of(reps,
+                                           [](const bench::Replicate& r) {
+                                             return static_cast<double>(
+                                                        r.result
+                                                            .makespan_ticks) /
+                                                    static_cast<double>(
+                                                        r.clean_makespan);
+                                           }),
+                            2),
+           util::Table::num(
+               bench::mean_of(reps,
+                              [](const bench::Replicate& r) {
+                                return static_cast<double>(
+                                    r.result.processors_alive_at_end);
+                              }),
+               1)});
+    }
+  }
+  bench::emit(part3, opt);
+  std::printf(
+      "expected shape: splice stays correct as the dead region grows and as\n"
+      "cascades widen (reissues scale with the damage, not the program);\n"
+      "under a sustained fault rate, rejoin restores end-of-run capacity to\n"
+      "full while crash-stop bleeds processors as the rate climbs.\n");
+  return 0;
+}

@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
             std::uint64_t seed) {
           const auto victim =
               static_cast<net::ProcId>((seed * 11 + 1) % cfg.processors);
-          return net::FaultPlan::single(victim, makespan / 2);
+          return net::FaultPlan::single(victim, sim::SimTime(makespan / 2));
         });
     const double busy = bench::mean_of(clean, [](const bench::Replicate& r) {
       return static_cast<double>(r.result.counters.busy_ticks);

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
               std::uint64_t seed) {
             const auto victim =
                 static_cast<net::ProcId>((seed * 5 + 1) % cfg.processors);
-            return net::FaultPlan::single(victim, makespan * pct / 100);
+            return net::FaultPlan::single(victim, sim::SimTime(makespan * pct / 100));
           });
       const double latency = bench::mean_of(reps, [](const bench::Replicate& r) {
         return static_cast<double>(r.result.makespan_ticks -

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
               std::uint64_t seed) {
             const auto victim =
                 static_cast<net::ProcId>((seed * 17 + 3) % cfg.processors);
-            return net::FaultPlan::single(victim, makespan / 2);
+            return net::FaultPlan::single(victim, sim::SimTime(makespan / 2));
           });
       const double makespan =
           bench::mean_of(clean, [](const bench::Replicate& r) {

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
             std::uint64_t seed) {
           const auto victim =
               static_cast<net::ProcId>((seed * 13 + 4) % cfg.processors);
-          return net::FaultPlan::single(victim, makespan / 2);
+          return net::FaultPlan::single(victim, sim::SimTime(makespan / 2));
         });
     table.add_row(
         {std::string(core::to_string(kind)),

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
               std::uint64_t seed) {
             const auto victim =
                 static_cast<net::ProcId>((seed * 7 + 2) % cfg.processors);
-            return net::FaultPlan::single(victim, makespan * pct / 100);
+            return net::FaultPlan::single(victim, sim::SimTime(makespan * pct / 100));
           });
       table.add_row(
           {std::to_string(pct) + "%", std::string(core::to_string(kind)),

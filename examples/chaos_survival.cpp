@@ -1,9 +1,13 @@
 // Chaos test as an application: an n-queens solver keeps answering while
-// random processors are killed one after another until only a quarter of
-// the machine survives. Splice recovery + the super-root keep the program
-// alive through every wave.
+// the machine is wrecked around it. By default random processors are killed
+// one after another until only a quarter survives; pass a fault-scenario
+// spec to wreck it your own way (regional outages, cascades, Poisson fault
+// rates, crash-recovery rejoin — see core::parse_fault_plan).
 //
-//   $ ./chaos_survival [n] [processors]
+//   $ ./chaos_survival [n] [processors] [scenario]
+//   $ ./chaos_survival 6 16 "rect:0,0,2x2@20000;rejoin:8000"
+//   $ ./chaos_survival 6 16 "cascade:5@15000,p=0.9,hops=2;rejoin:10000"
+//   $ ./chaos_survival 6 16 "poisson:mean=9000,stop=200000;rejoin:12000"
 #include <cstdio>
 #include <cstdlib>
 
@@ -25,7 +29,10 @@ int main(int argc, char** argv) {
 
   core::SystemConfig cfg;
   cfg.processors = procs;
-  cfg.topology = net::TopologyKind::kHypercube;
+  // The scenario DSL's mesh regions need a grid; everything else works on
+  // the hypercube the original chaos run used.
+  cfg.topology = argc > 3 ? net::TopologyKind::kMesh2D
+                          : net::TopologyKind::kHypercube;
   cfg.scheduler.kind = core::SchedulerKind::kRandom;
   cfg.recovery.kind = core::RecoveryKind::kSplice;
   cfg.recovery.ancestor_depth = 3;  // great-grandparent extension (§5.2)
@@ -35,27 +42,48 @@ int main(int argc, char** argv) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
 
-  // Kill 3/4 of the machine in evenly spaced waves.
-  util::Xoshiro256 rng(4321);
   net::FaultPlan plan;
-  std::vector<net::ProcId> victims;
-  for (net::ProcId p = 0; p < procs; ++p) victims.push_back(p);
-  rng.shuffle(victims);
-  const std::uint32_t kills = procs * 3 / 4;
-  for (std::uint32_t k = 0; k < kills; ++k) {
-    const auto when = makespan / 4 + static_cast<std::int64_t>(k) *
-                                         std::max<std::int64_t>(
-                                             1, makespan / (2 * kills));
-    plan.timed.push_back({victims[k], sim::SimTime(when)});
-    std::printf("  scheduled crash: P%-2u at t=%lld\n", victims[k],
-                static_cast<long long>(when));
+  if (argc > 3) {
+    try {
+      plan = core::parse_fault_plan(argv[3]);
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "bad scenario: %s\n", err.what());
+      return 2;
+    }
+    std::printf("scenario: %s\n", plan.describe().c_str());
+  } else {
+    // Kill 3/4 of the machine in evenly spaced waves.
+    util::Xoshiro256 rng(4321);
+    std::vector<net::ProcId> victims;
+    for (net::ProcId p = 0; p < procs; ++p) victims.push_back(p);
+    rng.shuffle(victims);
+    const std::uint32_t kills = procs * 3 / 4;
+    for (std::uint32_t k = 0; k < kills; ++k) {
+      const auto when = makespan / 4 + static_cast<std::int64_t>(k) *
+                                           std::max<std::int64_t>(
+                                               1, makespan / (2 * kills));
+      plan.timed.push_back({victims[k], sim::SimTime(when)});
+      std::printf("  scheduled crash: P%-2u at t=%lld\n", victims[k],
+                  static_cast<long long>(when));
+    }
   }
 
-  const core::RunResult r = core::run_once(cfg, program, plan);
+  core::RunResult r;
+  try {
+    r = core::run_once(cfg, program, plan);
+  } catch (const std::invalid_argument& err) {
+    // e.g. a ring arc requested on the mesh: regions resolve at arm time.
+    std::fprintf(stderr, "bad scenario: %s\n", err.what());
+    return 2;
+  }
   std::printf("\n%s\n", r.summary().c_str());
   std::printf("faults injected   : %llu (alive at end: %u/%u)\n",
               static_cast<unsigned long long>(r.faults_injected),
               r.processors_alive_at_end, r.processors);
+  if (r.nodes_revived > 0) {
+    std::printf("nodes repaired    : %llu rejoined blank mid-run\n",
+                static_cast<unsigned long long>(r.nodes_revived));
+  }
   std::printf("tasks respawned   : %llu, twins %llu, salvaged %llu\n",
               static_cast<unsigned long long>(r.counters.tasks_respawned),
               static_cast<unsigned long long>(r.counters.twins_created),

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(makespan / 2));
 
   core::Simulation simulation(cfg, program);
-  simulation.set_fault_plan(net::FaultPlan::single(1, makespan / 2));
+  simulation.set_fault_plan(net::FaultPlan::single(1, sim::SimTime(makespan / 2)));
   const core::RunResult r = simulation.run();
 
   auto proc_name = [](net::ProcId p) {

@@ -42,8 +42,7 @@ int main() {
               static_cast<long long>(makespan));
 
   core::Simulation simulation(cfg, program);
-  simulation.set_fault_plan(net::FaultPlan::single(/*target=*/5,
-                                                   /*when=*/makespan / 2));
+  simulation.set_fault_plan(net::FaultPlan::single(/*target=*/5, sim::SimTime(/*when=*/makespan / 2)));
   // 4. Run and inspect.
   const core::RunResult r = simulation.run();
   std::printf("faulted run      : %s\n", r.summary().c_str());

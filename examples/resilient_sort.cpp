@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     cfg.recovery.kind = policy;
     cfg.deadline_ticks = makespan * 30;  // bound the no-recovery hang
     const core::RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(4, makespan * 2 / 5));
+        cfg, program, net::FaultPlan::single(4, sim::SimTime(makespan * 2 / 5)));
     table.add_row(
         {std::string(core::to_string(policy)), r.completed ? "yes" : "NO",
          r.completed && r.answer_correct ? "yes" : "-",

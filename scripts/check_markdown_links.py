@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Checks that every relative link target in the given markdown files exists in
+the repository. External links (http/https/mailto) and pure in-page anchors
+are skipped — CI must not depend on the network or on other services.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' surrounding syntax is unnecessary:
+# image targets must exist too.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        # Strip an in-page anchor from a file link.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path}:{line}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    all_errors = []
+    for name in argv[1:]:
+        all_errors.extend(check_file(Path(name)))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    checked = len(argv) - 1
+    if all_errors:
+        print(f"FAIL: {len(all_errors)} broken link(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: no broken relative links in {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

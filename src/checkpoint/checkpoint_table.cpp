@@ -55,6 +55,10 @@ bool CheckpointTable::release_anywhere(const runtime::LevelStamp& stamp) {
   return false;
 }
 
+void CheckpointTable::clear() {
+  for (auto& entry : entries_) entry.clear();
+}
+
 std::size_t CheckpointTable::total_records() const noexcept {
   std::size_t n = 0;
   for (const auto& entry : entries_) n += entry.size();

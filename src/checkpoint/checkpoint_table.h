@@ -54,6 +54,11 @@ class CheckpointTable {
   /// prior respawn). Returns true if found.
   bool release_anywhere(const runtime::LevelStamp& stamp);
 
+  /// Drop every live record (the table is volatile state: a crashed node
+  /// that rejoins starts blank). Lifetime counters are preserved — they
+  /// describe the run, not the node's current contents.
+  void clear();
+
   [[nodiscard]] const std::vector<CheckpointRecord>& entry(
       net::ProcId dest) const {
     return entries_.at(dest);

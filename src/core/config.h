@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/fault_plan.h"
 #include "net/network.h"
 #include "net/topology.h"
 
@@ -32,6 +33,25 @@ enum class RecoveryKind : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(RecoveryKind kind) noexcept;
+
+/// Parse a compact fault-scenario DSL into a FaultPlan, for scenario configs
+/// and chaos-tool command lines. Clauses are `;`-separated:
+///
+///   kill:P@T                        timed crash of processor P at tick T
+///   trigger:P@name[+delay]         crash P when the runtime fires `name`
+///   rect:R0,C0,RxC@T               mesh/torus rectangle (top-left R0,C0)
+///   arc:S+L@T                      ring arc of L nodes starting at S
+///   cube:MASK/VALUE@T              hypercube subcube (fixed address bits)
+///   hood:P,rK@T                    K-hop neighbourhood of P
+///   cascade:P@T[,p=0.9][,decay=0.5][,hops=2][,stagger=200]
+///   poisson:mean=M[,start=T][,stop=T][,max=N][,over=p1|p2|...]
+///   rejoin:DELAY                   crash-recovery: revive DELAY after kill
+///   seed:S                         RNG stream for cascade/poisson draws
+///
+/// Example: "rect:0,0,2x2@5000;cascade:7@9000,p=0.8,hops=2;rejoin:4000".
+/// Regions resolve against the concrete Topology when the injector arms.
+/// Throws std::invalid_argument on malformed input, naming the bad clause.
+[[nodiscard]] net::FaultPlan parse_fault_plan(std::string_view spec);
 
 struct SchedulerConfig {
   SchedulerKind kind = SchedulerKind::kRandom;

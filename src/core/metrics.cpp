@@ -26,6 +26,7 @@ void Counters::merge(const Counters& other) noexcept {
   restores += other.restores;
   freeze_ticks += other.freeze_ticks;
   error_broadcasts += other.error_broadcasts;
+  rejoins += other.rejoins;
   busy_ticks += other.busy_ticks;
 }
 

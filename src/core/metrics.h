@@ -41,6 +41,7 @@ struct Counters {
 
   // Failure handling.
   std::uint64_t error_broadcasts = 0;
+  std::uint64_t rejoins = 0;  // times this node revived blank (crash-recovery)
 
   // Work accounting (busy processor time in ticks).
   std::int64_t busy_ticks = 0;
@@ -59,6 +60,7 @@ struct RunResult {
   std::int64_t first_failure_ticks = -1;   // -1: no fault injected/fired
   std::int64_t detection_ticks = -1;       // first error-detection handling
   std::uint64_t faults_injected = 0;
+  std::uint64_t nodes_revived = 0;         // rejoins executed (crash-recovery)
 
   Counters counters;
   net::NetworkStats net;

@@ -25,7 +25,8 @@ RunResult Simulation::run() {
                                                 program_);
   injector_ = std::make_unique<net::FaultInjector>(
       *sim_, *network_, fault_plan_,
-      [this](net::ProcId dead) { runtime_->on_kill(dead); });
+      [this](net::ProcId dead) { runtime_->on_kill(dead); },
+      [this](net::ProcId back) { runtime_->on_revive(back); });
   if (!fault_plan_.triggered.empty()) {
     runtime_->set_trigger_sink(
         [this](const std::string& name) { injector_->fire_trigger(name); });
@@ -51,16 +52,13 @@ RunResult Simulation::run() {
   runtime_->start();
   sim_->run_until(sim::SimTime(deadline));
 
-  std::int64_t first_failure = -1;
-  for (const auto& fault : fault_plan_.timed) {
-    if (first_failure < 0 || fault.when.ticks() < first_failure) {
-      first_failure = fault.when.ticks();
-    }
-  }
-
   RunResult result =
       runtime_->collect(sim_->now(), injector_->kills_executed());
-  result.first_failure_ticks = first_failure;
+  // The injector records the first kill that actually executed — with
+  // regional/cascade/recurring plans the earliest *scheduled* entry may
+  // target an already-dead node and never fire.
+  result.first_failure_ticks = injector_->first_kill_ticks();
+  result.nodes_revived = injector_->revives_executed();
   result.answer_checked = true;
   result.answer_correct = result.completed && result.answer == expected;
   if (result.completed && !result.answer_correct) {

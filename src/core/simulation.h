@@ -7,9 +7,12 @@
 //   cfg.processors = 16;
 //   cfg.recovery.kind = core::RecoveryKind::kSplice;
 //   core::Simulation sim(cfg, lang::programs::fib(16, 50));
-//   sim.set_fault_plan(net::FaultPlan::single(/*target=*/3, /*when=*/20000));
+//   sim.set_fault_plan(
+//       net::FaultPlan::single(/*target=*/3, sim::SimTime(20000)));
 //   core::RunResult result = sim.run();
 //
+// Richer plans compose regional, cascading, recurring, and rejoin faults
+// (net/fault_plan.h), or parse from the scenario DSL (core::parse_fault_plan).
 // Every run is deterministic for a (config, program, fault plan) triple.
 #pragma once
 

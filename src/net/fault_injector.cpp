@@ -1,20 +1,108 @@
 #include "net/fault_injector.h"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace splice::net {
 
+namespace {
+// Stream tags keep cascade and Poisson draws independent of each other and
+// of plan-seed reuse elsewhere in the simulator.
+constexpr std::uint64_t kCascadeStream = 0xCA5CADE000000000ULL;
+constexpr std::uint64_t kPoissonStream = 0x9015500000000000ULL;
+
+// Plans arrive machine-independent (often from the scenario DSL); the
+// machine size is only known here. Reject out-of-range targets before they
+// reach Topology::hops / Network::kill.
+void check_target(ProcId target, ProcId machine, const char* what) {
+  if (target >= machine) {
+    throw std::invalid_argument(
+        std::string("fault plan: ") + what + " P" + std::to_string(target) +
+        " outside machine of " + std::to_string(machine) + " processors");
+  }
+}
+}  // namespace
+
 FaultInjector::FaultInjector(sim::Simulator& simulator, Network& network,
                              FaultPlan plan,
-                             std::function<void(ProcId)> on_kill)
+                             std::function<void(ProcId)> on_kill,
+                             std::function<void(ProcId)> on_revive)
     : sim_(simulator),
       network_(network),
       plan_(std::move(plan)),
       on_kill_(std::move(on_kill)),
+      on_revive_(std::move(on_revive)),
       triggered_done_(plan_.triggered.size(), false) {}
 
-void FaultInjector::arm() {
+void FaultInjector::expand_plan() {
+  const Topology& topology = network_.topology();
   for (const TimedFault& fault : plan_.timed) {
+    check_target(fault.target, topology.size(), "timed target");
+  }
+  for (const TriggeredFault& fault : plan_.triggered) {
+    check_target(fault.target, topology.size(), "triggered target");
+  }
+  for (const CascadeFault& wave : plan_.cascades) {
+    check_target(wave.seed, topology.size(), "cascade seed");
+  }
+  for (const RecurringFault& arrivals : plan_.recurring) {
+    for (ProcId candidate : arrivals.candidates) {
+      check_target(candidate, topology.size(), "poisson candidate");
+    }
+  }
+  schedule_ = plan_.timed;
+
+  for (const RegionalFault& fault : plan_.regional) {
+    for (ProcId p : fault.region.resolve(topology)) {
+      schedule_.push_back({p, fault.when});
+    }
+  }
+
+  for (std::size_t i = 0; i < plan_.cascades.size(); ++i) {
+    const CascadeFault& wave = plan_.cascades[i];
+    util::Xoshiro256 rng(util::hash_combine(plan_.seed, kCascadeStream + i));
+    schedule_.push_back({wave.seed, wave.when});
+    double p_kill = wave.probability;
+    for (std::uint32_t h = 1; h <= wave.max_hops; ++h) {
+      const sim::SimTime when = wave.when + wave.stagger * h;
+      // Ascending node order makes the draw sequence — and therefore the
+      // whole wave — a pure function of (plan seed, topology).
+      for (ProcId p = 0; p < topology.size(); ++p) {
+        if (p == wave.seed || topology.hops(wave.seed, p) != h) continue;
+        if (rng.next_bool(p_kill)) schedule_.push_back({p, when});
+      }
+      p_kill *= wave.decay;
+    }
+  }
+
+  for (std::size_t i = 0; i < plan_.recurring.size(); ++i) {
+    const RecurringFault& arrivals = plan_.recurring[i];
+    util::Xoshiro256 rng(util::hash_combine(plan_.seed, kPoissonStream + i));
+    std::int64_t t = arrivals.start.ticks();
+    for (std::uint32_t n = 0; n < arrivals.max_faults; ++n) {
+      const double gap = rng.next_exponential(arrivals.mean_interval);
+      t += std::max<std::int64_t>(1, std::llround(gap));
+      if (sim::SimTime(t) >= arrivals.stop) break;
+      const ProcId victim =
+          arrivals.candidates.empty()
+              ? static_cast<ProcId>(rng.next_below(topology.size()))
+              : arrivals.candidates[rng.next_below(
+                    arrivals.candidates.size())];
+      schedule_.push_back({victim, sim::SimTime(t)});
+    }
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  expand_plan();
+  for (const TimedFault& fault : schedule_) {
     sim_.at(fault.when, [this, target = fault.target] { kill_now(target); });
   }
 }
@@ -24,10 +112,10 @@ void FaultInjector::fire_trigger(const std::string& name) {
     if (triggered_done_[i] || plan_.triggered[i].trigger != name) continue;
     triggered_done_[i] = true;
     const TriggeredFault& fault = plan_.triggered[i];
-    if (fault.delay_ticks <= 0) {
+    if (fault.delay.ticks() <= 0) {
       kill_now(fault.target);
     } else {
-      sim_.after(sim::SimTime(fault.delay_ticks),
+      sim_.after(fault.delay,
                  [this, target = fault.target] { kill_now(target); });
     }
   }
@@ -39,7 +127,21 @@ void FaultInjector::kill_now(ProcId target) {
                 << sim_.now().ticks();
   network_.kill(target);
   ++kills_;
+  if (first_kill_ticks_ < 0) first_kill_ticks_ = sim_.now().ticks();
   if (on_kill_) on_kill_(target);
+  if (plan_.rejoin.enabled) {
+    sim_.after(plan_.rejoin.delay,
+               [this, target] { revive_now(target); });
+  }
+}
+
+void FaultInjector::revive_now(ProcId target) {
+  if (network_.alive(target)) return;
+  SPLICE_INFO() << "fault: processor " << target << " repaired at t="
+                << sim_.now().ticks();
+  network_.revive(target);
+  ++revives_;
+  if (on_revive_) on_revive_(target);
 }
 
 }  // namespace splice::net

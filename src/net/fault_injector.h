@@ -1,13 +1,11 @@
 // Fault injection (§1 fault model).
 //
-// Supports the fault plans the paper's analysis needs:
-//  * timed crashes: kill processor P at absolute time T;
-//  * fractional crashes: kill P when a fraction f of the fault-free makespan
-//    has elapsed (the rollback-cost experiment sweeps this);
-//  * triggered crashes: kill P when the runtime reports a named trigger
-//    (used by the Fig. 6 residue experiment to kill a node exactly when a
-//    task reaches state a..g);
-//  * multi-fault plans: any combination of the above, on one or many nodes.
+// Executes a FaultPlan against the network: timed and triggered crashes fire
+// directly; regional, cascade, and recurring entries are expanded into a
+// concrete kill schedule when arm() resolves them against the topology (and
+// the plan's RNG seed — the expansion is deterministic). Under a rejoin
+// plan every kill also schedules a revive of the same node after the repair
+// delay, and the runtime reinitialises it blank (crash-recovery model).
 //
 // All faults are fail-silent whole-processor crashes, matching the paper.
 #pragma once
@@ -17,49 +15,25 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
 namespace splice::net {
 
-struct TimedFault {
-  ProcId target = kNoProc;
-  sim::SimTime when;
-};
-
-struct TriggeredFault {
-  ProcId target = kNoProc;
-  std::string trigger;          // fired by the runtime via fire_trigger()
-  std::int64_t delay_ticks = 0; // extra delay after the trigger fires
-};
-
-struct FaultPlan {
-  std::vector<TimedFault> timed;
-  std::vector<TriggeredFault> triggered;
-
-  [[nodiscard]] bool empty() const noexcept {
-    return timed.empty() && triggered.empty();
-  }
-  [[nodiscard]] std::size_t fault_count() const noexcept {
-    return timed.size() + triggered.size();
-  }
-
-  static FaultPlan none() { return {}; }
-  static FaultPlan single(ProcId target, std::int64_t when_ticks) {
-    FaultPlan plan;
-    plan.timed.push_back({target, sim::SimTime(when_ticks)});
-    return plan;
-  }
-};
-
 class FaultInjector {
  public:
   /// on_kill runs immediately after the network marks the node dead, so the
-  /// runtime can destroy the node's volatile state.
+  /// runtime can destroy the node's volatile state; on_revive runs after the
+  /// network marks a repaired node alive again, so the runtime can restart
+  /// it blank.
   FaultInjector(sim::Simulator& simulator, Network& network, FaultPlan plan,
-                std::function<void(ProcId)> on_kill);
+                std::function<void(ProcId)> on_kill,
+                std::function<void(ProcId)> on_revive = nullptr);
 
-  /// Schedule all timed faults. Call once before Simulator::run_until.
+  /// Expand the plan (resolve regions against the topology, draw cascade
+  /// and Poisson schedules from the plan seed) and schedule every timed
+  /// kill. Call once before Simulator::run_until.
   void arm();
 
   /// The runtime calls this when a named trigger point is reached; any
@@ -67,21 +41,45 @@ class FaultInjector {
   void fire_trigger(const std::string& name);
 
   /// Kill a processor right now (used by tests and by replicated-redundancy
-  /// scenarios).
+  /// scenarios). Schedules the rejoin when the plan repairs nodes.
   void kill_now(ProcId target);
+
+  /// Repair a processor right now: the network marks it alive and on_revive
+  /// reinitialises it. No-op when the node is already alive.
+  void revive_now(ProcId target);
 
   [[nodiscard]] std::uint32_t kills_executed() const noexcept {
     return kills_;
   }
+  [[nodiscard]] std::uint32_t revives_executed() const noexcept {
+    return revives_;
+  }
+  /// Time of the first kill that actually executed; -1 before any kill.
+  [[nodiscard]] std::int64_t first_kill_ticks() const noexcept {
+    return first_kill_ticks_;
+  }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  /// The deterministic kill schedule arm() expanded (timed + regional +
+  /// cascade + recurring, in scheduling order). Triggered faults are not
+  /// included — they have no time until their trigger fires.
+  [[nodiscard]] const std::vector<TimedFault>& armed_schedule() const noexcept {
+    return schedule_;
+  }
 
  private:
+  void expand_plan();
+
   sim::Simulator& sim_;
   Network& network_;
   FaultPlan plan_;
   std::function<void(ProcId)> on_kill_;
+  std::function<void(ProcId)> on_revive_;
   std::vector<bool> triggered_done_;
+  std::vector<TimedFault> schedule_;
+  bool armed_ = false;
   std::uint32_t kills_ = 0;
+  std::uint32_t revives_ = 0;
+  std::int64_t first_kill_ticks_ = -1;
 };
 
 }  // namespace splice::net

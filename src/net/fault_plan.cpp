@@ -1,0 +1,100 @@
+#include "net/fault_plan.h"
+
+#include <sstream>
+
+namespace splice::net {
+
+std::vector<ProcId> RegionSpec::resolve(const Topology& topology) const {
+  switch (kind) {
+    case Kind::kGridRect:
+      return topology.grid_rect(a, b, c, d);
+    case Kind::kRingArc:
+      return topology.ring_arc(a, c);
+    case Kind::kSubcube:
+      return topology.subcube(a, b);
+    case Kind::kNeighborhood:
+      return topology.neighborhood(a, c);
+  }
+  return {};
+}
+
+std::string RegionSpec::describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kGridRect:
+      out << "rect(" << a << "," << b << " " << c << "x" << d << ")";
+      break;
+    case Kind::kRingArc:
+      out << "arc(" << a << "+" << c << ")";
+      break;
+    case Kind::kSubcube:
+      out << "subcube(mask=" << a << ",value=" << b << ")";
+      break;
+    case Kind::kNeighborhood:
+      out << "hood(" << a << ",r" << c << ")";
+      break;
+  }
+  return out.str();
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  timed.insert(timed.end(), other.timed.begin(), other.timed.end());
+  triggered.insert(triggered.end(), other.triggered.begin(),
+                   other.triggered.end());
+  regional.insert(regional.end(), other.regional.begin(),
+                  other.regional.end());
+  cascades.insert(cascades.end(), other.cascades.begin(),
+                  other.cascades.end());
+  recurring.insert(recurring.end(), other.recurring.begin(),
+                   other.recurring.end());
+  if (other.rejoin.enabled) rejoin = other.rejoin;
+  return *this;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "plan{";
+  const char* sep = "";
+  for (const TimedFault& f : timed) {
+    out << sep << "kill P" << f.target << "@" << f.when.ticks();
+    sep = "; ";
+  }
+  for (const TriggeredFault& f : triggered) {
+    out << sep << "kill P" << f.target << " on '" << f.trigger << "'";
+    if (f.delay.ticks() > 0) out << "+" << f.delay.ticks();
+    sep = "; ";
+  }
+  for (const RegionalFault& f : regional) {
+    out << sep << "kill " << f.region.describe() << "@" << f.when.ticks();
+    sep = "; ";
+  }
+  for (const CascadeFault& f : cascades) {
+    out << sep << "cascade P" << f.seed << "@" << f.when.ticks() << " p="
+        << f.probability << " decay=" << f.decay << " hops=" << f.max_hops
+        << " stagger=" << f.stagger.ticks();
+    sep = "; ";
+  }
+  for (const RecurringFault& f : recurring) {
+    out << sep << "poisson mean=" << f.mean_interval << " ["
+        << f.start.ticks() << ",";
+    if (f.stop == sim::SimTime::max()) {
+      out << "inf";
+    } else {
+      out << f.stop.ticks();
+    }
+    out << ") max=" << f.max_faults;
+    if (!f.candidates.empty()) out << " over " << f.candidates.size();
+    sep = "; ";
+  }
+  if (rejoin.enabled) {
+    out << sep << "rejoin+" << rejoin.delay.ticks();
+    sep = "; ";
+  }
+  if (*sep != '\0' && (!cascades.empty() || !recurring.empty())) {
+    out << "; seed=" << seed;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace splice::net

@@ -1,0 +1,199 @@
+// Composable fault plans (§1 fault model, generalised).
+//
+// The paper's analysis injects fail-silent whole-processor crashes one at a
+// time. Real machines lose power to a mesh quadrant, watch a failure cascade
+// roll outward from a hot node, and repair boards that later rejoin blank.
+// A FaultPlan composes all of these:
+//
+//  * timed crashes      kill P at absolute time T;
+//  * triggered crashes  kill P when the runtime reports a named trigger
+//                       (used by the Fig. 6 residue experiment);
+//  * regional crashes   kill a topology-shaped set — a mesh/torus rectangle,
+//                       a ring arc, a hypercube subcube, or the k-hop
+//                       neighbourhood of a node — resolved against the
+//                       Topology when the injector arms;
+//  * cascades           a seed crash plus RNG-driven staggered follow-on
+//                       crashes of nodes near the seed, with per-hop
+//                       probability decay;
+//  * recurring faults   Poisson-style inter-fault arrivals over a node set,
+//                       so experiments sweep fault *rates*, not counts;
+//  * rejoin             every crashed node is repaired and revives blank
+//                       after a fixed repair delay (crash-recovery model).
+//
+// Every stochastic choice flows through util::rng seeded from `seed`, so a
+// (plan, topology) pair expands to a bit-identical kill schedule on every
+// run. All faults remain fail-silent whole-processor crashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace splice::net {
+
+struct TimedFault {
+  ProcId target = kNoProc;
+  sim::SimTime when;
+};
+
+struct TriggeredFault {
+  ProcId target = kNoProc;
+  std::string trigger;  // fired by the runtime via fire_trigger()
+  sim::SimTime delay;   // extra delay after the trigger fires
+};
+
+/// A topology-shaped processor set, resolved against the concrete Topology
+/// when the injector arms (the plan itself stays machine-independent).
+struct RegionSpec {
+  enum class Kind : std::uint8_t {
+    kGridRect,      // mesh/torus rectangle
+    kRingArc,       // consecutive arc of a ring
+    kSubcube,       // hypercube subcube (fixed address bits)
+    kNeighborhood,  // all nodes within k hops of a centre (any topology)
+  };
+
+  Kind kind = Kind::kNeighborhood;
+  // Meaning by kind: kGridRect (a=row0, b=col0, c=rows, d=cols),
+  // kRingArc (a=start, c=length), kSubcube (a=fixed mask, b=fixed value),
+  // kNeighborhood (a=centre, c=radius in hops).
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t d = 0;
+
+  [[nodiscard]] static RegionSpec grid_rect(std::uint32_t row0,
+                                            std::uint32_t col0,
+                                            std::uint32_t rows,
+                                            std::uint32_t cols) {
+    return {Kind::kGridRect, row0, col0, rows, cols};
+  }
+  [[nodiscard]] static RegionSpec ring_arc(ProcId start, std::uint32_t length) {
+    return {Kind::kRingArc, start, 0, length, 0};
+  }
+  [[nodiscard]] static RegionSpec subcube(ProcId fixed_mask,
+                                          ProcId fixed_value) {
+    return {Kind::kSubcube, fixed_mask, fixed_value, 0, 0};
+  }
+  [[nodiscard]] static RegionSpec neighborhood(ProcId center,
+                                               std::uint32_t radius) {
+    return {Kind::kNeighborhood, center, 0, radius, 0};
+  }
+
+  /// The processor set this region denotes on `topology`, ascending and
+  /// duplicate-free. Throws std::invalid_argument when the region kind does
+  /// not apply to the topology (e.g. a ring arc on a mesh).
+  [[nodiscard]] std::vector<ProcId> resolve(const Topology& topology) const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct RegionalFault {
+  RegionSpec region;
+  sim::SimTime when;
+};
+
+/// A correlated failure wave: the seed dies at `when`; every node at hop
+/// distance h (1 <= h <= max_hops) from the seed then dies with probability
+/// `probability * decay^(h-1)`, at `when + h * stagger`.
+struct CascadeFault {
+  ProcId seed = kNoProc;
+  sim::SimTime when;
+  double probability = 0.9;
+  double decay = 0.5;
+  std::uint32_t max_hops = 2;
+  sim::SimTime stagger = sim::SimTime(200);
+};
+
+/// Stochastic background failures: Poisson arrivals with the given mean
+/// inter-fault time over `candidates` (empty = the whole machine), between
+/// `start` and `stop`, capped at `max_faults` draws.
+struct RecurringFault {
+  std::vector<ProcId> candidates;
+  sim::SimTime start;
+  sim::SimTime stop = sim::SimTime::max();
+  double mean_interval = 10000.0;
+  std::uint32_t max_faults = 64;
+};
+
+/// Crash-recovery model: every kill schedules a revive of the same node
+/// after `delay` ticks of repair; the node rejoins blank.
+struct RejoinSpec {
+  bool enabled = false;
+  sim::SimTime delay = sim::SimTime(5000);
+};
+
+struct FaultPlan {
+  std::vector<TimedFault> timed;
+  std::vector<TriggeredFault> triggered;
+  std::vector<RegionalFault> regional;
+  std::vector<CascadeFault> cascades;
+  std::vector<RecurringFault> recurring;
+  RejoinSpec rejoin;
+  /// Seed for the RNG streams driving cascades and recurring faults.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return timed.empty() && triggered.empty() && regional.empty() &&
+           cascades.empty() && recurring.empty();
+  }
+  /// Number of plan entries (a regional/cascade/recurring entry counts once
+  /// however many kills it expands to).
+  [[nodiscard]] std::size_t fault_count() const noexcept {
+    return timed.size() + triggered.size() + regional.size() +
+           cascades.size() + recurring.size();
+  }
+
+  // ---- factories ----------------------------------------------------------
+  [[nodiscard]] static FaultPlan none() { return {}; }
+  [[nodiscard]] static FaultPlan single(ProcId target, sim::SimTime when) {
+    FaultPlan plan;
+    plan.timed.push_back({target, when});
+    return plan;
+  }
+  [[deprecated("pass sim::SimTime instead of raw ticks")]] [[nodiscard]]
+  static FaultPlan single(ProcId target, std::int64_t when_ticks) {
+    return single(target, sim::SimTime(when_ticks));
+  }
+  [[nodiscard]] static FaultPlan at_trigger(ProcId target, std::string trigger,
+                                            sim::SimTime delay = {}) {
+    FaultPlan plan;
+    plan.triggered.push_back({target, std::move(trigger), delay});
+    return plan;
+  }
+  [[nodiscard]] static FaultPlan region(RegionSpec spec, sim::SimTime when) {
+    FaultPlan plan;
+    plan.regional.push_back({spec, when});
+    return plan;
+  }
+  [[nodiscard]] static FaultPlan cascade(CascadeFault wave) {
+    FaultPlan plan;
+    plan.cascades.push_back(std::move(wave));
+    return plan;
+  }
+  [[nodiscard]] static FaultPlan poisson(RecurringFault arrivals) {
+    FaultPlan plan;
+    plan.recurring.push_back(std::move(arrivals));
+    return plan;
+  }
+
+  // ---- chainable modifiers ------------------------------------------------
+  FaultPlan& with_rejoin(sim::SimTime delay) {
+    rejoin.enabled = true;
+    rejoin.delay = delay;
+    return *this;
+  }
+  FaultPlan& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  /// Concatenate another plan's faults into this one (rejoin/seed: the
+  /// other plan's settings win when it has rejoin enabled).
+  FaultPlan& merge(const FaultPlan& other);
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace splice::net

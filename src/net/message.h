@@ -28,10 +28,11 @@ enum class MsgKind : std::uint8_t {
   kHeartbeat,        // liveness probe (optional detector)
   kLoadUpdate,       // gradient-model pressure exchange
   kCheckpointXfer,   // periodic-global baseline state transfer
+  kRejoinNotice,     // repaired processor announces it is back (blank)
   kControl,          // runtime-internal control (super-root start, etc.)
 };
 
-inline constexpr std::size_t kMsgKindCount = 11;
+inline constexpr std::size_t kMsgKindCount = 12;
 
 [[nodiscard]] std::string_view to_string(MsgKind kind) noexcept;
 

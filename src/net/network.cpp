@@ -30,6 +30,8 @@ std::string_view to_string(MsgKind kind) noexcept {
       return "load-update";
     case MsgKind::kCheckpointXfer:
       return "checkpoint-xfer";
+    case MsgKind::kRejoinNotice:
+      return "rejoin-notice";
     case MsgKind::kControl:
       return "control";
   }
@@ -113,6 +115,15 @@ void Network::kill(ProcId p) {
   if (!alive_[p]) return;
   alive_[p] = false;
   SPLICE_DEBUG() << "network: processor " << p << " killed at t="
+                 << sim_.now().ticks();
+}
+
+void Network::revive(ProcId p) {
+  assert(p < size());
+  if (alive_[p]) return;
+  alive_[p] = true;
+  ++stats_.revives;
+  SPLICE_DEBUG() << "network: processor " << p << " revived at t="
                  << sim_.now().ticks();
 }
 

@@ -50,6 +50,7 @@ struct NetworkStats {
   std::uint64_t dropped_dead_dest = 0;
   std::uint64_t dropped_dead_sender = 0;
   std::uint64_t failure_notices = 0;
+  std::uint64_t revives = 0;
   std::uint64_t total_units = 0;
   std::uint64_t total_hop_units = 0;  // size * hops, a bandwidth proxy
 
@@ -86,6 +87,12 @@ class Network {
   /// Mark p dead. In-flight messages *from* p still arrive; everything
   /// addressed to p from now on bounces.
   void kill(ProcId p);
+
+  /// Mark a repaired p alive again (crash-recovery model). Messages sent to
+  /// p while it was dead stay lost; new sends deliver normally. Bounce
+  /// notices already in flight still arrive — detection is per-observer, so
+  /// a sender may briefly believe a rejoined node is dead.
+  void revive(ProcId p);
 
   [[nodiscard]] bool alive(ProcId p) const { return alive_.at(p); }
   [[nodiscard]] std::uint32_t alive_count() const noexcept;

@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -164,6 +165,82 @@ void Topology::build_neighbors() {
         break;
     }
   }
+}
+
+std::vector<ProcId> Topology::grid_rect(std::uint32_t row0, std::uint32_t col0,
+                                        std::uint32_t rect_rows,
+                                        std::uint32_t rect_cols) const {
+  if (kind_ != TopologyKind::kMesh2D && kind_ != TopologyKind::kTorus2D) {
+    throw std::invalid_argument("grid_rect: not a mesh/torus topology");
+  }
+  if (row0 >= rows_ || col0 >= cols_) {
+    throw std::invalid_argument("grid_rect: corner outside the grid");
+  }
+  const bool wrap = kind_ == TopologyKind::kTorus2D;
+  if (!wrap) {
+    rect_rows = std::min(rect_rows, rows_ - row0);
+    rect_cols = std::min(rect_cols, cols_ - col0);
+  } else {
+    rect_rows = std::min(rect_rows, rows_);
+    rect_cols = std::min(rect_cols, cols_);
+  }
+  std::vector<ProcId> out;
+  out.reserve(static_cast<std::size_t>(rect_rows) * rect_cols);
+  for (std::uint32_t dr = 0; dr < rect_rows; ++dr) {
+    for (std::uint32_t dc = 0; dc < rect_cols; ++dc) {
+      const std::uint32_t r = (row0 + dr) % rows_;
+      const std::uint32_t c = (col0 + dc) % cols_;
+      out.push_back(r * cols_ + c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ProcId> Topology::ring_arc(ProcId start,
+                                       std::uint32_t length) const {
+  if (kind_ != TopologyKind::kRing) {
+    throw std::invalid_argument("ring_arc: not a ring topology");
+  }
+  if (start >= count_) {
+    throw std::invalid_argument("ring_arc: start outside the ring");
+  }
+  length = std::min(length, count_);
+  std::vector<ProcId> out;
+  out.reserve(length);
+  for (std::uint32_t i = 0; i < length; ++i) {
+    out.push_back((start + i) % count_);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ProcId> Topology::subcube(ProcId fixed_mask,
+                                      ProcId fixed_value) const {
+  if (kind_ != TopologyKind::kHypercube) {
+    throw std::invalid_argument("subcube: not a hypercube topology");
+  }
+  if (fixed_mask >= count_ || (fixed_value & fixed_mask) != fixed_value) {
+    throw std::invalid_argument(
+        "subcube: mask/value outside the cube's address bits");
+  }
+  std::vector<ProcId> out;
+  for (ProcId p = 0; p < count_; ++p) {
+    if ((p & fixed_mask) == fixed_value) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ProcId> Topology::neighborhood(ProcId center,
+                                           std::uint32_t radius) const {
+  if (center >= count_) {
+    throw std::invalid_argument("neighborhood: centre outside the machine");
+  }
+  std::vector<ProcId> out;
+  for (ProcId p = 0; p < count_; ++p) {
+    if (hops(center, p) <= radius) out.push_back(p);
+  }
+  return out;
 }
 
 std::string Topology::describe() const {

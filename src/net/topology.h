@@ -49,6 +49,32 @@ class Topology {
   /// Network diameter (max hops over all pairs).
   [[nodiscard]] std::uint32_t diameter() const noexcept { return diameter_; }
 
+  // ---- regional node sets (fault-plan regions, §1 fault model) ------------
+  // All return ascending, duplicate-free processor lists and throw
+  // std::invalid_argument when the query does not apply to this topology.
+
+  /// Mesh/torus: the rectangle of `rect_rows` x `rect_cols` nodes whose
+  /// top-left corner is (row0, col0). A mesh clips the rectangle at the grid
+  /// edges; a torus wraps it around.
+  [[nodiscard]] std::vector<ProcId> grid_rect(std::uint32_t row0,
+                                              std::uint32_t col0,
+                                              std::uint32_t rect_rows,
+                                              std::uint32_t rect_cols) const;
+
+  /// Ring: `length` consecutive nodes starting at `start`, wrapping.
+  [[nodiscard]] std::vector<ProcId> ring_arc(ProcId start,
+                                             std::uint32_t length) const;
+
+  /// Hypercube: every node whose address agrees with `fixed_value` on the
+  /// bits of `fixed_mask` (a 2^(dims - popcount(mask)) subcube).
+  [[nodiscard]] std::vector<ProcId> subcube(ProcId fixed_mask,
+                                            ProcId fixed_value) const;
+
+  /// Any topology: every node within `radius` hops of `center`, the centre
+  /// included (radius 0 = just the centre).
+  [[nodiscard]] std::vector<ProcId> neighborhood(ProcId center,
+                                                 std::uint32_t radius) const;
+
   [[nodiscard]] std::string describe() const;
 
   /// Mesh/torus grid shape (rows, cols); (N,1) for non-grid kinds.

@@ -29,6 +29,9 @@ void RecoveryPolicy::on_spawn_undeliverable(Processor& proc,
       proc.runtime().quorum_for(packet.stamp.depth());
   std::uint32_t possible = slot->votes;
   for (std::size_t i = 0; i < slot->sent_to.size(); ++i) {
+    // The copy that bounced can never ack — the packet itself was lost,
+    // even if its destination has since been repaired (rejoin).
+    if (i == packet.replica) continue;
     net::ProcId where = slot->sent_to[i];
     if (i < slot->child_procs.size() &&
         slot->child_procs[i] != net::kNoProc) {

@@ -48,6 +48,13 @@ class RecoveryPolicy {
   virtual void on_global_failure(runtime::Runtime& /*rt*/,
                                  net::ProcId /*dead*/) {}
 
+  /// A repaired processor rejoined blank (crash-recovery model). Fired after
+  /// the node reinitialised and announced itself; by default nothing more is
+  /// needed — the checkpoint-based schemes already regrew the lost subtree
+  /// when the node died, and the scheduler resumes placing work on the
+  /// revived node as soon as peers process its rejoin notice.
+  virtual void on_rejoin(runtime::Runtime& /*rt*/, net::ProcId /*back*/) {}
+
   /// A completed task's result could not reach msg.target.
   virtual void on_result_undeliverable(runtime::Processor& proc,
                                        runtime::ResultMsg msg) = 0;

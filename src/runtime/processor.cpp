@@ -32,12 +32,19 @@ void Processor::handle(Envelope env) {
       break;
     case MsgKind::kErrorDetection: {
       const auto msg = std::any_cast<ErrorMsg>(env.payload);
-      learn_dead(msg.dead, /*direct_detection=*/false);
+      // A broadcast that raced a repair is stale: the accused node already
+      // revived (and announced it), so don't re-mark it dead.
+      if (!rt_.network().alive(msg.dead)) {
+        learn_dead(msg.dead, /*direct_detection=*/false);
+      }
       break;
     }
     case MsgKind::kDeliveryFailure:
       handle_delivery_failure(
           std::any_cast<Envelope&&>(std::move(env.payload)));
+      break;
+    case MsgKind::kRejoinNotice:
+      learn_alive(std::any_cast<RejoinMsg>(env.payload).who);
       break;
     case MsgKind::kHeartbeat:
     case MsgKind::kLoadUpdate:
@@ -421,7 +428,15 @@ void Processor::relay_or_buffer(Task& ancestor, CallSlot& slot,
 
 void Processor::handle_delivery_failure(Envelope original) {
   const net::ProcId dead = original.to;
-  learn_dead(dead, /*direct_detection=*/true);
+  // The bounce notice trails the failure by the detection timeout; under a
+  // rejoin plan the node may have revived (and broadcast its rejoin notice)
+  // in between. Marking a live node dead would stick forever — no second
+  // rejoin notice will come — so only record the death while it holds.
+  // Payload-level recovery below still runs either way: the original
+  // message *was* lost, whatever the destination's current state.
+  if (!rt_.network().alive(dead)) {
+    learn_dead(dead, /*direct_detection=*/true);
+  }
   switch (original.kind) {
     case MsgKind::kTaskPacket:
       rt_.policy().on_spawn_undeliverable(
@@ -507,6 +522,53 @@ void Processor::nuke() {
   tasks_.clear();
   step_queue_.clear();
   executing_ = false;
+  ++incarnation_;  // orphan this life's pending heartbeat chain
+}
+
+void Processor::revive() {
+  if (!dead_) return;
+  dead_ = false;
+  frozen_ = false;
+  executing_ = false;
+  // A repaired board is blank: no memory of tasks, checkpoints, or which
+  // peers had failed while it was down.
+  known_dead_.clear();
+  table_.clear();
+  ++counters_.rejoins;
+  rt_.trace().add(rt_.sim().now(), id_, "rejoin", "repaired, blank");
+  // Announce the rejoin so live peers drop this node from their dead sets
+  // (dead peers either stay silent forever or rejoin blank themselves).
+  for (net::ProcId p = 0; p < rt_.network().size(); ++p) {
+    if (p == id_ || !rt_.network().alive(p)) continue;
+    Envelope env;
+    env.kind = MsgKind::kRejoinNotice;
+    env.from = id_;
+    env.to = p;
+    env.size_units = 1;
+    env.payload = RejoinMsg{id_};
+    rt_.network().send(std::move(env));
+  }
+  start_heartbeats();
+}
+
+void Processor::learn_alive(net::ProcId back) {
+  if (back == id_) return;
+  // Incremental concatenation dodges a gcc 12 -Wrestrict false positive
+  // (same workaround as learn_dead).
+  std::string detail = "P";
+  detail += std::to_string(back);
+  if (known_dead_.erase(back) > 0) {
+    detail += " is back";
+    rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", std::move(detail));
+    return;
+  }
+  // We never saw this node die: the repair beat our detection timeout. Its
+  // volatile state — including any of our children it hosted — is gone all
+  // the same, so honour the reissue obligations a death notification would
+  // have triggered. (No-op when we hold no checkpoints toward it.)
+  detail += " rejoined undetected";
+  rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", std::move(detail));
+  rt_.policy().on_error_detected(*this, back);
 }
 
 void Processor::freeze() { frozen_ = true; }
@@ -559,7 +621,10 @@ void Processor::start_heartbeats() {
   // Stagger initial probes so the fleet does not heartbeat in lockstep.
   const std::int64_t offset =
       static_cast<std::int64_t>(id_) * (interval / (rt_.network().size() + 1));
-  rt_.sim().after(sim::SimTime(interval + offset), [this] { do_heartbeat(); });
+  rt_.sim().after(sim::SimTime(interval + offset),
+                  [this, life = incarnation_] {
+                    if (life == incarnation_) do_heartbeat();
+                  });
 }
 
 void Processor::do_heartbeat() {
@@ -576,7 +641,9 @@ void Processor::do_heartbeat() {
     rt_.network().send(std::move(env));
   }
   rt_.sim().after(sim::SimTime(rt_.config().heartbeat_interval),
-                  [this] { do_heartbeat(); });
+                  [this, life = incarnation_] {
+                    if (life == incarnation_) do_heartbeat();
+                  });
 }
 
 }  // namespace splice::runtime

@@ -63,9 +63,17 @@ class Processor {
   void nuke();
   [[nodiscard]] bool crashed() const noexcept { return dead_; }
 
+  /// Repair: come back blank (crash-recovery model). Clears the dead flag
+  /// and every piece of volatile state, broadcasts a rejoin notice so peers
+  /// drop this node from their dead sets, and restarts heartbeats.
+  void revive();
+
   /// Record that `dead` failed. Idempotent. When `direct_detection`, this
   /// processor is the detector and broadcasts error-detection packets.
   void learn_dead(net::ProcId dead, bool direct_detection);
+  /// Record that `back` rejoined: forget it was dead so sends, relays and
+  /// heartbeats toward it resume.
+  void learn_alive(net::ProcId back);
   [[nodiscard]] bool knows_dead(net::ProcId p) const {
     return known_dead_.contains(p);
   }
@@ -156,6 +164,10 @@ class Processor {
   checkpoint::CheckpointTable table_;
   core::Counters counters_;
   std::uint64_t heartbeat_seq_ = 0;
+  /// Bumped on every crash; heartbeat chains scheduled by an earlier
+  /// incarnation abandon themselves instead of beating alongside the chain
+  /// the revived node starts.
+  std::uint64_t incarnation_ = 0;
 };
 
 }  // namespace splice::runtime

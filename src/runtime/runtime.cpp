@@ -157,6 +157,25 @@ void Runtime::on_kill(net::ProcId dead) {
   trace_.add(sim_.now(), dead, "crash", "processor failed (fail-silent)");
 }
 
+void Runtime::on_revive(net::ProcId back) {
+  const bool undetected =
+      back < detection_noted_.size() && !detection_noted_[back];
+  // Re-arm once-per-death bookkeeping: if the node dies again after this
+  // rejoin, detection and the global policy hooks must fire again.
+  if (back < detection_noted_.size()) detection_noted_[back] = false;
+  procs_.at(back)->revive();
+  trace_.add(sim_.now(), back, "revive", "processor repaired (blank)");
+  if (undetected) {
+    // The repair completed before anyone observed the death (stale bounce
+    // notices are suppressed once the node is alive again), but the
+    // volatile state is gone all the same — fire the global once-per-death
+    // hooks the detection path would have fired.
+    super_root_->on_processor_dead(back);
+    policy_->on_global_failure(*this, back);
+  }
+  policy_->on_rejoin(*this, back);
+}
+
 std::uint32_t Runtime::replication_for(std::size_t depth) const noexcept {
   const auto& repl = config_.replication;
   if (!repl.enabled()) return 1;

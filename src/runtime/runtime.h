@@ -84,6 +84,11 @@ class Runtime {
   /// FaultInjector callback: destroy the node's volatile state.
   void on_kill(net::ProcId dead);
 
+  /// FaultInjector callback: a repaired node rejoined blank. Reinitialises
+  /// the processor, re-arms failure detection for it, and lets the recovery
+  /// policy react.
+  void on_revive(net::ProcId back);
+
   // ---- fault triggers ------------------------------------------------------
   void set_trigger_sink(std::function<void(const std::string&)> sink) {
     trigger_sink_ = std::move(sink);

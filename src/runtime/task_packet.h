@@ -122,6 +122,12 @@ struct HeartbeatMsg {
   std::uint64_t sequence = 0;
 };
 
+/// kRejoinNotice payload: `who` was repaired and rejoined blank; receivers
+/// drop it from their dead sets so traffic and scheduling resume.
+struct RejoinMsg {
+  net::ProcId who = net::kNoProc;
+};
+
 /// kLoadUpdate payload for the gradient-model scheduler.
 struct LoadMsg {
   std::uint32_t pressure = 0;

@@ -7,7 +7,8 @@
 //     run, measure (core/simulation.h);
 //   * lang::programs — the workload library; lang::FunctionBuilder — build
 //     your own applicative programs (lang/programs.h);
-//   * net::FaultPlan — schedule crashes (net/fault_injector.h);
+//   * net::FaultPlan — schedule crashes, regions, cascades, Poisson fault
+//     rates, and rejoin (net/fault_plan.h, executed by net/fault_injector.h);
 //   * the lower layers (runtime, sched, checkpoint, recovery) for embedders
 //     who extend the machine itself.
 #pragma once
@@ -22,6 +23,7 @@
 #include "lang/program.h"
 #include "lang/programs.h"
 #include "net/fault_injector.h"
+#include "net/fault_plan.h"
 #include "net/network.h"
 #include "net/topology.h"
 #include "recovery/policy.h"

@@ -1,0 +1,405 @@
+// The composable fault-plan engine: topology-resolved regions, correlated
+// cascades, Poisson recurring faults, the scenario DSL, and the determinism
+// of the whole expansion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.h"
+#include "net/fault_injector.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace splice::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Topology region queries
+// ---------------------------------------------------------------------------
+
+TEST(Region, MeshRectInterior) {
+  Topology t(TopologyKind::kMesh2D, 16);  // 4x4
+  EXPECT_EQ(t.grid_rect(1, 1, 2, 2), (std::vector<ProcId>{5, 6, 9, 10}));
+}
+
+TEST(Region, MeshRectClipsAtEdges) {
+  Topology t(TopologyKind::kMesh2D, 16);  // 4x4
+  // A 5x5 rectangle from (2,2) only has the bottom-right 2x2 inside.
+  EXPECT_EQ(t.grid_rect(2, 2, 5, 5), (std::vector<ProcId>{10, 11, 14, 15}));
+}
+
+TEST(Region, TorusRectWrapsAround) {
+  Topology t(TopologyKind::kTorus2D, 16);  // 4x4
+  // From the far corner, a 2x2 rectangle wraps onto rows {3,0} x cols {3,0}.
+  EXPECT_EQ(t.grid_rect(3, 3, 2, 2), (std::vector<ProcId>{0, 3, 12, 15}));
+}
+
+TEST(Region, RectRejectsWrongTopologyAndBadCorner) {
+  EXPECT_THROW(static_cast<void>(
+                   Topology(TopologyKind::kRing, 8).grid_rect(0, 0, 1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   Topology(TopologyKind::kMesh2D, 16).grid_rect(4, 0, 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(Region, RingArcWrapsAndClamps) {
+  Topology t(TopologyKind::kRing, 8);
+  EXPECT_EQ(t.ring_arc(6, 4), (std::vector<ProcId>{0, 1, 6, 7}));
+  EXPECT_EQ(t.ring_arc(3, 100).size(), 8U);  // clamps to the whole ring
+  EXPECT_THROW(static_cast<void>(t.ring_arc(9, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   Topology(TopologyKind::kMesh2D, 8).ring_arc(0, 2)),
+               std::invalid_argument);
+}
+
+TEST(Region, HypercubeSubcube) {
+  Topology t(TopologyKind::kHypercube, 16);
+  // Fix the low bit to 1: the odd half.
+  EXPECT_EQ(t.subcube(0b0001, 0b0001),
+            (std::vector<ProcId>{1, 3, 5, 7, 9, 11, 13, 15}));
+  // Fix the two high bits to 01: nodes 4..7.
+  EXPECT_EQ(t.subcube(0b1100, 0b0100), (std::vector<ProcId>{4, 5, 6, 7}));
+  // value must lie within the mask; mask within the address bits.
+  EXPECT_THROW(static_cast<void>(t.subcube(0b0001, 0b0010)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(t.subcube(16, 0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   Topology(TopologyKind::kRing, 8).subcube(1, 1)),
+               std::invalid_argument);
+}
+
+TEST(Region, NeighborhoodByHops) {
+  Topology mesh(TopologyKind::kMesh2D, 16);  // 4x4
+  EXPECT_EQ(mesh.neighborhood(5, 0), (std::vector<ProcId>{5}));
+  EXPECT_EQ(mesh.neighborhood(5, 1), (std::vector<ProcId>{1, 4, 5, 6, 9}));
+  Topology star(TopologyKind::kStar, 6);
+  EXPECT_EQ(star.neighborhood(2, 1), (std::vector<ProcId>{0, 2}));
+  EXPECT_EQ(star.neighborhood(0, 1).size(), 6U);  // hub + every spoke
+  EXPECT_THROW(static_cast<void>(mesh.neighborhood(16, 1)),
+               std::invalid_argument);
+}
+
+TEST(Region, SpecResolveDispatches) {
+  Topology mesh(TopologyKind::kMesh2D, 16);
+  EXPECT_EQ(RegionSpec::grid_rect(0, 0, 2, 2).resolve(mesh),
+            (std::vector<ProcId>{0, 1, 4, 5}));
+  EXPECT_EQ(RegionSpec::neighborhood(0, 1).resolve(mesh),
+            (std::vector<ProcId>{0, 1, 4}));
+  Topology ring(TopologyKind::kRing, 6);
+  EXPECT_EQ(RegionSpec::ring_arc(5, 2).resolve(ring),
+            (std::vector<ProcId>{0, 5}));
+  Topology cube(TopologyKind::kHypercube, 8);
+  EXPECT_EQ(RegionSpec::subcube(0b100, 0b100).resolve(cube),
+            (std::vector<ProcId>{4, 5, 6, 7}));
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan composition
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, FactoriesAndCounts) {
+  EXPECT_TRUE(FaultPlan::none().empty());
+  const FaultPlan single = FaultPlan::single(3, sim::SimTime(500));
+  ASSERT_EQ(single.timed.size(), 1U);
+  EXPECT_EQ(single.timed[0].target, 3U);
+  EXPECT_EQ(single.timed[0].when, sim::SimTime(500));
+
+  FaultPlan plan = FaultPlan::region(RegionSpec::neighborhood(2, 1),
+                                     sim::SimTime(100));
+  plan.merge(FaultPlan::at_trigger(1, "spawn:f", sim::SimTime(20)));
+  plan.merge(FaultPlan::cascade({/*seed=*/0, sim::SimTime(50)}));
+  RecurringFault arrivals;
+  arrivals.mean_interval = 1000;
+  plan.merge(FaultPlan::poisson(arrivals));
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.fault_count(), 4U);
+  EXPECT_FALSE(plan.rejoin.enabled);
+  plan.with_rejoin(sim::SimTime(4000)).with_seed(7);
+  EXPECT_TRUE(plan.rejoin.enabled);
+  EXPECT_EQ(plan.rejoin.delay, sim::SimTime(4000));
+  EXPECT_EQ(plan.seed, 7U);
+}
+
+TEST(FaultPlan, MergePropagatesRejoin) {
+  FaultPlan base = FaultPlan::single(0, sim::SimTime(10));
+  FaultPlan other = FaultPlan::single(1, sim::SimTime(20));
+  other.with_rejoin(sim::SimTime(99));
+  base.merge(other);
+  EXPECT_EQ(base.timed.size(), 2U);
+  EXPECT_TRUE(base.rejoin.enabled);
+  EXPECT_EQ(base.rejoin.delay, sim::SimTime(99));
+}
+
+TEST(FaultPlan, DeprecatedTickShimStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const FaultPlan plan = FaultPlan::single(2, std::int64_t{300});
+#pragma GCC diagnostic pop
+  ASSERT_EQ(plan.timed.size(), 1U);
+  EXPECT_EQ(plan.timed[0].when, sim::SimTime(300));
+}
+
+TEST(FaultPlan, DescribeNamesEveryClause) {
+  FaultPlan plan = FaultPlan::single(3, sim::SimTime(500));
+  plan.merge(FaultPlan::region(RegionSpec::grid_rect(0, 0, 2, 2),
+                               sim::SimTime(100)));
+  plan.merge(FaultPlan::cascade({1, sim::SimTime(50)}));
+  plan.with_rejoin(sim::SimTime(4000));
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("kill P3@500"), std::string::npos) << text;
+  EXPECT_NE(text.find("rect(0,0 2x2)"), std::string::npos) << text;
+  EXPECT_NE(text.find("cascade P1@50"), std::string::npos) << text;
+  EXPECT_NE(text.find("rejoin+4000"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Injector expansion
+// ---------------------------------------------------------------------------
+
+struct InjectorFixture {
+  sim::Simulator sim;
+  Network net;
+  std::vector<std::pair<std::int64_t, ProcId>> kills;
+  FaultInjector injector;
+
+  InjectorFixture(TopologyKind kind, ProcId n, FaultPlan plan)
+      : net(sim, Topology(kind, n), LatencyModel{}),
+        injector(sim, net, std::move(plan),
+                 [this](ProcId p) { kills.push_back({sim.now().ticks(), p}); }) {
+    for (ProcId p = 0; p < n; ++p) net.set_receiver(p, [](Envelope) {});
+  }
+};
+
+TEST(FaultInjector, RegionalFaultKillsTheResolvedSetAtOnce) {
+  InjectorFixture f(TopologyKind::kMesh2D, 16,
+                    FaultPlan::region(RegionSpec::grid_rect(1, 1, 2, 2),
+                                      sim::SimTime(400)));
+  f.injector.arm();
+  EXPECT_TRUE(f.sim.run_until());
+  EXPECT_EQ(f.injector.kills_executed(), 4U);
+  for (ProcId p : {5U, 6U, 9U, 10U}) EXPECT_FALSE(f.net.alive(p));
+  EXPECT_EQ(f.net.alive_count(), 12U);
+  for (const auto& [when, p] : f.kills) EXPECT_EQ(when, 400);
+  EXPECT_EQ(f.injector.first_kill_ticks(), 400);
+}
+
+TEST(FaultInjector, CascadeWithCertainSpreadKillsWholeNeighborhood) {
+  CascadeFault wave;
+  wave.seed = 5;  // interior node of the 4x4 mesh
+  wave.when = sim::SimTime(100);
+  wave.probability = 1.0;
+  wave.decay = 1.0;
+  wave.max_hops = 1;
+  wave.stagger = sim::SimTime(50);
+  InjectorFixture f(TopologyKind::kMesh2D, 16, FaultPlan::cascade(wave));
+  f.injector.arm();
+  EXPECT_TRUE(f.sim.run_until());
+  // Seed at t=100, its four mesh neighbours at t=150.
+  EXPECT_EQ(f.injector.kills_executed(), 5U);
+  for (ProcId p : {1U, 4U, 5U, 6U, 9U}) EXPECT_FALSE(f.net.alive(p));
+  for (const auto& [when, p] : f.kills) {
+    EXPECT_EQ(when, p == 5U ? 100 : 150);
+  }
+}
+
+TEST(FaultInjector, CascadeWithZeroProbabilityKillsOnlySeed) {
+  CascadeFault wave;
+  wave.seed = 0;
+  wave.when = sim::SimTime(100);
+  wave.probability = 0.0;
+  wave.max_hops = 3;
+  InjectorFixture f(TopologyKind::kComplete, 8, FaultPlan::cascade(wave));
+  f.injector.arm();
+  EXPECT_TRUE(f.sim.run_until());
+  EXPECT_EQ(f.injector.kills_executed(), 1U);
+  EXPECT_FALSE(f.net.alive(0));
+  EXPECT_EQ(f.net.alive_count(), 7U);
+}
+
+TEST(FaultInjector, CascadeExpansionIsDeterministicPerSeed) {
+  CascadeFault wave;
+  wave.seed = 0;  // star hub: every spoke is one hop away
+  wave.when = sim::SimTime(100);
+  wave.probability = 0.5;
+  wave.max_hops = 1;
+  auto schedule_for = [&](std::uint64_t seed) {
+    InjectorFixture f(TopologyKind::kStar, 32,
+                      FaultPlan::cascade(wave).with_seed(seed));
+    f.injector.arm();
+    std::vector<std::pair<std::int64_t, ProcId>> out;
+    for (const TimedFault& fault : f.injector.armed_schedule()) {
+      out.push_back({fault.when.ticks(), fault.target});
+    }
+    return out;
+  };
+  const auto a = schedule_for(11);
+  const auto b = schedule_for(11);
+  const auto c = schedule_for(12);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 31 coin flips: astronomically unlikely to collide
+  // A fair coin over 31 spokes kills roughly half; accept a generous band.
+  EXPECT_GT(a.size(), 5U);
+  EXPECT_LT(a.size(), 28U);
+}
+
+TEST(FaultInjector, PoissonArrivalsRespectWindowCapAndCandidates) {
+  RecurringFault arrivals;
+  arrivals.candidates = {1, 3, 5};
+  arrivals.start = sim::SimTime(1000);
+  arrivals.stop = sim::SimTime(50000);
+  arrivals.mean_interval = 2000;
+  arrivals.max_faults = 10;
+  InjectorFixture f(TopologyKind::kComplete, 8,
+                    FaultPlan::poisson(arrivals).with_seed(3));
+  f.injector.arm();
+  const auto& schedule = f.injector.armed_schedule();
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_LE(schedule.size(), 10U);
+  std::int64_t last = 1000;
+  for (const TimedFault& fault : schedule) {
+    EXPECT_GT(fault.when.ticks(), last);  // strictly advancing arrivals
+    last = fault.when.ticks();
+    EXPECT_LT(fault.when.ticks(), 50000);
+    EXPECT_TRUE(fault.target == 1 || fault.target == 3 || fault.target == 5);
+  }
+  EXPECT_TRUE(f.sim.run_until());
+  // Three candidates can die at most once each (no rejoin configured).
+  EXPECT_EQ(f.injector.kills_executed(), 3U);
+}
+
+TEST(FaultInjector, PoissonScheduleIsDeterministicPerSeed) {
+  RecurringFault arrivals;
+  arrivals.mean_interval = 700;
+  arrivals.stop = sim::SimTime(20000);
+  auto schedule_for = [&](std::uint64_t seed) {
+    InjectorFixture f(TopologyKind::kRing, 16,
+                      FaultPlan::poisson(arrivals).with_seed(seed));
+    f.injector.arm();
+    std::vector<std::pair<std::int64_t, ProcId>> out;
+    for (const TimedFault& fault : f.injector.armed_schedule()) {
+      out.push_back({fault.when.ticks(), fault.target});
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule_for(5), schedule_for(5));
+  EXPECT_NE(schedule_for(5), schedule_for(6));
+}
+
+TEST(FaultInjector, ArmRejectsTargetsOutsideTheMachine) {
+  auto arm_with = [](FaultPlan plan) {
+    InjectorFixture f(TopologyKind::kComplete, 4, std::move(plan));
+    f.injector.arm();
+  };
+  EXPECT_THROW(arm_with(FaultPlan::single(99, sim::SimTime(100))),
+               std::invalid_argument);
+  EXPECT_THROW(arm_with(FaultPlan::at_trigger(7, "go")),
+               std::invalid_argument);
+  EXPECT_THROW(arm_with(FaultPlan::cascade({/*seed=*/4, sim::SimTime(10)})),
+               std::invalid_argument);
+  RecurringFault arrivals;
+  arrivals.candidates = {0, 9};
+  arrivals.mean_interval = 100;
+  EXPECT_THROW(arm_with(FaultPlan::poisson(arrivals)),
+               std::invalid_argument);
+  // In-range plans arm fine on the same machine.
+  InjectorFixture ok(TopologyKind::kComplete, 4,
+                     FaultPlan::single(3, sim::SimTime(100)));
+  ok.injector.arm();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario DSL
+// ---------------------------------------------------------------------------
+
+TEST(ParseFaultPlan, FullScenarioRoundTrip) {
+  const net::FaultPlan plan = core::parse_fault_plan(
+      "kill:3@500; trigger:1@spawn:f+20; rect:0,0,2x2@100; arc:2+3@200; "
+      "cube:3/1@300; hood:4,r2@400; "
+      "cascade:0@50,p=0.8,decay=0.25,hops=3,stagger=100; "
+      "poisson:mean=500,start=10,stop=9000,max=5,over=1|2; "
+      "rejoin:4000; seed:42");
+  ASSERT_EQ(plan.timed.size(), 1U);
+  EXPECT_EQ(plan.timed[0].target, 3U);
+  EXPECT_EQ(plan.timed[0].when, sim::SimTime(500));
+
+  ASSERT_EQ(plan.triggered.size(), 1U);
+  EXPECT_EQ(plan.triggered[0].target, 1U);
+  EXPECT_EQ(plan.triggered[0].trigger, "spawn:f");
+  EXPECT_EQ(plan.triggered[0].delay, sim::SimTime(20));
+
+  ASSERT_EQ(plan.regional.size(), 4U);
+  EXPECT_EQ(plan.regional[0].region.kind, RegionSpec::Kind::kGridRect);
+  EXPECT_EQ(plan.regional[0].when, sim::SimTime(100));
+  EXPECT_EQ(plan.regional[1].region.kind, RegionSpec::Kind::kRingArc);
+  EXPECT_EQ(plan.regional[1].region.a, 2U);
+  EXPECT_EQ(plan.regional[1].region.c, 3U);
+  EXPECT_EQ(plan.regional[2].region.kind, RegionSpec::Kind::kSubcube);
+  EXPECT_EQ(plan.regional[2].region.a, 3U);
+  EXPECT_EQ(plan.regional[2].region.b, 1U);
+  EXPECT_EQ(plan.regional[3].region.kind, RegionSpec::Kind::kNeighborhood);
+  EXPECT_EQ(plan.regional[3].region.a, 4U);
+  EXPECT_EQ(plan.regional[3].region.c, 2U);
+
+  ASSERT_EQ(plan.cascades.size(), 1U);
+  EXPECT_EQ(plan.cascades[0].seed, 0U);
+  EXPECT_EQ(plan.cascades[0].when, sim::SimTime(50));
+  EXPECT_DOUBLE_EQ(plan.cascades[0].probability, 0.8);
+  EXPECT_DOUBLE_EQ(plan.cascades[0].decay, 0.25);
+  EXPECT_EQ(plan.cascades[0].max_hops, 3U);
+  EXPECT_EQ(plan.cascades[0].stagger, sim::SimTime(100));
+
+  ASSERT_EQ(plan.recurring.size(), 1U);
+  EXPECT_DOUBLE_EQ(plan.recurring[0].mean_interval, 500.0);
+  EXPECT_EQ(plan.recurring[0].start, sim::SimTime(10));
+  EXPECT_EQ(plan.recurring[0].stop, sim::SimTime(9000));
+  EXPECT_EQ(plan.recurring[0].max_faults, 5U);
+  EXPECT_EQ(plan.recurring[0].candidates, (std::vector<ProcId>{1, 2}));
+
+  EXPECT_TRUE(plan.rejoin.enabled);
+  EXPECT_EQ(plan.rejoin.delay, sim::SimTime(4000));
+  EXPECT_EQ(plan.seed, 42U);
+}
+
+TEST(ParseFaultPlan, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(core::parse_fault_plan("").empty());
+  EXPECT_TRUE(core::parse_fault_plan("  ;  ; ").empty());
+}
+
+TEST(ParseFaultPlan, RejectsMalformedClauses) {
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("explode:3@100")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("kill:3")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("kill:x@100")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("no-colon")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("trigger:1@+5")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("rect:1,2@100")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   core::parse_fault_plan("cascade:1@5,bogus=3")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("poisson:max=3")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("poisson:mean=-5")),
+               std::invalid_argument);
+}
+
+TEST(ParseFaultPlan, ParsedRegionalPlanExecutes) {
+  InjectorFixture f(TopologyKind::kMesh2D, 16,
+                    core::parse_fault_plan("rect:0,0,1x4@250"));
+  f.injector.arm();
+  EXPECT_TRUE(f.sim.run_until());
+  EXPECT_EQ(f.injector.kills_executed(), 4U);  // the whole top row
+  for (ProcId p : {0U, 1U, 2U, 3U}) EXPECT_FALSE(f.net.alive(p));
+}
+
+}  // namespace
+}  // namespace splice::net

@@ -108,7 +108,7 @@ TEST(Figure1, KillingBFragmentsAndRollbackRegrows) {
   SystemConfig cfg = figure1_config(core::RecoveryKind::kRollback);
   const auto program = slow_b_figure1();
   core::Simulation sim(cfg, program);
-  sim.set_fault_plan(net::FaultPlan::single(kB, 2000));
+  sim.set_fault_plan(net::FaultPlan::single(kB, sim::SimTime(2000)));
   const RunResult r = sim.run();
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
@@ -133,7 +133,7 @@ TEST(Figure1, SpliceCreatesStepParentAndSalvagesD4) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   core::Simulation sim(cfg, program);
-  sim.set_fault_plan(net::FaultPlan::single(kB, makespan / 2));
+  sim.set_fault_plan(net::FaultPlan::single(kB, sim::SimTime(makespan / 2)));
   const RunResult r = sim.run();
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
@@ -163,9 +163,9 @@ TEST(Figure1, SpliceSalvagesWhereRollbackDiscards) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(scfg, program);
   const RunResult s = core::run_once(scfg, program,
-                                     net::FaultPlan::single(kB, makespan / 2));
+                                     net::FaultPlan::single(kB, sim::SimTime(makespan / 2)));
   const RunResult b = core::run_once(rcfg, program,
-                                     net::FaultPlan::single(kB, makespan / 2));
+                                     net::FaultPlan::single(kB, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(s.completed && b.completed);
   EXPECT_TRUE(s.answer_correct && b.answer_correct);
   EXPECT_GT(s.counters.results_relayed + s.counters.orphan_results_salvaged,

@@ -253,7 +253,7 @@ TEST(FaultInjector, TimedKillFiresAtRequestedTick) {
   Network net(sim, Topology(TopologyKind::kComplete, 3), LatencyModel{});
   for (ProcId p = 0; p < 3; ++p) net.set_receiver(p, [](Envelope) {});
   std::vector<std::pair<std::int64_t, ProcId>> kills;
-  FaultInjector injector(sim, net, FaultPlan::single(1, 500),
+  FaultInjector injector(sim, net, FaultPlan::single(1, sim::SimTime(500)),
                          [&](ProcId p) { kills.push_back({sim.now().ticks(), p}); });
   injector.arm();
   EXPECT_TRUE(sim.run_until());
@@ -268,7 +268,7 @@ TEST(FaultInjector, TriggeredKillWaitsForTrigger) {
   Network net(sim, Topology(TopologyKind::kComplete, 3), LatencyModel{});
   for (ProcId p = 0; p < 3; ++p) net.set_receiver(p, [](Envelope) {});
   FaultPlan plan;
-  plan.triggered.push_back({2, "checkpoint-reached", 10});
+  plan.triggered.push_back({2, "checkpoint-reached", sim::SimTime(10)});
   FaultInjector injector(sim, net, plan, nullptr);
   injector.arm();
   sim.after(sim::SimTime(100), [&] { injector.fire_trigger("wrong-name"); });
@@ -304,6 +304,53 @@ TEST(FaultInjector, KillNowIsIdempotent) {
   injector.kill_now(1);
   injector.kill_now(1);
   EXPECT_EQ(callbacks, 1);
+}
+
+TEST(FaultInjector, KillNowOnExternallyDeadNodeIsIgnored) {
+  sim::Simulator sim;
+  Network net(sim, Topology(TopologyKind::kComplete, 2), LatencyModel{});
+  int callbacks = 0;
+  FaultInjector injector(sim, net, {}, [&](ProcId) { ++callbacks; });
+  net.kill(1);  // died outside the injector (e.g. a test harness)
+  injector.kill_now(1);
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(injector.kills_executed(), 0U);
+  EXPECT_EQ(injector.first_kill_ticks(), -1);
+}
+
+TEST(FaultInjector, SharedTriggerNameFiresEveryMatchingFault) {
+  sim::Simulator sim;
+  Network net(sim, Topology(TopologyKind::kComplete, 4), LatencyModel{});
+  for (ProcId p = 0; p < 4; ++p) net.set_receiver(p, [](Envelope) {});
+  FaultPlan plan;
+  plan.triggered.push_back({1, "wave", sim::SimTime(0)});
+  plan.triggered.push_back({2, "wave", sim::SimTime(30)});
+  FaultInjector injector(sim, net, plan, nullptr);
+  injector.arm();
+  sim.after(sim::SimTime(100), [&] { injector.fire_trigger("wave"); });
+  EXPECT_TRUE(sim.run_until());
+  EXPECT_FALSE(net.alive(1));  // immediate
+  EXPECT_FALSE(net.alive(2));  // 30 ticks later
+  EXPECT_EQ(injector.kills_executed(), 2U);
+  EXPECT_EQ(sim.now().ticks(), 130);
+}
+
+TEST(FaultInjector, RefiringATriggerDoesNotDoubleScheduleDelayedKills) {
+  sim::Simulator sim;
+  Network net(sim, Topology(TopologyKind::kComplete, 3), LatencyModel{});
+  for (ProcId p = 0; p < 3; ++p) net.set_receiver(p, [](Envelope) {});
+  FaultPlan plan;
+  plan.triggered.push_back({2, "go", sim::SimTime(50)});
+  std::vector<std::int64_t> kill_times;
+  FaultInjector injector(sim, net, plan,
+                         [&](ProcId) { kill_times.push_back(sim.now().ticks()); });
+  injector.arm();
+  sim.after(sim::SimTime(100), [&] { injector.fire_trigger("go"); });
+  sim.after(sim::SimTime(120), [&] { injector.fire_trigger("go"); });
+  EXPECT_TRUE(sim.run_until());
+  // One kill at 150, no second scheduling from the refire at 120.
+  EXPECT_EQ(kill_times, (std::vector<std::int64_t>{150}));
+  EXPECT_EQ(injector.kills_executed(), 1U);
 }
 
 }  // namespace

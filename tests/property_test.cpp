@@ -111,7 +111,7 @@ TEST(Invariants, TaskAccountingBalances) {
     const std::int64_t makespan =
         core::Simulation::fault_free_makespan(cfg, program);
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(2, makespan / 2));
+        cfg, program, net::FaultPlan::single(2, sim::SimTime(makespan / 2)));
     ASSERT_TRUE(r.completed);
     // Tasks destroyed by the crash itself vanish without being counted
     // aborted; they are bounded by created - completed - aborted -
@@ -130,7 +130,7 @@ TEST(Invariants, SalvageNeverExceedsRelays) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (net::ProcId victim = 0; victim < 8; victim += 2) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     ASSERT_TRUE(r.completed);
     EXPECT_LE(r.counters.orphan_results_salvaged,
               r.counters.results_relayed + 1 /* super-root relays */);
@@ -143,7 +143,7 @@ TEST(Invariants, DeterministicUnderFaults) {
   const auto program = lang::programs::tree_sum(4, 3, 150, 30);
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
-  const auto plan = net::FaultPlan::single(3, makespan / 2);
+  const auto plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
   const RunResult a = core::run_once(cfg, program, plan);
   const RunResult b = core::run_once(cfg, program, plan);
   ASSERT_TRUE(a.completed && b.completed);

@@ -24,7 +24,7 @@ TEST(Protocol, ErrorDetectionBroadcastReachesEveryProcessor) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   core::Simulation sim(cfg, program);
-  sim.set_fault_plan(net::FaultPlan::single(2, makespan / 2));
+  sim.set_fault_plan(net::FaultPlan::single(2, sim::SimTime(makespan / 2)));
   const RunResult r = sim.run();
   ASSERT_TRUE(r.completed);
   // Every surviving processor must have learned of P2's death (detect
@@ -44,7 +44,7 @@ TEST(Protocol, DetectionWorksWithoutHeartbeatsIfTrafficFlows) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(1, makespan / 2));
+      cfg, program, net::FaultPlan::single(1, sim::SimTime(makespan / 2)));
   // Liveness is not guaranteed without heartbeats (a silent waiting parent
   // may never touch the dead node), but for this busy tree traffic exists;
   // the run must either complete correctly or time out — never complete
@@ -70,7 +70,7 @@ TEST(Protocol, StrandedOrphanCountsWhenSuperRootDisabled) {
   const auto program = lang::programs::scripted_tree(nodes);
   cfg.deadline_ticks = 200000;
   const RunResult r =
-      core::run_once(cfg, program, net::FaultPlan::single(0, 500));
+      core::run_once(cfg, program, net::FaultPlan::single(0, sim::SimTime(500)));
   EXPECT_FALSE(r.completed);
   EXPECT_GT(r.counters.orphans_stranded, 0U);
 }

@@ -38,7 +38,7 @@ TEST(NoRecovery, LosesComputationOnFault) {
       core::Simulation::fault_free_makespan(cfg, program);
   cfg.deadline_ticks = makespan * 20;
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(1, makespan / 2));
+      cfg, program, net::FaultPlan::single(1, sim::SimTime(makespan / 2)));
   EXPECT_FALSE(r.completed) << r.summary();
 }
 
@@ -53,7 +53,7 @@ TEST(Restart, CompletesAfterFaultByRerunning) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(3, makespan / 2));
+      cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
 }
@@ -66,7 +66,7 @@ TEST(Restart, LateFaultNearlyDoublesBusyWork) {
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult clean = core::run_once(cfg, program);
   const RunResult faulted = core::run_once(
-      cfg, program, net::FaultPlan::single(2, makespan * 3 / 4));
+      cfg, program, net::FaultPlan::single(2, sim::SimTime(makespan * 3 / 4)));
   ASSERT_TRUE(faulted.completed);
   EXPECT_TRUE(faulted.answer_correct);
   // Restart reruns the program: busy work grows far more than under the
@@ -109,7 +109,7 @@ TEST(PeriodicGlobal, RecoversFromFaultViaRestore) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(3, makespan * 2 / 3));
+      cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan * 2 / 3)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
   EXPECT_GE(r.counters.restores, 1U);
@@ -122,7 +122,7 @@ TEST(PeriodicGlobal, FaultBeforeFirstSnapshotRestartsProgram) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(2, makespan / 2));
+      cfg, program, net::FaultPlan::single(2, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
   EXPECT_GE(r.counters.restores, 1U);
@@ -149,7 +149,7 @@ TEST(PeriodicGlobal, SurvivesFaultOnEveryProcessor) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (net::ProcId target = 0; target < 4; ++target) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(target, makespan / 2));
+        cfg, program, net::FaultPlan::single(target, sim::SimTime(makespan / 2)));
     EXPECT_TRUE(r.completed) << "killing P" << target << ": " << r.summary();
     EXPECT_TRUE(r.answer_correct) << "killing P" << target;
   }

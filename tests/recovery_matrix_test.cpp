@@ -53,8 +53,7 @@ TEST_P(RecoveryMatrix, MidRunFaultIsSurvived) {
   for (const int pct : {30, 75}) {
     const RunResult r = core::run_once(
         cfg, program,
-        net::FaultPlan::single(static_cast<net::ProcId>(pct % 8),
-                               makespan * pct / 100));
+        net::FaultPlan::single(static_cast<net::ProcId>(pct % 8), sim::SimTime(makespan * pct / 100)));
     EXPECT_TRUE(r.completed)
         << c.workload << "/" << core::to_string(c.policy) << " fault@" << pct
         << "%: " << r.summary();

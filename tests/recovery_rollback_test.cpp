@@ -26,7 +26,7 @@ TEST(Rollback, SurvivesSingleFaultMidRun) {
       core::Simulation::fault_free_makespan(cfg, program);
   ASSERT_GT(makespan, 0);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(/*target=*/3, makespan / 2));
+      cfg, program, net::FaultPlan::single(/*target=*/3, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
   EXPECT_EQ(r.faults_injected, 1U);
@@ -42,7 +42,7 @@ TEST(Rollback, RecoveryCostsTime) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult faulted = core::run_once(
-      cfg, program, net::FaultPlan::single(3, makespan / 2));
+      cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(faulted.completed);
   EXPECT_GT(faulted.makespan_ticks, makespan);
 }
@@ -54,7 +54,7 @@ TEST(Rollback, RedoneWorkExceedsFaultFreeWork) {
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult clean = core::run_once(cfg, program);
   const RunResult late = core::run_once(
-      cfg, program, net::FaultPlan::single(2, makespan * 7 / 10));
+      cfg, program, net::FaultPlan::single(2, sim::SimTime(makespan * 7 / 10)));
   ASSERT_TRUE(late.completed);
   EXPECT_TRUE(late.answer_correct);
   EXPECT_GT(late.counters.busy_ticks, clean.counters.busy_ticks);
@@ -71,7 +71,7 @@ TEST(Rollback, AbortsOrphansOfDeadParent) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   core::Simulation simulation(cfg, program);
-  simulation.set_fault_plan(net::FaultPlan::single(1, makespan / 3));
+  simulation.set_fault_plan(net::FaultPlan::single(1, sim::SimTime(makespan / 3)));
   const RunResult r = simulation.run();
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
@@ -84,7 +84,7 @@ TEST(Rollback, DetectionHappensAfterFault) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(5, makespan / 2));
+      cfg, program, net::FaultPlan::single(5, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed);
   EXPECT_GE(r.detection_ticks, r.first_failure_ticks);
 }
@@ -97,7 +97,7 @@ TEST(Rollback, SurvivesFaultAtEveryTenthOfMakespan) {
   for (int tenth = 1; tenth <= 9; ++tenth) {
     const RunResult r = core::run_once(
         cfg, program,
-        net::FaultPlan::single(2, makespan * tenth / 10));
+        net::FaultPlan::single(2, sim::SimTime(makespan * tenth / 10)));
     EXPECT_TRUE(r.completed) << "fault at " << tenth << "/10: " << r.summary();
     EXPECT_TRUE(r.answer_correct) << "fault at " << tenth << "/10";
   }
@@ -111,7 +111,7 @@ TEST(Rollback, SurvivesFaultOnEveryProcessor) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (net::ProcId target = 0; target < 6; ++target) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(target, makespan / 2));
+        cfg, program, net::FaultPlan::single(target, sim::SimTime(makespan / 2)));
     EXPECT_TRUE(r.completed) << "killing P" << target << ": " << r.summary();
     EXPECT_TRUE(r.answer_correct) << "killing P" << target;
   }
@@ -122,7 +122,7 @@ TEST(Rollback, FaultBeforeStartIsNearlyHarmless) {
   // simply routes around it.
   SystemConfig cfg = rollback_config();
   const RunResult r = core::run_once(cfg, lang::programs::fib(9, 50),
-                                     net::FaultPlan::single(6, 1));
+                                     net::FaultPlan::single(6, sim::SimTime(1)));
   ASSERT_TRUE(r.completed);
   EXPECT_TRUE(r.answer_correct);
 }
@@ -133,7 +133,7 @@ TEST(Rollback, FaultAfterCompletionIsHarmless) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(cfg, program,
-                                     net::FaultPlan::single(2, makespan * 10));
+                                     net::FaultPlan::single(2, sim::SimTime(makespan * 10)));
   ASSERT_TRUE(r.completed);
   EXPECT_TRUE(r.answer_correct);
   EXPECT_EQ(r.makespan_ticks, makespan);

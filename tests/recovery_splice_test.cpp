@@ -26,7 +26,7 @@ TEST(Splice, SurvivesSingleFaultMidRun) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(3, makespan / 2));
+      cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
   EXPECT_GT(r.counters.tasks_respawned, 0U);
@@ -47,7 +47,7 @@ TEST(Splice, SalvagesOrphanResultsInOrphanHeavyScenario) {
   // seed, not flakiness).
   for (net::ProcId victim = 0; victim < 8 && !found; ++victim) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     ASSERT_TRUE(r.completed) << r.summary();
     ASSERT_TRUE(r.answer_correct);
     if (r.counters.orphan_results_salvaged > 0) {
@@ -71,7 +71,7 @@ TEST(Splice, SalvageReducesRedoneWorkVersusRollback) {
   std::int64_t splice_busy_total = 0;
   std::int64_t rollback_busy_total = 0;
   for (net::ProcId victim = 0; victim < 8; ++victim) {
-    const auto plan = net::FaultPlan::single(victim, makespan / 2);
+    const auto plan = net::FaultPlan::single(victim, sim::SimTime(makespan / 2));
     const RunResult s = core::run_once(splice_cfg, program, plan);
     const RunResult b = core::run_once(rollback_cfg, program, plan);
     ASSERT_TRUE(s.completed && b.completed);
@@ -92,7 +92,7 @@ TEST(Splice, TwinsInheritViaGrandparentRelay) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   core::Simulation simulation(cfg, program);
-  simulation.set_fault_plan(net::FaultPlan::single(1, makespan / 2));
+  simulation.set_fault_plan(net::FaultPlan::single(1, sim::SimTime(makespan / 2)));
   const RunResult r = simulation.run();
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
@@ -105,7 +105,7 @@ TEST(Splice, NoAbortsUnderSplice) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(3, makespan / 2));
+      cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(r.counters.tasks_aborted, 0U);
 }
@@ -120,7 +120,7 @@ TEST(Splice, DuplicateResultsAreIgnoredNotDoubleCounted) {
   std::uint64_t dup_total = 0;
   for (net::ProcId victim = 0; victim < 8; ++victim) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     ASSERT_TRUE(r.completed);
     ASSERT_TRUE(r.answer_correct) << "victim " << victim;
     dup_total += r.counters.duplicate_results_ignored +
@@ -139,7 +139,7 @@ TEST(Splice, EagerRespawnVariantAlsoCorrect) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (net::ProcId victim = 0; victim < 4; ++victim) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     EXPECT_TRUE(r.completed) << r.summary();
     EXPECT_TRUE(r.answer_correct);
   }
@@ -152,7 +152,7 @@ TEST(Splice, SurvivesFaultAtEveryTenthOfMakespan) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (int tenth = 1; tenth <= 9; ++tenth) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(2, makespan * tenth / 10));
+        cfg, program, net::FaultPlan::single(2, sim::SimTime(makespan * tenth / 10)));
     EXPECT_TRUE(r.completed) << "fault at " << tenth << "/10: " << r.summary();
     EXPECT_TRUE(r.answer_correct) << "fault at " << tenth << "/10";
   }
@@ -166,7 +166,7 @@ TEST(Splice, SurvivesFaultOnEveryProcessor) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (net::ProcId target = 0; target < 6; ++target) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(target, makespan / 2));
+        cfg, program, net::FaultPlan::single(target, sim::SimTime(makespan / 2)));
     EXPECT_TRUE(r.completed) << "killing P" << target << ": " << r.summary();
     EXPECT_TRUE(r.answer_correct) << "killing P" << target;
   }
@@ -181,7 +181,7 @@ TEST(Splice, WorksAcrossTopologies) {
     const std::int64_t makespan =
         core::Simulation::fault_free_makespan(cfg, program);
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(3, makespan / 2));
+        cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
     EXPECT_TRUE(r.completed) << net::to_string(topo) << ": " << r.summary();
     EXPECT_TRUE(r.answer_correct) << net::to_string(topo);
   }
@@ -195,7 +195,7 @@ TEST(Splice, GradientSchedulerWithFaults) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(
-      cfg, program, net::FaultPlan::single(4, makespan / 2));
+      cfg, program, net::FaultPlan::single(4, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
 }

@@ -72,7 +72,7 @@ TEST(Replication, MasksFaultWithoutRecoveryPolicy) {
   int masked = 0;
   for (net::ProcId victim = 0; victim < 6; ++victim) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     if (r.completed && r.answer_correct) ++masked;
   }
   EXPECT_EQ(masked, 6) << "replication masked only " << masked << "/6 faults";
@@ -97,7 +97,7 @@ TEST(Replication, UnzonedReplicationMasksLessReliably) {
   int masked = 0;
   for (net::ProcId victim = 0; victim < 6; ++victim) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     if (r.completed && r.answer_correct) ++masked;
   }
   EXPECT_LT(masked, 6) << "unzoned replication unexpectedly masked all";
@@ -129,7 +129,7 @@ TEST(Replication, ComposesWithSpliceRecovery) {
       core::Simulation::fault_free_makespan(cfg, program);
   for (net::ProcId victim = 0; victim < 4; ++victim) {
     const RunResult r = core::run_once(
-        cfg, program, net::FaultPlan::single(victim, makespan / 2));
+        cfg, program, net::FaultPlan::single(victim, sim::SimTime(makespan / 2)));
     EXPECT_TRUE(r.completed) << r.summary();
     EXPECT_TRUE(r.answer_correct);
   }

@@ -39,6 +39,17 @@ TEST(EventQueue, EqualTimesFireFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventQueue, CancelInvalidOrUnknownIdIsHarmlessNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(12345));  // id never issued
+  q.schedule(SimTime(1), [] {});
+  EXPECT_FALSE(q.cancel(kInvalidEvent));  // live queue: still a no-op
+  EXPECT_EQ(q.pending(), 1U);
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+}
+
 TEST(EventQueue, CancelSuppressesEvent) {
   EventQueue q;
   bool fired = false;

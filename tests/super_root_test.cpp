@@ -41,7 +41,7 @@ TEST(SuperRoot, RootHostFailureIsRecovered) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(cfg, program,
-                                     net::FaultPlan::single(0, makespan / 2));
+                                     net::FaultPlan::single(0, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
 }
@@ -57,7 +57,7 @@ TEST(SuperRoot, DisabledMeansRootFailureIsFatal) {
       core::Simulation::fault_free_makespan(cfg, program);
   cfg.deadline_ticks = makespan * 20;
   const RunResult r = core::run_once(cfg, program,
-                                     net::FaultPlan::single(0, makespan / 2));
+                                     net::FaultPlan::single(0, sim::SimTime(makespan / 2)));
   EXPECT_FALSE(r.completed) << r.summary();
 }
 
@@ -67,7 +67,7 @@ TEST(SuperRoot, RootFailureBeforeAnySpawn) {
   SystemConfig cfg = pinned_config();
   const auto program = rooted_program();
   const RunResult r =
-      core::run_once(cfg, program, net::FaultPlan::single(0, 30));
+      core::run_once(cfg, program, net::FaultPlan::single(0, sim::SimTime(30)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
 }
@@ -82,7 +82,7 @@ TEST(SuperRoot, OrphanedLevelOneTasksRelayThroughSuperRoot) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   core::Simulation sim(cfg, program);
-  sim.set_fault_plan(net::FaultPlan::single(0, makespan / 2));
+  sim.set_fault_plan(net::FaultPlan::single(0, sim::SimTime(makespan / 2)));
   const RunResult r = sim.run();
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
@@ -101,7 +101,7 @@ TEST(SuperRoot, RestartPolicyRestartsWholeProgram) {
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);
   const RunResult r = core::run_once(cfg, program,
-                                     net::FaultPlan::single(1, makespan / 2));
+                                     net::FaultPlan::single(1, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed) << r.summary();
   EXPECT_TRUE(r.answer_correct);
   // A restart re-creates at least the root task a second time.
