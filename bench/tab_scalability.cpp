@@ -1,11 +1,14 @@
-// E11 — scalability: processors 2..64 across topologies.
+// E11 — scalability: processors 2..128 across topologies.
 //
 // The paper positions applicative systems as "promising candidates for
 // achieving high performance computing through aggregation of processors"
-// (§1); recovery must not destroy that scaling. Rows: machine size x
-// topology. Columns: fault-free makespan/speedup, recovery latency and
-// error-broadcast traffic for a mid-run fault.
+// (§1); recovery must not destroy that scaling. Table 1: machine size x
+// topology — fault-free makespan/speedup, recovery latency and
+// error-broadcast traffic for a mid-run fault. Table 2: the 64- and
+// 128-processor machines under recurring (Poisson) fault *rates* with
+// repair, the regime large fleets actually live in.
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
 
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
                      "faulted correct", "recovery latency", "error msgs"});
   table.set_title("scalability — machine size x topology under one fault");
 
-  for (std::uint32_t procs : {2U, 4U, 8U, 16U, 32U, 64U}) {
+  for (std::uint32_t procs : {2U, 4U, 8U, 16U, 32U, 64U, 128U}) {
     for (auto topo : {net::TopologyKind::kMesh2D, net::TopologyKind::kTorus2D,
                       net::TopologyKind::kHypercube}) {
       if (topo == net::TopologyKind::kHypercube &&
@@ -90,10 +93,89 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, opt);
+
+  // ---- 64/128 processors under Poisson fault rates with repair ------------
+  // Driven by the recurring fault plans: background failures arrive at a
+  // mean interval over the whole machine and every victim is repaired, so
+  // the machine hovers below full strength instead of draining.
+  util::Table churn({"procs", "faults/run", "kills", "revived", "correct",
+                     "reissued", "error msgs", "slowdown", "alive at end"});
+  churn.set_title("large machines under recurring faults + repair");
+  // The Poisson mean interval is derived from the fault-free makespan so a
+  // row targets a fault *rate* (expected faults per run) independent of how
+  // fast the machine happens to be.
+  const std::vector<double> rates =
+      opt.quick ? std::vector<double>{4} : std::vector<double>{4, 8};
+  for (std::uint32_t procs : {64U, 128U}) {
+    for (double expected_faults : rates) {
+      auto reps = bench::run_replicates(
+          opt.replicates, program,
+          [&](std::uint64_t s) {
+            return config_for(procs, net::TopologyKind::kTorus2D, s);
+          },
+          [&](const core::SystemConfig&, std::int64_t makespan,
+              std::uint64_t seed) {
+            net::RecurringFault arrivals;
+            arrivals.start = sim::SimTime(makespan / 5);
+            arrivals.stop = sim::SimTime(makespan * 2);
+            arrivals.mean_interval =
+                static_cast<double>(makespan) / expected_faults;
+            arrivals.max_faults = 24;
+            net::FaultPlan plan = net::FaultPlan::poisson(arrivals);
+            plan.with_rejoin(sim::SimTime(makespan / 6));
+            plan.with_seed(seed * 29 + 13);
+            return plan;
+          });
+      auto mean = [&](auto metric) { return bench::mean_of(reps, metric); };
+      churn.add_row(
+          {util::Table::num(static_cast<std::uint64_t>(procs)),
+           util::Table::num(expected_faults, 0),
+           util::Table::num(mean([](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                  r.result.faults_injected);
+                            }),
+                            1),
+           util::Table::num(mean([](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                  r.result.nodes_revived);
+                            }),
+                            1),
+           std::to_string(bench::correct_count(reps)) + "/" +
+               std::to_string(static_cast<int>(reps.size())),
+           util::Table::num(mean([](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                  r.result.counters.tasks_respawned);
+                            }),
+                            1),
+           util::Table::num(
+               mean([](const bench::Replicate& r) {
+                 return static_cast<double>(
+                     r.result.net.sent[static_cast<std::size_t>(
+                         net::MsgKind::kErrorDetection)]);
+               }),
+               0),
+           util::Table::num(mean([](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                         r.result.makespan_ticks) /
+                                     static_cast<double>(r.clean_makespan);
+                            }),
+                            2),
+           util::Table::num(mean([](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                  r.result.processors_alive_at_end);
+                            }),
+                            1)});
+    }
+  }
+  bench::emit(churn, opt);
+
   std::printf(
       "expected shape: speedup grows with processors until the tree's\n"
       "parallelism saturates; recovery latency stays roughly flat (only\n"
       "the dead node's resident subtree is redone) while error-broadcast\n"
-      "traffic grows linearly with machine size.\n");
+      "traffic grows linearly with machine size. Under recurring faults\n"
+      "with repair, large machines stay correct and near full strength at\n"
+      "the end of the run; reissues scale with the fault rate, not the\n"
+      "machine size.\n");
   return 0;
 }

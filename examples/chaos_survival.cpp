@@ -51,6 +51,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("scenario: %s\n", plan.describe().c_str());
+    if (plan.rejoin.mode == net::RejoinMode::kWarm) {
+      // The DSL picks the rejoin mode; persistency is a machine property
+      // (core::StoreConfig). Give warm scenarios the full mechanism —
+      // durable-log replay on top of survivor state transfer.
+      cfg.store.model = store::Persistency::kLocal;
+      std::printf("store: local durable log (warm rejoin scenario)\n");
+    }
   } else {
     // Kill 3/4 of the machine in evenly spaced waves.
     util::Xoshiro256 rng(4321);
@@ -81,8 +88,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.faults_injected),
               r.processors_alive_at_end, r.processors);
   if (r.nodes_revived > 0) {
-    std::printf("nodes repaired    : %llu rejoined blank mid-run\n",
-                static_cast<unsigned long long>(r.nodes_revived));
+    std::printf("nodes repaired    : %llu rejoined %s mid-run\n",
+                static_cast<unsigned long long>(r.nodes_revived),
+                plan.rejoin.mode == net::RejoinMode::kWarm ? "warm" : "blank");
   }
   std::printf("tasks respawned   : %llu, twins %llu, salvaged %llu\n",
               static_cast<unsigned long long>(r.counters.tasks_respawned),

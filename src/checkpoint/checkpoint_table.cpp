@@ -26,6 +26,7 @@ RecordOutcome CheckpointTable::record(net::ProcId dest,
   entry.push_back(std::move(record));
   ++records_made_;
   note_peak();
+  if (listener_ != nullptr) listener_->on_record(dest, entry.back());
   return RecordOutcome::kRecorded;
 }
 
@@ -33,6 +34,7 @@ std::vector<CheckpointRecord> CheckpointTable::take(net::ProcId dead) {
   auto& entry = entries_.at(dead);
   std::vector<CheckpointRecord> out = std::move(entry);
   entry.clear();
+  if (listener_ != nullptr && !out.empty()) listener_->on_take(dead);
   return out;
 }
 
@@ -44,7 +46,10 @@ bool CheckpointTable::release(net::ProcId dest,
     return existing.packet.stamp == stamp;
   });
   const bool found = entry.size() != before;
-  if (found) ++released_;
+  if (found) {
+    ++released_;
+    if (listener_ != nullptr) listener_->on_release(dest, stamp);
+  }
   return found;
 }
 
@@ -57,6 +62,20 @@ bool CheckpointTable::release_anywhere(const runtime::LevelStamp& stamp) {
 
 void CheckpointTable::clear() {
   for (auto& entry : entries_) entry.clear();
+}
+
+std::vector<std::pair<net::ProcId, CheckpointRecord*>>
+CheckpointTable::restored_children_of(const runtime::LevelStamp& parent) {
+  std::vector<std::pair<net::ProcId, CheckpointRecord*>> out;
+  for (net::ProcId dest = 0; dest < entries_.size(); ++dest) {
+    for (CheckpointRecord& record : entries_[dest]) {
+      if (record.restored && record.packet.stamp.depth() == parent.depth() + 1 &&
+          parent.is_ancestor_of(record.packet.stamp)) {
+        out.emplace_back(dest, &record);
+      }
+    }
+  }
+  return out;
 }
 
 std::size_t CheckpointTable::total_records() const noexcept {

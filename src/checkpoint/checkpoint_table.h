@@ -26,6 +26,10 @@ struct CheckpointRecord {
   runtime::TaskUid owner = runtime::kNoTask;  // local parent task
   lang::ExprId site = lang::kNoExpr;          // slot in the owner's body
   runtime::TaskPacket packet;                 // the retained task packet
+  /// True when this record was rebuilt from a DurableStore log replay after
+  /// a crash: its owner task died with the node, so reissue must go through
+  /// a re-accepted owner (matched by stamp) or directly from the packet.
+  bool restored = false;
 };
 
 enum class RecordOutcome : std::uint8_t {
@@ -35,7 +39,22 @@ enum class RecordOutcome : std::uint8_t {
 
 class CheckpointTable {
  public:
+  /// Mutation observer: the durable store subscribes to mirror every table
+  /// mutation into its append-only log (store/durable_store.h). Callbacks
+  /// fire after the mutation applied; a null listener costs nothing.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void on_record(net::ProcId dest, const CheckpointRecord& record) = 0;
+    virtual void on_release(net::ProcId dest,
+                            const runtime::LevelStamp& stamp) = 0;
+    virtual void on_take(net::ProcId dead) = 0;
+  };
+
   CheckpointTable(net::ProcId self, net::ProcId processors);
+
+  /// Install (or detach, with nullptr) the mutation listener.
+  void set_listener(Listener* listener) noexcept { listener_ = listener; }
 
   /// Record a spawn of `record.packet` onto `dest`. Applies the §3.2
   /// subsumption rule and maintains the antichain (descendants of the new
@@ -64,6 +83,17 @@ class CheckpointTable {
     return entries_.at(dest);
   }
 
+  [[nodiscard]] net::ProcId processors() const noexcept {
+    return static_cast<net::ProcId>(entries_.size());
+  }
+
+  /// Replay-restored records whose packet is a direct child of `parent`,
+  /// with the destination entry each lives in. Mutable so a warm rejoin can
+  /// rebind them to the re-accepted owner task; pointers are invalidated by
+  /// the next table mutation, so use immediately.
+  [[nodiscard]] std::vector<std::pair<net::ProcId, CheckpointRecord*>>
+  restored_children_of(const runtime::LevelStamp& parent);
+
   [[nodiscard]] std::size_t total_records() const noexcept;
   [[nodiscard]] std::uint64_t total_units() const noexcept;
   [[nodiscard]] std::size_t peak_records() const noexcept {
@@ -83,6 +113,7 @@ class CheckpointTable {
   void note_peak();
 
   net::ProcId self_;
+  Listener* listener_ = nullptr;
   std::vector<std::vector<CheckpointRecord>> entries_;
   std::size_t peak_records_ = 0;
   std::uint64_t peak_units_ = 0;

@@ -217,8 +217,24 @@ net::FaultPlan parse_fault_plan(std::string_view spec) {
       }
       plan.recurring.push_back(std::move(arrivals));
     } else if (verb == "rejoin") {
+      // rejoin:DELAY[,warm|cold]
+      const auto parts = split(args, ',');
+      if (parts.empty()) bad_clause(clause, "expected 'DELAY[,warm|cold]'");
+      net::RejoinMode mode = net::RejoinMode::kCold;
+      if (parts.size() == 2) {
+        if (parts[1] == "warm") {
+          mode = net::RejoinMode::kWarm;
+        } else if (parts[1] == "cold") {
+          mode = net::RejoinMode::kCold;
+        } else {
+          bad_clause(clause, "unknown rejoin mode '" + std::string(parts[1]) +
+                                 "' (want warm|cold)");
+        }
+      } else if (parts.size() > 2) {
+        bad_clause(clause, "expected 'DELAY[,warm|cold]'");
+      }
       plan.with_rejoin(
-          sim::SimTime(parse_int<std::int64_t>(args, clause)));
+          sim::SimTime(parse_int<std::int64_t>(parts[0], clause)), mode);
     } else if (verb == "seed") {
       plan.with_seed(parse_int<std::uint64_t>(args, clause));
     } else {
@@ -274,6 +290,12 @@ std::string SystemConfig::describe() const {
   if (replication.enabled()) {
     out << " repl=" << replication.factor << "x@d<" << replication.max_depth
         << (replication.majority ? "(majority)" : "(first)");
+  }
+  if (store.durable()) {
+    out << " store=" << store::to_string(store.model);
+    if (store.model == store::Persistency::kLossy) {
+      out << "(p=" << store.survive_p << ")";
+    }
   }
   out << " seed=" << seed;
   return out.str();

@@ -11,6 +11,7 @@
 #include "net/fault_plan.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "store/persistency.h"
 
 namespace splice::core {
 
@@ -45,10 +46,14 @@ enum class RecoveryKind : std::uint8_t {
 ///   hood:P,rK@T                    K-hop neighbourhood of P
 ///   cascade:P@T[,p=0.9][,decay=0.5][,hops=2][,stagger=200]
 ///   poisson:mean=M[,start=T][,stop=T][,max=N][,over=p1|p2|...]
-///   rejoin:DELAY                   crash-recovery: revive DELAY after kill
+///   rejoin:DELAY[,warm|cold]       crash-recovery: revive DELAY after kill;
+///                                  warm = survivor state transfer, plus
+///                                  durable-log replay when the host
+///                                  SystemConfig's StoreConfig persists
+///                                  (model != none); cold (default) = blank
 ///   seed:S                         RNG stream for cascade/poisson draws
 ///
-/// Example: "rect:0,0,2x2@5000;cascade:7@9000,p=0.8,hops=2;rejoin:4000".
+/// Example: "rect:0,0,2x2@5000;cascade:7@9000,p=0.8,hops=2;rejoin:4000,warm".
 /// Regions resolve against the concrete Topology when the injector arms.
 /// Throws std::invalid_argument on malformed input, naming the bad clause.
 [[nodiscard]] net::FaultPlan parse_fault_plan(std::string_view spec);
@@ -86,6 +91,34 @@ struct RecoveryConfig {
   std::int64_t restore_delay = 500;
 };
 
+/// Durable checkpoint store + warm-rejoin state transfer (store/ subsystem).
+struct StoreConfig {
+  /// What survives a crash on the node's local medium (persistency.h).
+  /// kNone keeps the paper's blank-rejoin semantics and disables logging.
+  store::Persistency model = store::Persistency::kNone;
+  /// kLossy: per-entry survival probability.
+  double survive_p = 0.5;
+  /// State transfer: task packets per kStateChunk (bounds message size so
+  /// catch-up interleaves with normal traffic instead of stopping it).
+  std::uint32_t chunk_records = 4;
+  /// State transfer: ticks between consecutive chunks from one peer.
+  std::int64_t chunk_interval = 50;
+  /// Warm rejoin: how long a survivor defers its reissue obligations
+  /// against a dead node before falling back to cold reissue (covers the
+  /// repair delay plus the transfer; a node that rejoins sooner absorbs
+  /// its old work via state transfer instead).
+  std::int64_t warm_grace = 20000;
+  /// Warm rejoin: how long a re-hosted task awaits a pre-linked orphan
+  /// child's result after catch-up before respawning it. A stale replayed
+  /// record (its release lost by torn media) awaits a result that already
+  /// returned to the previous incarnation, so this bounds that false wait.
+  std::int64_t prelink_grace = 8000;
+
+  [[nodiscard]] bool durable() const noexcept {
+    return model != store::Persistency::kNone;
+  }
+};
+
 struct ReplicationConfig {
   /// §5.3: number of copies of each replicated task packet (1 = off).
   std::uint32_t factor = 1;
@@ -115,6 +148,7 @@ struct SystemConfig {
   SchedulerConfig scheduler;
   RecoveryConfig recovery;
   ReplicationConfig replication;
+  StoreConfig store;
 
   /// Liveness probing period (ticks); 0 disables. Needed so failures of
   /// quiescent processors are detected (§1's "identified as faulty by other

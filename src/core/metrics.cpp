@@ -27,6 +27,16 @@ void Counters::merge(const Counters& other) noexcept {
   freeze_ticks += other.freeze_ticks;
   error_broadcasts += other.error_broadcasts;
   rejoins += other.rejoins;
+  store_entries_logged += other.store_entries_logged;
+  store_entries_lost += other.store_entries_lost;
+  store_records_replayed += other.store_records_replayed;
+  state_chunks_sent += other.state_chunks_sent;
+  state_packets_transferred += other.state_packets_transferred;
+  state_units_transferred += other.state_units_transferred;
+  stale_chunks_dropped += other.stale_chunks_dropped;
+  reissues_avoided += other.reissues_avoided;
+  reissues_deferred += other.reissues_deferred;
+  catch_up_ticks += other.catch_up_ticks;
   busy_ticks += other.busy_ticks;
 }
 

@@ -41,7 +41,19 @@ struct Counters {
 
   // Failure handling.
   std::uint64_t error_broadcasts = 0;
-  std::uint64_t rejoins = 0;  // times this node revived blank (crash-recovery)
+  std::uint64_t rejoins = 0;  // times this node revived (crash-recovery)
+
+  // Durable store + warm-rejoin state transfer (store/ subsystem).
+  std::uint64_t store_entries_logged = 0;   // checkpoint mutations journaled
+  std::uint64_t store_entries_lost = 0;     // erased by the persistency model
+  std::uint64_t store_records_replayed = 0; // live records after log replay
+  std::uint64_t state_chunks_sent = 0;      // kStateChunk messages streamed
+  std::uint64_t state_packets_transferred = 0;  // packets re-accepted on rejoin
+  std::uint64_t state_units_transferred = 0;    // transfer volume (size units)
+  std::uint64_t stale_chunks_dropped = 0;   // incarnation-guarded discards
+  std::uint64_t reissues_avoided = 0;       // respawns replaced by transfer
+  std::uint64_t reissues_deferred = 0;      // warm-mode deferrals granted
+  std::int64_t catch_up_ticks = 0;          // revive -> transfer complete (sum)
 
   // Work accounting (busy processor time in ticks).
   std::int64_t busy_ticks = 0;

@@ -23,6 +23,8 @@ RunResult Simulation::run() {
       config_.latency);
   runtime_ = std::make_unique<runtime::Runtime>(*sim_, *network_, config_,
                                                 program_);
+  runtime_->set_warm_rejoin(fault_plan_.rejoin.enabled &&
+                            fault_plan_.rejoin.mode == net::RejoinMode::kWarm);
   injector_ = std::make_unique<net::FaultInjector>(
       *sim_, *network_, fault_plan_,
       [this](net::ProcId dead) { runtime_->on_kill(dead); },

@@ -88,6 +88,7 @@ std::string FaultPlan::describe() const {
   }
   if (rejoin.enabled) {
     out << sep << "rejoin+" << rejoin.delay.ticks();
+    if (rejoin.mode == RejoinMode::kWarm) out << "(warm)";
     sep = "; ";
   }
   if (*sep != '\0' && (!cascades.empty() || !recurring.empty())) {

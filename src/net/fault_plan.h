@@ -17,8 +17,10 @@
 //                       probability decay;
 //  * recurring faults   Poisson-style inter-fault arrivals over a node set,
 //                       so experiments sweep fault *rates*, not counts;
-//  * rejoin             every crashed node is repaired and revives blank
-//                       after a fixed repair delay (crash-recovery model).
+//  * rejoin             every crashed node is repaired after a fixed repair
+//                       delay and revives blank (cold) or warm — replaying
+//                       its durable checkpoint log and catching up from
+//                       survivors (crash-recovery model, store/ subsystem).
 //
 // Every stochastic choice flows through util::rng seeded from `seed`, so a
 // (plan, topology) pair expands to a bit-identical kill schedule on every
@@ -27,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/topology.h"
@@ -118,11 +121,24 @@ struct RecurringFault {
   std::uint32_t max_faults = 64;
 };
 
+/// How a repaired node re-enters the machine.
+enum class RejoinMode : std::uint8_t {
+  kCold,  // blank rejoin: all state lost (the paper's model)
+  kWarm,  // replay the durable checkpoint log, then survivor-assisted
+          // state transfer (store/ subsystem)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RejoinMode mode) noexcept {
+  return mode == RejoinMode::kWarm ? "warm" : "cold";
+}
+
 /// Crash-recovery model: every kill schedules a revive of the same node
-/// after `delay` ticks of repair; the node rejoins blank.
+/// after `delay` ticks of repair; the node rejoins blank (cold) or via
+/// state transfer (warm).
 struct RejoinSpec {
   bool enabled = false;
   sim::SimTime delay = sim::SimTime(5000);
+  RejoinMode mode = RejoinMode::kCold;
 };
 
 struct FaultPlan {
@@ -153,10 +169,6 @@ struct FaultPlan {
     plan.timed.push_back({target, when});
     return plan;
   }
-  [[deprecated("pass sim::SimTime instead of raw ticks")]] [[nodiscard]]
-  static FaultPlan single(ProcId target, std::int64_t when_ticks) {
-    return single(target, sim::SimTime(when_ticks));
-  }
   [[nodiscard]] static FaultPlan at_trigger(ProcId target, std::string trigger,
                                             sim::SimTime delay = {}) {
     FaultPlan plan;
@@ -180,9 +192,11 @@ struct FaultPlan {
   }
 
   // ---- chainable modifiers ------------------------------------------------
-  FaultPlan& with_rejoin(sim::SimTime delay) {
+  FaultPlan& with_rejoin(sim::SimTime delay,
+                         RejoinMode mode = RejoinMode::kCold) {
     rejoin.enabled = true;
     rejoin.delay = delay;
+    rejoin.mode = mode;
     return *this;
   }
   FaultPlan& with_seed(std::uint64_t s) {

@@ -28,11 +28,13 @@ enum class MsgKind : std::uint8_t {
   kHeartbeat,        // liveness probe (optional detector)
   kLoadUpdate,       // gradient-model pressure exchange
   kCheckpointXfer,   // periodic-global baseline state transfer
-  kRejoinNotice,     // repaired processor announces it is back (blank)
+  kRejoinNotice,     // repaired processor announces it is back
+  kStateRequest,     // warm rejoiner asks peers for state held against it
+  kStateChunk,       // bounded slice of checkpoints + liveness (transfer)
   kControl,          // runtime-internal control (super-root start, etc.)
 };
 
-inline constexpr std::size_t kMsgKindCount = 12;
+inline constexpr std::size_t kMsgKindCount = 14;
 
 [[nodiscard]] std::string_view to_string(MsgKind kind) noexcept;
 

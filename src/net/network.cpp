@@ -32,6 +32,10 @@ std::string_view to_string(MsgKind kind) noexcept {
       return "checkpoint-xfer";
     case MsgKind::kRejoinNotice:
       return "rejoin-notice";
+    case MsgKind::kStateRequest:
+      return "state-request";
+    case MsgKind::kStateChunk:
+      return "state-chunk";
     case MsgKind::kControl:
       return "control";
   }

@@ -35,6 +35,12 @@ class RecoveryPolicy {
   /// elsewhere).
   [[nodiscard]] virtual bool functional_checkpointing() const { return true; }
 
+  /// Does this policy route orphan results onward (ancestor escalation +
+  /// relay)? Warm rejoin only pre-links re-accepted tasks to surviving
+  /// orphan children when it does — without salvage the orphan's result
+  /// can be abandoned in flight and an awaiting slot would starve.
+  [[nodiscard]] virtual bool salvages_orphans() const { return false; }
+
   /// Called once, after construction, with the runtime (periodic-global
   /// uses it to schedule snapshot cycles).
   virtual void attach(runtime::Runtime& /*rt*/) {}
@@ -42,6 +48,15 @@ class RecoveryPolicy {
   /// First time `proc` learns that `dead` failed (error-detection, §4.2).
   virtual void on_error_detected(runtime::Processor& proc,
                                  net::ProcId dead) = 0;
+
+  /// The cold reissue action for the checkpoints `proc` holds against
+  /// `dead`. Checkpoint-based policies implement their on_error_detected
+  /// body here so warm rejoin can defer it: while a warm-mode repair is
+  /// pending, obligations stay in the table (state transfer re-hosts them)
+  /// and this runs only if the grace period expires with the node still
+  /// down (Runtime::defer_reissue).
+  virtual void reissue_against(runtime::Processor& /*proc*/,
+                               net::ProcId /*dead*/) {}
 
   /// Runtime-level notification, fired once per dead processor system-wide
   /// (restart and periodic-global act globally).

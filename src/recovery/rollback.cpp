@@ -24,7 +24,31 @@ bool all_destinations_dead(Processor& proc, const CallSlot& slot) {
   return true;
 }
 
+std::pair<Task*, CallSlot*> resolve_record_owner(
+    Processor& proc, checkpoint::CheckpointRecord& record) {
+  Task* owner = proc.find_task(record.owner);
+  if (owner == nullptr && record.restored &&
+      !record.packet.stamp.is_root()) {
+    // Restored across a crash: the uid names the previous incarnation.
+    owner = proc.find_task_by_stamp(record.packet.stamp.parent());
+  }
+  if (owner == nullptr) return {nullptr, nullptr};
+  CallSlot* slot = owner->find_slot(record.site);
+  if (slot == nullptr || !slot->spawned) {
+    // A stamp-matched owner re-accepted after the crash may not have
+    // reached this call site yet; re-link the slot from the checkpoint.
+    owner->note_spawned(record.site, record.packet);
+    slot = owner->find_slot(record.site);
+  }
+  return {owner, slot};
+}
+
 void RollbackPolicy::on_error_detected(Processor& proc, net::ProcId dead) {
+  if (proc.runtime().defer_reissue(proc, dead)) return;
+  reissue_against(proc, dead);
+}
+
+void RollbackPolicy::reissue_against(Processor& proc, net::ProcId dead) {
   // (a) Abort direct orphans: their results could only flow to the dead
   //     parent ("the result of the task cannot be forwarded").
   proc.abort_tasks_if(
@@ -34,10 +58,16 @@ void RollbackPolicy::on_error_detected(Processor& proc, net::ProcId dead) {
   // (b) Reissue the topmost checkpoints held against the dead processor.
   auto records = proc.table().take(dead);
   for (auto& record : records) {
-    Task* owner = proc.find_task(record.owner);
-    if (owner == nullptr) continue;  // owner was aborted in (a): its branch
-                                     // regrows from a higher ancestor
-    CallSlot* slot = owner->find_slot(record.site);
+    auto [owner, slot] = resolve_record_owner(proc, record);
+    if (owner == nullptr) {
+      if (record.restored) {
+        // The owner died with this node's previous incarnation and was not
+        // re-accepted; the retained packet alone regrows the branch.
+        proc.respawn_from_record(std::move(record), "rollback restored");
+      }
+      continue;  // owner was aborted in (a): its branch regrows from a
+                 // higher ancestor
+    }
     if (slot == nullptr || slot->resolved()) continue;
     proc.respawn_slot(*owner, *slot, /*as_twin=*/false, "rollback reissue");
   }

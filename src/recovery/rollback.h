@@ -12,6 +12,9 @@
 // forwarded to the parent task."
 #pragma once
 
+#include <utility>
+
+#include "checkpoint/checkpoint_table.h"
 #include "recovery/policy.h"
 #include "runtime/task.h"
 
@@ -23,11 +26,22 @@ class RollbackPolicy final : public RecoveryPolicy {
     return core::RecoveryKind::kRollback;
   }
   void on_error_detected(runtime::Processor& proc, net::ProcId dead) override;
+  void reissue_against(runtime::Processor& proc, net::ProcId dead) override;
   void on_result_undeliverable(runtime::Processor& proc,
                                runtime::ResultMsg msg) override;
   void on_ancestor_result(runtime::Processor& proc,
                           runtime::ResultMsg msg) override;
 };
+
+/// Resolve a checkpoint record's owner task: by uid for live owners, by
+/// stamp for records restored across a crash (their uid died with the old
+/// incarnation; warm rejoin re-accepts the owner under a fresh one). When
+/// found by stamp, the slot is re-linked from the record if needed.
+/// Returns the owner and the slot to respawn through, or {nullptr,
+/// nullptr} when reissue must go directly from the record.
+[[nodiscard]] std::pair<runtime::Task*, runtime::CallSlot*>
+resolve_record_owner(runtime::Processor& proc,
+                     checkpoint::CheckpointRecord& record);
 
 /// True when every destination the slot's packet was last sent to is known
 /// dead (no live or potentially-live incarnation of the child remains).

@@ -15,6 +15,11 @@ using runtime::TaskRef;
 using runtime::TaskState;
 
 void SplicePolicy::on_error_detected(Processor& proc, net::ProcId dead) {
+  if (proc.runtime().defer_reissue(proc, dead)) return;
+  reissue_against(proc, dead);
+}
+
+void SplicePolicy::reissue_against(Processor& proc, net::ProcId dead) {
   if (eager_respawn_) {
     // Ablation variant: every live parent regenerates every child whose
     // every incarnation is trapped in dead processors.
@@ -37,9 +42,13 @@ void SplicePolicy::on_error_detected(Processor& proc, net::ProcId dead) {
   // node is exactly that set.
   auto records = proc.table().take(dead);
   for (auto& record : records) {
-    Task* owner = proc.find_task(record.owner);
-    if (owner == nullptr) continue;
-    CallSlot* slot = owner->find_slot(record.site);
+    auto [owner, slot] = resolve_record_owner(proc, record);
+    if (owner == nullptr) {
+      if (record.restored) {
+        proc.respawn_from_record(std::move(record), "splice restored");
+      }
+      continue;
+    }
     if (slot == nullptr || slot->resolved()) continue;
     proc.respawn_slot(*owner, *slot, /*as_twin=*/true, "step-parent");
   }
@@ -83,6 +92,17 @@ void SplicePolicy::escalate(Processor& proc, ResultMsg msg) {
 
 void SplicePolicy::on_ancestor_result(Processor& proc, ResultMsg msg) {
   Task* ancestor = proc.find_task(msg.target.uid);
+  if (ancestor == nullptr && proc.warm_rejoined() &&
+      msg.stamp.depth() > msg.ancestor_index + 1) {
+    // The targeted ancestor uid belongs to this node's previous
+    // incarnation; re-derive it by stamp (the producer's stamp truncated
+    // to the ancestor's depth) against the re-accepted task set.
+    const std::size_t depth = msg.stamp.depth() - (msg.ancestor_index + 1);
+    const runtime::LevelStamp prefix(std::vector<runtime::StampDigit>(
+        msg.stamp.digits().begin(),
+        msg.stamp.digits().begin() + static_cast<std::ptrdiff_t>(depth)));
+    ancestor = proc.find_task_by_stamp(prefix);
+  }
   if (ancestor == nullptr || ancestor->state() == TaskState::kCompleted ||
       ancestor->state() == TaskState::kAborted) {
     // Case 8: nobody recognises the answer any more.

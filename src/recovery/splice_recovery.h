@@ -27,7 +27,9 @@ class SplicePolicy final : public RecoveryPolicy {
   [[nodiscard]] core::RecoveryKind kind() const override {
     return core::RecoveryKind::kSplice;
   }
+  [[nodiscard]] bool salvages_orphans() const override { return true; }
   void on_error_detected(runtime::Processor& proc, net::ProcId dead) override;
+  void reissue_against(runtime::Processor& proc, net::ProcId dead) override;
   void on_result_undeliverable(runtime::Processor& proc,
                                runtime::ResultMsg msg) override;
   void on_ancestor_result(runtime::Processor& proc,

@@ -1,5 +1,6 @@
 #include "runtime/processor.h"
 
+#include <algorithm>
 #include <any>
 #include <cassert>
 
@@ -11,8 +12,56 @@ namespace splice::runtime {
 using net::Envelope;
 using net::MsgKind;
 
+namespace {
+store::StateStreamer::Env make_streamer_env(Processor& self, Runtime& rt) {
+  store::StateStreamer::Env env;
+  env.chunk_records = rt.config().store.chunk_records;
+  env.chunk_interval = sim::SimTime(rt.config().store.chunk_interval);
+  env.send = [&self, &rt](net::ProcId to, store::StateChunkMsg chunk) {
+    if (self.crashed()) return;
+    ++self.counters().state_chunks_sent;
+    Envelope env_out;
+    env_out.kind = MsgKind::kStateChunk;
+    env_out.from = self.id();
+    env_out.to = to;
+    env_out.size_units = chunk.size_units();
+    env_out.payload = std::move(chunk);
+    rt.network().send(std::move(env_out));
+  };
+  env.after = [&rt](sim::SimTime delay, std::function<void()> fn) {
+    rt.sim().after(delay, std::move(fn));
+  };
+  env.alive = [&rt](net::ProcId p) { return rt.network().alive(p); };
+  env.packets_against = [&self](net::ProcId rejoiner) {
+    std::vector<TaskPacket> packets;
+    for (const checkpoint::CheckpointRecord& record :
+         self.table().entry(rejoiner)) {
+      packets.push_back(record.packet);
+    }
+    return packets;
+  };
+  env.known_dead = [&self, &rt] {
+    // Sorted so the chunk contents — and therefore the whole run — stay a
+    // pure function of the seed (the dead set is an unordered container).
+    std::vector<net::ProcId> dead;
+    for (net::ProcId p = 0; p < rt.network().size(); ++p) {
+      if (p != self.id() && self.knows_dead(p)) dead.push_back(p);
+    }
+    return dead;
+  };
+  return env;
+}
+}  // namespace
+
 Processor::Processor(Runtime& rt, net::ProcId id)
-    : rt_(rt), id_(id), table_(id, rt.config().processors) {}
+    : rt_(rt),
+      id_(id),
+      table_(id, rt.config().processors),
+      store_(id, rt.config().store.model, rt.config().store.survive_p,
+             rt.config().seed),
+      streamer_(make_streamer_env(*this, rt)) {
+  if (store_.enabled()) table_.set_listener(&store_);
+}
 
 // ---------------------------------------------------------------------------
 // Protocol loop dispatch
@@ -46,6 +95,15 @@ void Processor::handle(Envelope env) {
     case MsgKind::kRejoinNotice:
       learn_alive(std::any_cast<RejoinMsg>(env.payload).who);
       break;
+    case MsgKind::kStateRequest:
+      handle_state_request(
+          std::any_cast<store::StateRequestMsg>(env.payload));
+      break;
+    case MsgKind::kStateChunk:
+      handle_state_chunk(
+          env.from,
+          std::any_cast<store::StateChunkMsg&&>(std::move(env.payload)));
+      break;
     case MsgKind::kHeartbeat:
     case MsgKind::kLoadUpdate:
     case MsgKind::kCheckpointXfer:
@@ -62,8 +120,8 @@ void Processor::handle(Envelope env) {
 // Task intake & execution
 // ---------------------------------------------------------------------------
 
-void Processor::accept_packet(TaskPacket packet) {
-  if (dead_) return;
+TaskUid Processor::accept_packet(TaskPacket packet) {
+  if (dead_) return kNoTask;
   ++counters_.tasks_created;
   const TaskUid uid = rt_.next_uid();
   const LevelStamp stamp = packet.stamp;
@@ -98,6 +156,7 @@ void Processor::accept_packet(TaskPacket packet) {
     rt_.network().send(std::move(env));
   }
   enqueue_scan(uid);
+  return uid;
 }
 
 void Processor::enqueue_scan(TaskUid uid) {
@@ -173,6 +232,13 @@ void Processor::finish_scan(TaskUid uid, const ScanOutcome& outcome) {
 //    balancing manager. Functional checkpoint the packet."
 
 void Processor::spawn_child(Task& owner, const SpawnRequest& request) {
+  if (const CallSlot* existing = owner.find_slot(request.site);
+      existing != nullptr && existing->spawned && !existing->resolved()) {
+    // The slot was pre-linked by a warm rejoin while this scan's outcome
+    // was in flight: the original child survives elsewhere and its result
+    // is awaited — spawning again would duplicate the whole subtree.
+    return;
+  }
   TaskPacket packet;
   packet.stamp = owner.stamp().child(request.site);
   packet.fn = request.fn;
@@ -316,14 +382,38 @@ void Processor::handle_result(ResultMsg msg) {
     return;
   }
   Task* task = find_task(msg.target.uid);
+  if (task == nullptr && warm_rejoined_ && !msg.stamp.is_root()) {
+    // The result addresses a task of this node's previous incarnation; the
+    // warm rejoin re-created it under a fresh uid. Level stamps come from
+    // program structure (§3.1), so they name the same task across lives —
+    // "interpret the level stamp" instead of the stale pointer.
+    task = find_task_by_stamp(msg.stamp.parent());
+  }
   if (task == nullptr || task->state() == TaskState::kCompleted ||
       task->state() == TaskState::kAborted) {
+    if (task == nullptr && buffer_warm_result(std::move(msg))) return;
     // Case 8: "The processor which contained P' may no longer recognize the
     // arrived answer. The result is discarded."
     ++counters_.late_results_discarded;
     return;
   }
   deliver_parent_result(*task, msg);
+}
+
+bool Processor::buffer_warm_result(ResultMsg msg) {
+  // Only while chunks are still streaming: the consumer may be in flight.
+  if (!warm_rejoined_ || awaiting_transfer_.empty()) return false;
+  warm_pending_results_.push_back(std::move(msg));
+  return true;
+}
+
+void Processor::flush_warm_results() {
+  if (warm_pending_results_.empty()) return;
+  std::vector<ResultMsg> pending = std::move(warm_pending_results_);
+  warm_pending_results_.clear();
+  // Unmatched results re-buffer themselves while catch-up is active and
+  // fall through to the normal discard path after it completes.
+  for (ResultMsg& msg : pending) handle_result(std::move(msg));
 }
 
 void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
@@ -345,7 +435,10 @@ void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
                     msg.stamp.to_string() + " into " +
                         task.stamp().to_string());
   }
-  if (rt_.has_triggers()) {
+  // An unspawned slot can be pre-filled here (twin not yet scanned, or a
+  // stamp-matched delivery into a re-hosted task); its default-constructed
+  // retained packet names no real function, so no trigger fires for it.
+  if (rt_.has_triggers() && slot.spawned) {
     rt_.fire_trigger("result:" +
                      rt_.program().function(slot.retained.fn).name);
   }
@@ -446,6 +539,10 @@ void Processor::handle_delivery_failure(Envelope original) {
       rt_.policy().on_result_undeliverable(
           *this, std::any_cast<ResultMsg&&>(std::move(original.payload)));
       break;
+    case MsgKind::kStateRequest:
+      // The peer died before it could stream anything; stop waiting on it.
+      note_transfer_peer_done(original.to);
+      break;
     default:
       break;  // acks/heartbeats: detection above is all that matters
   }
@@ -454,6 +551,8 @@ void Processor::handle_delivery_failure(Envelope original) {
 void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
   if (dead == id_ || known_dead_.contains(dead)) return;
   known_dead_.insert(dead);
+  // A catch-up peer that died mid-stream will never send its last chunk.
+  note_transfer_peer_done(dead);
   std::string detail = "P";
   detail += std::to_string(dead);
   detail += direct_detection ? " (direct)" : " (broadcast)";
@@ -513,6 +612,65 @@ Task* Processor::find_task(TaskUid uid) {
   return it == tasks_.end() ? nullptr : it->second.get();
 }
 
+bool Processor::has_stake_in(net::ProcId dead) const {
+  if (!table_.entry(dead).empty()) return true;
+  for (const auto& [uid, task] : tasks_) {
+    if (task->state() == TaskState::kCompleted ||
+        task->state() == TaskState::kAborted) {
+      continue;
+    }
+    if (task->packet().parent().proc == dead) return true;
+    for (const auto& [site, slot] : task->slots()) {
+      if (!slot.outstanding()) continue;
+      for (net::ProcId p : slot.sent_to) {
+        if (p == dead) return true;
+      }
+      // A child may have been accepted by a node the scheduler did not
+      // originally pick (respawn landed elsewhere); the ack knows.
+      for (net::ProcId p : slot.child_procs) {
+        if (p == dead) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Task* Processor::find_task_by_stamp(const LevelStamp& stamp) {
+  // Lowest uid wins so the choice is deterministic regardless of hash-map
+  // iteration order (replicas can share a stamp on one node).
+  Task* best = nullptr;
+  for (auto& [uid, task] : tasks_) {
+    if (task->state() == TaskState::kCompleted ||
+        task->state() == TaskState::kAborted || task->stamp() != stamp) {
+      continue;
+    }
+    if (best == nullptr || task->uid() < best->uid()) best = task.get();
+  }
+  return best;
+}
+
+void Processor::respawn_from_record(checkpoint::CheckpointRecord record,
+                                    std::string_view reason) {
+  TaskPacket packet = record.packet;
+  packet.replica = 0;
+  const net::ProcId dest = rt_.scheduler().choose(id_, packet);
+  if (dest == net::kNoProc) return;
+  ++counters_.tasks_respawned;
+  rt_.trace().add(rt_.sim().now(), id_, "reissue",
+                  packet.stamp.to_string() + " from restored record (" +
+                      std::string(reason) + ")");
+  Envelope env;
+  env.kind = MsgKind::kTaskPacket;
+  env.from = id_;
+  env.to = dest;
+  env.size_units = packet.size_units();
+  env.payload = packet;
+  rt_.network().send(std::move(env));
+  if (rt_.policy().functional_checkpointing()) {
+    table_.record(dest, std::move(record));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Crash / freeze / snapshot
 // ---------------------------------------------------------------------------
@@ -522,7 +680,12 @@ void Processor::nuke() {
   tasks_.clear();
   step_queue_.clear();
   executing_ = false;
+  warm_rejoined_ = false;
+  awaiting_transfer_.clear();
+  streamer_.cancel_all();     // abandon any catch-up streams this node fed
+  store_.on_crash(incarnation_);  // the persistency model decides survival
   ++incarnation_;  // orphan this life's pending heartbeat chain
+  store_.set_incarnation(incarnation_);
 }
 
 void Processor::revive() {
@@ -530,14 +693,32 @@ void Processor::revive() {
   dead_ = false;
   frozen_ = false;
   executing_ = false;
-  // A repaired board is blank: no memory of tasks, checkpoints, or which
-  // peers had failed while it was down.
+  // Whatever the rejoin mode, the node has no memory of which peers failed
+  // while it was down; warm catch-up re-learns that from survivors.
   known_dead_.clear();
+  const bool warm = rt_.warm_rejoin();
+  std::size_t restored = 0;
+  table_.set_listener(nullptr);  // replay must not re-log itself
   table_.clear();
+  if (warm) {
+    // Replay skips checkpoints held against this node itself — they guard
+    // children that died in the same crash, so the re-accepted parents
+    // respawn those subtrees fresh.
+    restored = store_.replay_into(table_);
+    store_.compact_from(table_);
+    warm_rejoined_ = true;
+    revive_time_ = rt_.sim().now();
+  } else {
+    store_.clear();  // cold: the new life starts from an empty log
+  }
+  if (store_.enabled()) table_.set_listener(&store_);
   ++counters_.rejoins;
-  rt_.trace().add(rt_.sim().now(), id_, "rejoin", "repaired, blank");
+  rt_.trace().add(rt_.sim().now(), id_, "rejoin",
+                  warm ? "repaired, warm (" + std::to_string(restored) +
+                             " checkpoints restored)"
+                       : "repaired, blank");
   // Announce the rejoin so live peers drop this node from their dead sets
-  // (dead peers either stay silent forever or rejoin blank themselves).
+  // (dead peers either stay silent forever or rejoin themselves).
   for (net::ProcId p = 0; p < rt_.network().size(); ++p) {
     if (p == id_ || !rt_.network().alive(p)) continue;
     Envelope env;
@@ -548,11 +729,148 @@ void Processor::revive() {
     env.payload = RejoinMsg{id_};
     rt_.network().send(std::move(env));
   }
+  if (warm) {
+    // Survivor-assisted catch-up: ask every live peer for the checkpoints
+    // it holds against this node (the tasks this node should re-host) and
+    // its liveness view. Chunks stream back interleaved with normal
+    // traffic; the incarnation guards against a re-crash mid-transfer.
+    for (net::ProcId p = 0; p < rt_.network().size(); ++p) {
+      if (p == id_ || !rt_.network().alive(p)) continue;
+      awaiting_transfer_.insert(p);
+      Envelope env;
+      env.kind = MsgKind::kStateRequest;
+      env.from = id_;
+      env.to = p;
+      env.size_units = 1;
+      env.payload = store::StateRequestMsg{id_, incarnation_};
+      rt_.network().send(std::move(env));
+    }
+    // Nobody left to stream from: catch-up is trivially complete (the
+    // pre-link sweep and result flushing must still be armed).
+    if (awaiting_transfer_.empty()) complete_catch_up();
+  }
   start_heartbeats();
+}
+
+// ---------------------------------------------------------------------------
+// Warm-rejoin state transfer (store/ subsystem)
+// ---------------------------------------------------------------------------
+
+void Processor::handle_state_request(const store::StateRequestMsg& msg) {
+  // The request races the rejoin notice only in pathological orders; treat
+  // it as proof of life either way.
+  if (knows_dead(msg.who)) learn_alive(msg.who);
+  streamer_.start(msg.who, msg.incarnation);
+}
+
+void Processor::handle_state_chunk(net::ProcId from,
+                                   store::StateChunkMsg msg) {
+  if (!warm_rejoined_ || msg.incarnation != incarnation_) {
+    // Addressed to a previous life: this node re-crashed mid-transfer and
+    // the chunk outlived it. The peer's table still holds every record, so
+    // the next revive re-requests from scratch.
+    ++counters_.stale_chunks_dropped;
+    return;
+  }
+  counters_.state_units_transferred += msg.size_units();
+  for (net::ProcId p : msg.known_dead) {
+    // Survivor liveness view: adopt deaths the network still agrees on.
+    if (p == id_ || rt_.network().alive(p)) continue;
+    learn_dead(p, /*direct_detection=*/false);
+  }
+  for (TaskPacket& packet : msg.packets) {
+    accept_transferred_packet(std::move(packet));
+  }
+  flush_warm_results();  // consumers for parked results may just have landed
+  if (msg.last) note_transfer_peer_done(from);
+}
+
+void Processor::accept_transferred_packet(TaskPacket packet) {
+  if (find_task_by_stamp(packet.stamp) != nullptr) return;  // already hosted
+  ++counters_.state_packets_transferred;
+  ++counters_.reissues_avoided;  // the peer would have respawned this task
+  const LevelStamp stamp = packet.stamp;
+  rt_.trace().add(rt_.sim().now(), id_, "transfer-in",
+                  stamp.to_string() + " re-hosted");
+  const TaskUid uid = accept_packet(std::move(packet));
+  Task* task = find_task(uid);
+  if (task == nullptr) return;
+  // Rebind replay-restored child checkpoints to the re-accepted owner and —
+  // when the policy salvages orphans — pre-link its slots: subtrees that
+  // survive on peers are awaited (their results route back by stamp), not
+  // recomputed. Without salvage an orphan's result can be abandoned in
+  // flight, so a non-salvaging policy respawns instead of awaiting.
+  const bool prelink = rt_.policy().salvages_orphans();
+  for (auto& [dest, record] : table_.restored_children_of(stamp)) {
+    record->owner = uid;
+    if (!record->packet.ancestors.empty()) {
+      record->packet.ancestors[0] = TaskRef{id_, uid};
+    }
+    if (!prelink) continue;
+    task->note_spawned(record->site, record->packet);
+    CallSlot& slot = task->slot(record->site);
+    slot.sent_to = {dest};
+    slot.prelinked = true;
+    rt_.trace().add(rt_.sim().now(), id_, "pre-link",
+                    record->packet.stamp.to_string() + " awaiting P" +
+                        std::to_string(dest));
+  }
+}
+
+void Processor::note_transfer_peer_done(net::ProcId peer) {
+  if (awaiting_transfer_.erase(peer) == 0 || !awaiting_transfer_.empty()) {
+    return;
+  }
+  complete_catch_up();
+}
+
+void Processor::complete_catch_up() {
+  counters_.catch_up_ticks += (rt_.sim().now() - revive_time_).ticks();
+  rt_.trace().add(rt_.sim().now(), id_, "catch-up",
+                  "state transfer complete after " +
+                      std::to_string((rt_.sim().now() - revive_time_).ticks()) +
+                      " ticks");
+  flush_warm_results();  // stragglers now resolve or discard normally
+  // Liveness guard on the awaited orphans: a pre-linked result can be lost
+  // to a later fault (ancestor chain exhausted, host re-crash) or be a
+  // stale obligation whose release the persistency model dropped. After
+  // the pre-link grace, stop waiting and respawn whatever is unresolved —
+  // duplicate returns are ignored by the §4.1 rules, so this trades a
+  // little repeat work for guaranteed progress.
+  rt_.sim().after(sim::SimTime(rt_.config().store.prelink_grace),
+                  [this, life = incarnation_] {
+                    if (life != incarnation_ || dead_ || rt_.done()) return;
+                    for_each_task([&](Task& task) {
+                      for (auto& [site, slot] : task.slots_mut()) {
+                        if (!slot.prelinked || slot.resolved()) continue;
+                        slot.prelinked = false;
+                        respawn_slot(task, slot, /*as_twin=*/true,
+                                     "pre-link grace expired");
+                      }
+                    });
+                    // Catch-up is over and every awaited slot has either
+                    // resolved or respawned: results for the previous
+                    // incarnation are no longer expected, so stop paying
+                    // the stamp-scan fallback on every unmatched result.
+                    warm_rejoined_ = false;
+                  });
 }
 
 void Processor::learn_alive(net::ProcId back) {
   if (back == id_) return;
+  // A peer this node is awaiting catch-up chunks from crashed mid-stream
+  // (its pump died with it) and has now been repaired: re-request. The
+  // repaired peer streams whatever its own store preserved — possibly just
+  // an empty final chunk — so the catch-up bookkeeping always completes.
+  if (awaiting_transfer_.contains(back)) {
+    Envelope env;
+    env.kind = MsgKind::kStateRequest;
+    env.from = id_;
+    env.to = back;
+    env.size_units = 1;
+    env.payload = store::StateRequestMsg{id_, incarnation_};
+    rt_.network().send(std::move(env));
+  }
   // Incremental concatenation dodges a gcc 12 -Wrestrict false positive
   // (same workaround as learn_dead).
   std::string detail = "P";

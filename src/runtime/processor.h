@@ -33,6 +33,8 @@
 #include "net/network.h"
 #include "runtime/task.h"
 #include "runtime/task_packet.h"
+#include "store/durable_store.h"
+#include "store/state_transfer.h"
 
 namespace splice::runtime {
 
@@ -48,8 +50,9 @@ class Processor {
   void handle(net::Envelope env);
 
   /// Accept a task packet (from the network or the super-root's host
-  /// channel): create the task, acknowledge, queue its first scan.
-  void accept_packet(TaskPacket packet);
+  /// channel): create the task, acknowledge, queue its first scan. Returns
+  /// the new task's uid (kNoTask when dead).
+  TaskUid accept_packet(TaskPacket packet);
 
   // ---- execution ----------------------------------------------------------
   void enqueue_scan(TaskUid uid);
@@ -63,9 +66,11 @@ class Processor {
   void nuke();
   [[nodiscard]] bool crashed() const noexcept { return dead_; }
 
-  /// Repair: come back blank (crash-recovery model). Clears the dead flag
-  /// and every piece of volatile state, broadcasts a rejoin notice so peers
-  /// drop this node from their dead sets, and restarts heartbeats.
+  /// Repair (crash-recovery model). Cold: come back blank. Warm (runtime
+  /// warm-rejoin mode): replay the durable checkpoint log into the table,
+  /// then request survivor-assisted state transfer. Either way the dead
+  /// flag clears, a rejoin notice broadcasts so peers drop this node from
+  /// their dead sets, and heartbeats restart.
   void revive();
 
   /// Record that `dead` failed. Idempotent. When `direct_detection`, this
@@ -80,6 +85,16 @@ class Processor {
 
   // ---- services used by recovery policies ---------------------------------
   [[nodiscard]] Task* find_task(TaskUid uid);
+  /// Live (not completed/aborted) local task with this exact stamp, or
+  /// nullptr. Warm rejoin re-creates tasks under fresh uids; stamp identity
+  /// is what survives the crash (§3.1: names come from program structure).
+  [[nodiscard]] Task* find_task_by_stamp(const LevelStamp& stamp);
+  /// Reissue a replay-restored checkpoint whose owner task died with this
+  /// node and was not re-accepted: send the retained packet to a fresh
+  /// destination and re-record it. The result flows to the old parent ref
+  /// and is salvaged by stamp (warm) or by ancestor escalation (splice).
+  void respawn_from_record(checkpoint::CheckpointRecord record,
+                           std::string_view reason);
   /// Reissue the child of `slot` from its retained packet. `as_twin` marks
   /// a splice step-parent (enables orphan-result inheritance).
   void respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
@@ -121,6 +136,21 @@ class Processor {
   [[nodiscard]] checkpoint::CheckpointTable& table() noexcept { return table_; }
   [[nodiscard]] Runtime& runtime() noexcept { return rt_; }
   [[nodiscard]] core::Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] const store::DurableStore& durable_store() const noexcept {
+    return store_;
+  }
+  /// True from a warm revive until the next crash: enables stamp-matched
+  /// delivery of results addressed to this node's previous incarnation.
+  [[nodiscard]] bool warm_rejoined() const noexcept { return warm_rejoined_; }
+  /// While warm catch-up is streaming, park a result whose consumer has not
+  /// been re-hosted yet; it re-delivers as transfers land. Returns false
+  /// once catch-up is over (the caller discards normally).
+  bool buffer_warm_result(ResultMsg msg);
+  /// Does this node hold anything a death of `dead` obligates it to act
+  /// on — a checkpoint against it, a task parented there, or a slot whose
+  /// child lives there? Gates warm-mode deferral so observers with no
+  /// stake neither schedule grace timers nor count deferrals.
+  [[nodiscard]] bool has_stake_in(net::ProcId dead) const;
 
   // ---- periodic-global baseline support ------------------------------------
   void freeze();
@@ -143,6 +173,15 @@ class Processor {
   void start_next_step();
   void finish_scan(TaskUid uid, const ScanOutcome& outcome);
   void spawn_child(Task& owner, const SpawnRequest& request);
+  void handle_state_request(const store::StateRequestMsg& msg);
+  void handle_state_chunk(net::ProcId from, store::StateChunkMsg msg);
+  /// Re-host one transferred task packet: accept it, then pre-link its call
+  /// slots from replay-restored child checkpoints so surviving orphan
+  /// subtrees are awaited instead of recomputed.
+  void accept_transferred_packet(TaskPacket packet);
+  void note_transfer_peer_done(net::ProcId peer);
+  void complete_catch_up();
+  void flush_warm_results();
   /// Send packet replicas, record the functional checkpoint. The packet
   /// must already be retained in the slot.
   void send_packet(Task& owner, CallSlot& slot);
@@ -162,6 +201,14 @@ class Processor {
   bool dead_ = false;
   std::unordered_set<net::ProcId> known_dead_;
   checkpoint::CheckpointTable table_;
+  store::DurableStore store_;
+  store::StateStreamer streamer_;
+  /// Peers still owed a final state chunk during warm catch-up.
+  std::unordered_set<net::ProcId> awaiting_transfer_;
+  /// Results that raced the transfer of their consumer (warm catch-up).
+  std::vector<ResultMsg> warm_pending_results_;
+  bool warm_rejoined_ = false;
+  sim::SimTime revive_time_;
   core::Counters counters_;
   std::uint64_t heartbeat_seq_ = 0;
   /// Bumped on every crash; heartbeat chains scheduled by an earlier

@@ -164,7 +164,9 @@ void Runtime::on_revive(net::ProcId back) {
   // rejoin, detection and the global policy hooks must fire again.
   if (back < detection_noted_.size()) detection_noted_[back] = false;
   procs_.at(back)->revive();
-  trace_.add(sim_.now(), back, "revive", "processor repaired (blank)");
+  trace_.add(sim_.now(), back, "revive",
+             warm_rejoin_ ? "processor repaired (warm)"
+                          : "processor repaired (blank)");
   if (undetected) {
     // The repair completed before anyone observed the death (stale bounce
     // notices are suppressed once the node is alive again), but the
@@ -174,6 +176,30 @@ void Runtime::on_revive(net::ProcId back) {
     policy_->on_global_failure(*this, back);
   }
   policy_->on_rejoin(*this, back);
+}
+
+bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
+  if (!warm_rejoin_) return false;
+  // Observers with no stake in the dead node (every live processor hears
+  // every death broadcast) take the immediate path: the cold action is a
+  // no-op for them, and a 128-node machine must not schedule a grace timer
+  // per observer per death.
+  if (!proc.has_stake_in(dead)) return false;
+  ++proc.counters().reissues_deferred;
+  trace_.add(sim_.now(), proc.id(), "defer",
+             "reissue against P" + std::to_string(dead) + " (warm rejoin)");
+  const net::ProcId holder = proc.id();
+  sim_.after(sim::SimTime(config_.store.warm_grace), [this, holder, dead] {
+    if (done_) return;
+    if (network_.alive(dead)) return;  // rejoined: state transfer covered it
+    Processor& p = *procs_.at(holder);
+    if (p.crashed()) return;  // the holder died meanwhile; its own recovery
+                              // (or its peers') regrows the branch
+    trace_.add(sim_.now(), holder, "grace-expired",
+               "cold reissue against P" + std::to_string(dead));
+    policy_->reissue_against(p, dead);
+  });
+  return true;
 }
 
 std::uint32_t Runtime::replication_for(std::size_t depth) const noexcept {
@@ -247,6 +273,10 @@ core::RunResult Runtime::collect(sim::SimTime end_time,
     result.counters.checkpoint_released += table.released();
     result.counters.checkpoint_peak_entries += table.peak_records();
     result.counters.checkpoint_peak_units += table.peak_units();
+    const auto& durable = proc->durable_store();
+    result.counters.store_entries_logged += durable.entries_logged();
+    result.counters.store_entries_lost += durable.entries_lost();
+    result.counters.store_records_replayed += durable.records_replayed();
   }
   policy_->contribute(result.counters);
   return result;

@@ -65,6 +65,20 @@ class Runtime {
 
   [[nodiscard]] TaskUid next_uid() noexcept { return uid_counter_++; }
 
+  // ---- warm rejoin (store/ subsystem) --------------------------------------
+  /// Set by the simulation facade when the armed fault plan repairs nodes
+  /// in warm mode: revives replay the durable log and run survivor-assisted
+  /// state transfer, and reissue obligations against a dead node defer.
+  void set_warm_rejoin(bool warm) noexcept { warm_rejoin_ = warm; }
+  [[nodiscard]] bool warm_rejoin() const noexcept { return warm_rejoin_; }
+
+  /// Warm-mode deferral: instead of reissuing its checkpoints against
+  /// `dead` now, `proc` keeps them until the node rejoins (state transfer
+  /// re-hosts them) or the grace period expires (cold reissue fallback via
+  /// RecoveryPolicy::reissue_against). Returns false when warm rejoin is
+  /// off — the caller reissues immediately, as the paper prescribes.
+  bool defer_reissue(Processor& proc, net::ProcId dead);
+
   /// §5.3 replication: copies of a task at stamp depth `depth`.
   [[nodiscard]] std::uint32_t replication_for(std::size_t depth) const noexcept;
   /// Votes a slot needs before resolving a child at `depth`.
@@ -128,6 +142,7 @@ class Runtime {
 
   TaskUid uid_counter_ = checkpoint::SuperRoot::kSuperRootUid + 1;
   bool done_ = false;
+  bool warm_rejoin_ = false;
   sim::SimTime completion_time_;
   std::int64_t first_detection_ticks_ = -1;
   std::vector<bool> detection_noted_;

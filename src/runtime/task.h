@@ -69,6 +69,11 @@ struct CallSlot {
   /// (step-child) created after a failure.
   bool twin_active = false;
 
+  /// True when a warm rejoin pre-linked this slot to a child that survives
+  /// on a peer: the result is awaited instead of respawned. Cleared when
+  /// the pre-link grace sweep gives up waiting and respawns.
+  bool prelinked = false;
+
   /// Orphan results received for *grandchildren* under this slot, awaiting
   /// the twin's ack so they can be relayed (grandparent transport role,
   /// §4.1: "it transports the orphan results to their step-parent").

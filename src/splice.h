@@ -9,8 +9,11 @@
 //     your own applicative programs (lang/programs.h);
 //   * net::FaultPlan — schedule crashes, regions, cascades, Poisson fault
 //     rates, and rejoin (net/fault_plan.h, executed by net/fault_injector.h);
-//   * the lower layers (runtime, sched, checkpoint, recovery) for embedders
-//     who extend the machine itself.
+//   * store::Persistency / core::StoreConfig — the durable checkpoint log
+//     and warm-rejoin state transfer (store/durable_store.h,
+//     store/state_transfer.h);
+//   * the lower layers (runtime, sched, checkpoint, store, recovery) for
+//     embedders who extend the machine itself.
 #pragma once
 
 #include "checkpoint/checkpoint_table.h"
@@ -32,5 +35,8 @@
 #include "sched/gradient.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "store/durable_store.h"
+#include "store/persistency.h"
+#include "store/state_transfer.h"
 #include "util/stats.h"
 #include "util/table.h"

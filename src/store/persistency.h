@@ -1,0 +1,43 @@
+// Persistency models for the per-node durable checkpoint store.
+//
+// The paper's crash model is purely volatile: a repaired board rejoins
+// blank. Real machines sit on a spectrum — battery-backed RAM and local
+// disks survive a processor crash intact, flash with torn writes survives
+// partially. The store subsystem models that spectrum so warm-rejoin
+// experiments can sweep it:
+//
+//   kNone   nothing survives a crash (the paper's blank rejoin; default)
+//   kLocal  the whole mutation log survives (local durable medium)
+//   kLossy  each log entry independently survives with probability p
+//           (torn/partial media), drawn from a seeded RNG stream so a
+//           given (seed, node, incarnation) loses the same entries on
+//           every run.
+//
+// This header is dependency-free so core::SystemConfig can embed the enum
+// without pulling the store machinery into every config consumer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace splice::store {
+
+enum class Persistency : std::uint8_t {
+  kNone,   // volatile: crash erases the log (blank rejoin)
+  kLocal,  // durable: the log survives crashes intact
+  kLossy,  // partial: each entry survives with probability survive_p
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Persistency model) noexcept {
+  switch (model) {
+    case Persistency::kNone:
+      return "none";
+    case Persistency::kLocal:
+      return "local";
+    case Persistency::kLossy:
+      return "lossy";
+  }
+  return "?";
+}
+
+}  // namespace splice::store

@@ -135,13 +135,17 @@ TEST(FaultPlan, MergePropagatesRejoin) {
   EXPECT_EQ(base.rejoin.delay, sim::SimTime(99));
 }
 
-TEST(FaultPlan, DeprecatedTickShimStillWorks) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const FaultPlan plan = FaultPlan::single(2, std::int64_t{300});
-#pragma GCC diagnostic pop
-  ASSERT_EQ(plan.timed.size(), 1U);
-  EXPECT_EQ(plan.timed[0].when, sim::SimTime(300));
+TEST(FaultPlan, WarmRejoinMode) {
+  FaultPlan plan = FaultPlan::single(2, sim::SimTime(300));
+  plan.with_rejoin(sim::SimTime(500), RejoinMode::kWarm);
+  EXPECT_TRUE(plan.rejoin.enabled);
+  EXPECT_EQ(plan.rejoin.mode, RejoinMode::kWarm);
+  EXPECT_NE(plan.describe().find("rejoin+500(warm)"), std::string::npos)
+      << plan.describe();
+  // merge propagates the mode with the rest of the rejoin spec.
+  FaultPlan base = FaultPlan::single(0, sim::SimTime(10));
+  base.merge(plan);
+  EXPECT_EQ(base.rejoin.mode, RejoinMode::kWarm);
 }
 
 TEST(FaultPlan, DescribeNamesEveryClause) {

@@ -1,0 +1,242 @@
+// Warm rejoin (store/ subsystem), whole-system: a killed processor revives
+// with its durable checkpoint log replayed and catches up from survivors
+// via chunked state transfer — reissuing strictly less than a blank rejoin,
+// deterministically, and safely across re-crashes mid-transfer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/config.h"
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "net/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace splice {
+namespace {
+
+core::SystemConfig base_config(core::RecoveryKind kind,
+                               store::Persistency model) {
+  core::SystemConfig cfg;
+  cfg.processors = 8;
+  cfg.topology = net::TopologyKind::kMesh2D;
+  cfg.recovery.kind = kind;
+  cfg.heartbeat_interval = 1000;
+  cfg.seed = 7;
+  cfg.store.model = model;
+  return cfg;
+}
+
+struct Pair {
+  core::RunResult cold;
+  core::RunResult warm;
+};
+
+/// Run the same (program, seed, kill schedule) twice: blank rejoin vs warm
+/// rejoin with the given persistency.
+Pair cold_vs_warm(core::RecoveryKind kind, store::Persistency model) {
+  const auto program = lang::programs::tree_sum(5, 3, 300, 40);
+  Pair out;
+  for (const bool warm : {false, true}) {
+    core::SystemConfig cfg =
+        base_config(kind, warm ? model : store::Persistency::kNone);
+    const std::int64_t makespan =
+        core::Simulation::fault_free_makespan(cfg, program);
+    cfg.store.warm_grace = makespan;  // the repair always beats the grace
+    net::FaultPlan plan =
+        net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+    plan.with_rejoin(sim::SimTime(makespan / 8),
+                     warm ? net::RejoinMode::kWarm : net::RejoinMode::kCold);
+    (warm ? out.warm : out.cold) = core::run_once(cfg, program, plan);
+  }
+  return out;
+}
+
+TEST(WarmRejoin, SpliceWarmReissuesStrictlyFewerThanBlank) {
+  const Pair r = cold_vs_warm(core::RecoveryKind::kSplice,
+                              store::Persistency::kLocal);
+  ASSERT_TRUE(r.cold.completed && r.cold.answer_correct);
+  ASSERT_TRUE(r.warm.completed && r.warm.answer_correct);
+  EXPECT_EQ(r.warm.nodes_revived, 1U);
+  // The deferred obligations travelled as state chunks instead of respawns.
+  EXPECT_GT(r.warm.counters.state_packets_transferred, 0U);
+  EXPECT_GT(r.warm.counters.state_chunks_sent, 0U);
+  EXPECT_GT(r.warm.counters.reissues_deferred, 0U);
+  EXPECT_GT(r.warm.counters.reissues_avoided, 0U);
+  EXPECT_LT(r.warm.counters.tasks_respawned, r.cold.counters.tasks_respawned);
+  // Durable log: mutations were journaled and replayed on the revive.
+  EXPECT_GT(r.warm.counters.store_entries_logged, 0U);
+  EXPECT_EQ(r.cold.counters.store_entries_logged, 0U);
+}
+
+TEST(WarmRejoin, RollbackWarmAlsoCompletesWithFewerReissues) {
+  const Pair r = cold_vs_warm(core::RecoveryKind::kRollback,
+                              store::Persistency::kLocal);
+  ASSERT_TRUE(r.cold.completed && r.cold.answer_correct);
+  ASSERT_TRUE(r.warm.completed && r.warm.answer_correct);
+  EXPECT_LE(r.warm.counters.tasks_respawned, r.cold.counters.tasks_respawned);
+  EXPECT_GT(r.warm.counters.state_packets_transferred, 0U);
+}
+
+TEST(WarmRejoin, CatchUpCompletesAndIsTraced) {
+  const auto program = lang::programs::tree_sum(5, 3, 300, 40);
+  core::SystemConfig cfg =
+      base_config(core::RecoveryKind::kSplice, store::Persistency::kLocal);
+  cfg.collect_trace = true;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.store.warm_grace = makespan;
+  net::FaultPlan plan = net::FaultPlan::single(2, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(makespan / 8), net::RejoinMode::kWarm);
+  core::Simulation sim(cfg, program);
+  sim.set_fault_plan(plan);
+  const core::RunResult r = sim.run();
+  ASSERT_TRUE(r.completed && r.answer_correct);
+  EXPECT_TRUE(sim.trace().contains("rejoin", "repaired, warm"));
+  EXPECT_TRUE(sim.trace().contains("revive", "processor repaired (warm)"));
+  EXPECT_TRUE(sim.trace().contains("defer", "warm rejoin"));
+  EXPECT_TRUE(sim.trace().contains("catch-up", "state transfer complete"));
+  EXPECT_GT(r.counters.catch_up_ticks, 0);
+  EXPECT_GT(r.counters.state_units_transferred, 0U);
+}
+
+TEST(WarmRejoin, SeededRunsAreBitIdentical) {
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  auto run = [&] {
+    core::SystemConfig cfg =
+        base_config(core::RecoveryKind::kSplice, store::Persistency::kLocal);
+    cfg.processors = 16;
+    net::CascadeFault wave;
+    wave.seed = 9;
+    wave.when = sim::SimTime(15000);
+    wave.probability = 0.7;
+    wave.max_hops = 2;
+    net::RecurringFault arrivals;
+    arrivals.start = sim::SimTime(5000);
+    arrivals.stop = sim::SimTime(60000);
+    arrivals.mean_interval = 9000;
+    arrivals.max_faults = 4;
+    net::FaultPlan plan = net::FaultPlan::cascade(wave);
+    plan.merge(net::FaultPlan::poisson(arrivals));
+    plan.with_rejoin(sim::SimTime(6000), net::RejoinMode::kWarm).with_seed(21);
+    return core::run_once(cfg, program, plan);
+  };
+  const core::RunResult a = run();
+  const core::RunResult b = run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.nodes_revived, b.nodes_revived);
+  EXPECT_EQ(a.counters.tasks_created, b.counters.tasks_created);
+  EXPECT_EQ(a.counters.tasks_respawned, b.counters.tasks_respawned);
+  EXPECT_EQ(a.counters.state_packets_transferred,
+            b.counters.state_packets_transferred);
+  EXPECT_EQ(a.counters.state_chunks_sent, b.counters.state_chunks_sent);
+  EXPECT_EQ(a.counters.store_entries_logged, b.counters.store_entries_logged);
+  EXPECT_EQ(a.net.total_sent(), b.net.total_sent());
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(WarmRejoin, ReCrashDuringTransferIsIncarnationSafe) {
+  // The second kill lands right after the revive, while chunks are still
+  // streaming (large chunk interval stretches the transfer); the third life
+  // must re-request cleanly and the run must still finish correctly.
+  const auto program = lang::programs::tree_sum(5, 3, 300, 40);
+  core::SystemConfig cfg =
+      base_config(core::RecoveryKind::kSplice, store::Persistency::kLocal);
+  cfg.store.chunk_records = 1;     // many chunks ...
+  cfg.store.chunk_interval = 100;  // ... in quick succession ...
+  cfg.latency.base = 1500;         // ... each in flight longer than a repair,
+                                   // so chunks provably straddle incarnations
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.store.warm_grace = makespan;
+  // Second kill lands 2000 ticks into the revived life, while the first
+  // life's transfer is still streaming; chunks sent before the re-crash
+  // (flight 1500 > repair 1000) arrive at the third life and must drop.
+  net::FaultPlan plan;
+  plan.timed.push_back({4, sim::SimTime(makespan / 3)});
+  plan.timed.push_back({4, sim::SimTime(makespan / 3 + 3000)});
+  plan.with_rejoin(sim::SimTime(1000), net::RejoinMode::kWarm);
+  const core::RunResult r = core::run_once(cfg, program, plan);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.faults_injected, 2U);
+  EXPECT_EQ(r.nodes_revived, 2U);
+  // Chunks addressed to the first revived incarnation died with it.
+  EXPECT_GT(r.counters.stale_chunks_dropped, 0U);
+}
+
+class WarmPersistencyTest
+    : public ::testing::TestWithParam<store::Persistency> {};
+
+TEST_P(WarmPersistencyTest, CompletesCorrectlyUnderEveryModel) {
+  // Warm transfer works even when nothing (kNone) or only part (kLossy) of
+  // the local log survives — replay restores less, survivors still re-host
+  // the node's tasks, and the grace fallback covers the rest.
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  core::SystemConfig cfg =
+      base_config(core::RecoveryKind::kSplice, GetParam());
+  cfg.store.survive_p = 0.5;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.store.warm_grace = makespan / 2;
+  net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(makespan / 8), net::RejoinMode::kWarm);
+  const core::RunResult r = core::run_once(cfg, program, plan);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.nodes_revived, 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, WarmPersistencyTest,
+                         ::testing::Values(store::Persistency::kNone,
+                                           store::Persistency::kLocal,
+                                           store::Persistency::kLossy),
+                         [](const auto& param_info) {
+                           return std::string(
+                               store::to_string(param_info.param));
+                         });
+
+TEST(WarmRejoin, FastRepairBeatsDetectionAndStillCompletes) {
+  // Repair far below the failure timeout (400): peers mostly learn of the
+  // death from the rejoin notice / state request, obligations defer, and
+  // the transferred state re-hosts the lost tasks.
+  const auto program = lang::programs::tree_sum(4, 3, 300, 40);
+  core::SystemConfig cfg =
+      base_config(core::RecoveryKind::kSplice, store::Persistency::kLocal);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.store.warm_grace = makespan / 2;
+  net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(100), net::RejoinMode::kWarm);
+  const core::RunResult r = core::run_once(cfg, program, plan);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.nodes_revived, 1U);
+  EXPECT_EQ(r.processors_alive_at_end, 8U);
+}
+
+TEST(WarmRejoin, GraceExpiryFallsBackToColdReissue) {
+  // Repair delay far beyond the grace: the deferral must expire and the
+  // survivors' cold reissue must regrow the branch without the rejoiner.
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  core::SystemConfig cfg =
+      base_config(core::RecoveryKind::kSplice, store::Persistency::kLocal);
+  cfg.collect_trace = true;
+  cfg.store.warm_grace = 1500;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(makespan * 4), net::RejoinMode::kWarm);
+  core::Simulation sim(cfg, program);
+  sim.set_fault_plan(plan);
+  const core::RunResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_TRUE(sim.trace().contains("grace-expired", "cold reissue"));
+  EXPECT_GT(r.counters.tasks_respawned, 0U);
+}
+
+}  // namespace
+}  // namespace splice
