@@ -87,6 +87,115 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
 
+// Steady-state ladder behaviour: a rolling horizon of pending events, pop
+// one / push one — the simulator's actual access pattern (near-future
+// window hits, no heap churn).
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(5);
+  sim::EventQueue q;
+  std::int64_t now = 0;
+  std::int64_t sink = 0;
+  for (std::size_t i = 0; i < horizon; ++i) {
+    q.schedule(sim::SimTime(static_cast<std::int64_t>(rng.next_below(500))),
+               [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    now = q.run_next().ticks();
+    q.schedule(
+        sim::SimTime(now + 2 + static_cast<std::int64_t>(rng.next_below(500))),
+        [&sink] { ++sink; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(256)->Arg(4096);
+
+// Cancel/reschedule storm: heartbeat-style timers armed and torn down in
+// bulk. Exercises slot recycling and the tombstone compactor; callback
+// memory must stay bounded by *live* events.
+void BM_EventQueueCancelReschedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(6);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids(n);
+    std::int64_t now = 0;
+    for (std::size_t round = 0; round < 4; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = q.schedule(
+            sim::SimTime(now + 1 +
+                         static_cast<std::int64_t>(rng.next_below(2000))),
+            [&sink] { ++sink; });
+      }
+      // Cancel most, fire the rest — the detector-timer lifecycle.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i % 8 != 0) q.cancel(ids[i]);
+      }
+      while (!q.empty()) now = q.run_next().ticks();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueCancelReschedule)->Arg(1024)->Arg(8192);
+
+// Variant-payload envelope round trip: build, move through a pool slot, and
+// dispatch — the allocation-free messaging path. items/sec ~ envelopes/sec.
+void BM_EnvelopeVariantRoundtrip(benchmark::State& state) {
+  runtime::TaskPacket packet;
+  packet.stamp = runtime::LevelStamp::root().child(3).child(1).child(4);
+  packet.fn = 1;
+  packet.args = {lang::Value::integer(42), lang::Value::integer(7)};
+  packet.ancestors.push_back(runtime::TaskRef{1, 10});
+  packet.ancestors.push_back(runtime::TaskRef{2, 20});
+  std::vector<net::Envelope> pool(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    net::Envelope env;
+    env.kind = net::MsgKind::kTaskPacket;
+    env.from = 1;
+    env.to = 2;
+    env.payload = packet;  // the one copy a real send performs
+    pool[0] = std::move(env);               // pool_acquire
+    net::Envelope delivered = std::move(pool[0]);  // pool_release
+    auto got = std::get<runtime::TaskPacket>(std::move(delivered.payload));
+    sink += got.stamp.depth() + got.args.size();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnvelopeVariantRoundtrip);
+
+// Whole-simulator throughput gate (bench_json.py records items/sec =
+// simulated events/sec into BENCH_PR4.json alongside the tab_scalability
+// sweep).
+void BM_SimThroughput(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  const lang::Program program = lang::programs::tree_sum(10, 2, 60, 10);
+  core::SystemConfig cfg;
+  cfg.processors = procs;
+  cfg.topology = net::TopologyKind::kTorus2D;
+  cfg.scheduler.kind = core::SchedulerKind::kLocalFirst;
+  cfg.recovery.kind = core::RecoveryKind::kSplice;
+  cfg.heartbeat_interval = 2000;
+  cfg.seed = 71;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const auto plan = net::FaultPlan::single(
+      static_cast<net::ProcId>(procs / 3), sim::SimTime(makespan / 2));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const core::RunResult r = core::run_once(cfg, program, plan);
+    if (!r.completed) state.SkipWithError("did not complete");
+    events += static_cast<std::int64_t>(r.sim_events);
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_SimThroughput)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
 void BM_GradientRelaxation(benchmark::State& state) {
   const auto n = static_cast<net::ProcId>(state.range(0));
   net::Topology topo(net::TopologyKind::kTorus2D, n);

@@ -1,21 +1,110 @@
-// E11 — scalability: processors 2..128 across topologies.
+// E11 — scalability: processors 2..256 across topologies.
+// E16 — simulator throughput: the recorded perf trajectory.
 //
 // The paper positions applicative systems as "promising candidates for
 // achieving high performance computing through aggregation of processors"
 // (§1); recovery must not destroy that scaling. Table 1: machine size x
 // topology — fault-free makespan/speedup, recovery latency and
-// error-broadcast traffic for a mid-run fault. Table 2: the 64- and
-// 128-processor machines under recurring (Poisson) fault *rates* with
-// repair, the regime large fleets actually live in.
+// error-broadcast traffic for a mid-run fault. Table 2: the 64- to
+// 256-processor machines under recurring (Poisson) fault *rates* with
+// repair, the regime large fleets actually live in. Table 3 (E16): wall-
+// clock throughput of the simulator itself — events/sec, heap allocations
+// per event (global counting allocator in this binary), and peak RSS — at
+// 32/64/128/256 processors. `--perf-json PATH` dumps table 3 as JSON;
+// scripts/bench_json.py wraps it into BENCH_PR4.json and enforces the
+// regression guard.
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <string>
 
 #include "bench/harness.h"
+#include "sim/inplace_function.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap allocation in this binary bumps a counter,
+// so the throughput table can report allocations *per simulated event* — the
+// metric the allocation-free messaging work is held to.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<unsigned long long> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (n + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 using namespace splice;
 
+namespace {
+
+/// Machine-speed calibration: a fixed, pure-CPU integer loop whose rate
+/// scales with single-core speed. The perf JSON stores events/sec both raw
+/// and divided by this, so the regression guard compares machines fairly.
+double calibration_mops() {
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr std::uint64_t kIters = 60'000'000;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    sink = sink + x;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(kIters) /
+         std::chrono::duration<double>(t1 - t0).count() / 1e6;
+}
+
+struct ThroughputRow {
+  std::uint32_t procs = 0;
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+  std::uint64_t events = 0;
+  long peak_rss_kb = 0;
+  std::uint64_t checkpoint_peak = 0;
+  std::uint64_t eventfn_heap_fallbacks = 0;
+};
+
+[[nodiscard]] long peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::Options opt = bench::Options::parse(argc, argv);
+  const char* perf_json = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-json") == 0 && i + 1 < argc) {
+      perf_json = argv[i + 1];
+    }
+  }
 
   const lang::Program program = lang::programs::tree_sum(6, 2, 400, 30);
 
@@ -46,7 +135,7 @@ int main(int argc, char** argv) {
                      "faulted correct", "recovery latency", "error msgs"});
   table.set_title("scalability — machine size x topology under one fault");
 
-  for (std::uint32_t procs : {2U, 4U, 8U, 16U, 32U, 64U, 128U}) {
+  for (std::uint32_t procs : {2U, 4U, 8U, 16U, 32U, 64U, 128U, 256U}) {
     for (auto topo : {net::TopologyKind::kMesh2D, net::TopologyKind::kTorus2D,
                       net::TopologyKind::kHypercube}) {
       if (topo == net::TopologyKind::kHypercube &&
@@ -94,24 +183,29 @@ int main(int argc, char** argv) {
   }
   bench::emit(table, opt);
 
-  // ---- 64/128 processors under Poisson fault rates with repair ------------
+  // ---- 64..256 processors under Poisson fault rates with repair -----------
   // Driven by the recurring fault plans: background failures arrive at a
   // mean interval over the whole machine and every victim is repaired, so
-  // the machine hovers below full strength instead of draining.
+  // the machine hovers below full strength instead of draining. Orphan GC
+  // runs here: recovery under churn is what leaves duplicate tasks behind.
   util::Table churn({"procs", "faults/run", "kills", "revived", "correct",
-                     "reissued", "error msgs", "slowdown", "alive at end"});
+                     "reissued", "gc'd", "error msgs", "slowdown",
+                     "alive at end"});
   churn.set_title("large machines under recurring faults + repair");
   // The Poisson mean interval is derived from the fault-free makespan so a
   // row targets a fault *rate* (expected faults per run) independent of how
   // fast the machine happens to be.
   const std::vector<double> rates =
       opt.quick ? std::vector<double>{4} : std::vector<double>{4, 8};
-  for (std::uint32_t procs : {64U, 128U}) {
+  for (std::uint32_t procs : {64U, 128U, 256U}) {
     for (double expected_faults : rates) {
       auto reps = bench::run_replicates(
           opt.replicates, program,
           [&](std::uint64_t s) {
-            return config_for(procs, net::TopologyKind::kTorus2D, s);
+            core::SystemConfig cfg =
+                config_for(procs, net::TopologyKind::kTorus2D, s);
+            cfg.gc_interval = 5000;
+            return cfg;
           },
           [&](const core::SystemConfig&, std::int64_t makespan,
               std::uint64_t seed) {
@@ -147,6 +241,11 @@ int main(int argc, char** argv) {
                                   r.result.counters.tasks_respawned);
                             }),
                             1),
+           util::Table::num(mean([](const bench::Replicate& r) {
+                              return static_cast<double>(
+                                  r.result.counters.orphans_gced);
+                            }),
+                            1),
            util::Table::num(
                mean([](const bench::Replicate& r) {
                  return static_cast<double>(
@@ -169,6 +268,108 @@ int main(int argc, char** argv) {
   }
   bench::emit(churn, opt);
 
+  // ---- E16: simulator throughput (the recorded perf trajectory) -----------
+  // Sequential, wall-clock timed, with one mid-run fault so recovery code is
+  // on the measured path. The workload (8191-task balanced tree) is sized to
+  // keep even the 256-processor machine busy.
+  const lang::Program perf_program = lang::programs::tree_sum(12, 2, 60, 10);
+  const int perf_reps = opt.quick ? 3 : 5;
+  util::Table perf({"procs", "events/sec", "allocs/event", "events/run",
+                    "peak RSS (KB)", "ckpt peak", "EventFn spills"});
+  perf.set_title(
+      "simulator throughput — tree_sum(12,2) + one fault, sequential runs");
+  std::vector<ThroughputRow> rows;
+  for (std::uint32_t procs : {32U, 64U, 128U, 256U}) {
+    core::SystemConfig cfg =
+        config_for(procs, net::TopologyKind::kTorus2D, 71);
+    const std::int64_t makespan =
+        core::Simulation::fault_free_makespan(cfg, perf_program);
+    const auto plan = net::FaultPlan::single(
+        static_cast<net::ProcId>(procs / 3), sim::SimTime(makespan / 2));
+    (void)core::run_once(cfg, perf_program, plan);  // warm-up
+    ThroughputRow row;
+    row.procs = procs;
+    const std::uint64_t spills0 = sim::EventFn::heap_fallbacks();
+    const unsigned long long allocs0 = g_allocs.load();
+    // Best of three timed batches: a short batch is one scheduler hiccup
+    // away from a 25% misreading, and the trajectory guard needs stability.
+    double best_events_per_sec = 0;
+    for (int batch = 0; batch < 3; ++batch) {
+      std::uint64_t batch_events = 0;
+      row.events = 0;
+      row.checkpoint_peak = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < perf_reps; ++i) {
+        cfg.seed = 71 + static_cast<std::uint64_t>(i);
+        const core::RunResult r = core::run_once(cfg, perf_program, plan);
+        batch_events += r.sim_events;
+        row.events += r.sim_events;
+        row.checkpoint_peak += r.counters.checkpoint_peak_entries;
+        if (!r.completed || !r.answer_correct) {
+          std::fprintf(stderr, "throughput run failed at %u procs\n", procs);
+          return 1;
+        }
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      best_events_per_sec =
+          std::max(best_events_per_sec,
+                   static_cast<double>(batch_events) / secs);
+    }
+    const unsigned long long allocs = g_allocs.load() - allocs0;
+    row.events_per_sec = best_events_per_sec;
+    row.allocs_per_event = static_cast<double>(allocs) /
+                           static_cast<double>(3 * row.events);
+    row.events /= static_cast<std::uint64_t>(perf_reps);
+    row.checkpoint_peak /= static_cast<std::uint64_t>(perf_reps);
+    row.peak_rss_kb = peak_rss_kb();
+    row.eventfn_heap_fallbacks = sim::EventFn::heap_fallbacks() - spills0;
+    rows.push_back(row);
+    perf.add_row({util::Table::num(static_cast<std::uint64_t>(procs)),
+                  util::Table::num(row.events_per_sec, 0),
+                  util::Table::num(row.allocs_per_event, 2),
+                  util::Table::num(row.events),
+                  util::Table::num(static_cast<std::uint64_t>(row.peak_rss_kb)),
+                  util::Table::num(row.checkpoint_peak),
+                  util::Table::num(row.eventfn_heap_fallbacks)});
+  }
+  bench::emit(perf, opt);
+
+  if (perf_json != nullptr) {
+    const double calib = calibration_mops();
+    std::FILE* out = std::fopen(perf_json, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", perf_json);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"schema_version\": 1,\n");
+    std::fprintf(out,
+                 "  \"workload\": \"tree_sum(12,2,60,10) torus2d splice, one "
+                 "mid-run fault, %d sequential runs\",\n",
+                 perf_reps);
+    std::fprintf(out, "  \"calibration_mops\": %.1f,\n", calib);
+    std::fprintf(out, "  \"throughput\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ThroughputRow& r = rows[i];
+      std::fprintf(out,
+                   "    {\"procs\": %u, \"events_per_sec\": %.0f, "
+                   "\"normalized_events_per_mop\": %.1f, "
+                   "\"allocs_per_event\": %.2f, \"events_per_run\": %llu, "
+                   "\"peak_rss_kb\": %ld, \"checkpoint_peak_records\": %llu, "
+                   "\"eventfn_heap_fallbacks\": %llu}%s\n",
+                   r.procs, r.events_per_sec,
+                   r.events_per_sec / calib,
+                   r.allocs_per_event,
+                   static_cast<unsigned long long>(r.events), r.peak_rss_kb,
+                   static_cast<unsigned long long>(r.checkpoint_peak),
+                   static_cast<unsigned long long>(r.eventfn_heap_fallbacks),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("perf json written to %s\n", perf_json);
+  }
+
   std::printf(
       "expected shape: speedup grows with processors until the tree's\n"
       "parallelism saturates; recovery latency stays roughly flat (only\n"
@@ -176,6 +377,8 @@ int main(int argc, char** argv) {
       "traffic grows linearly with machine size. Under recurring faults\n"
       "with repair, large machines stay correct and near full strength at\n"
       "the end of the run; reissues scale with the fault rate, not the\n"
-      "machine size.\n");
+      "machine size. Simulator throughput (E16) should stay flat-to-rising\n"
+      "across machine sizes — per-event cost must not grow with the\n"
+      "processor count — and allocs/event should stay near zero.\n");
   return 0;
 }

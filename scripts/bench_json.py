@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Emit and check the repo's recorded perf trajectory (BENCH_PR4.json).
+
+Emit: runs the E16 throughput section of tab_scalability (and, when present,
+the BM_SimThroughput gate in micro_structures), then writes one merged JSON:
+
+    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR4.json
+
+Check: compares a freshly emitted JSON against the trajectory checked into
+the repo and fails (exit 1) if events/sec regressed by more than the
+threshold at any machine size:
+
+    python3 scripts/bench_json.py --bin-dir build/release \
+        --out /tmp/fresh.json --check BENCH_PR4.json
+
+Machines differ, so the guard compares *normalized* throughput: events/sec
+divided by a fixed pure-CPU calibration loop's rate measured in the same
+binary on the same machine (normalized_events_per_mop). Raw events/sec is
+recorded alongside for the trajectory table in EXPERIMENTS.md.
+
+The "baseline_pre_pr4" block is carried forward verbatim from the previous
+JSON (via --carry, which --check implies): it preserves the pre-overhaul
+measurements that started the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_DROP_THRESHOLD = 0.20  # fail if normalized events/sec drops > 20%
+
+
+def run_tab_scalability(bin_dir: str, smoke: bool) -> dict:
+    exe = os.path.join(bin_dir, "bench", "tab_scalability")
+    if not os.path.exists(exe):
+        sys.exit(f"bench binary not found: {exe} (build the release preset)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        path = tmp.name
+    try:
+        cmd = [exe, "--perf-json", path] + (["--smoke"] if smoke else [])
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def run_micro(bin_dir: str) -> dict:
+    """BM_SimThroughput gate: google-benchmark JSON, keyed by bench name.
+
+    Returns {} when the micro_structures binary is absent (google-benchmark
+    not installed) — the gate is optional, the trajectory is not.
+    """
+    exe = os.path.join(bin_dir, "bench", "micro_structures")
+    if not os.path.exists(exe):
+        return {}
+    out = subprocess.run(
+        [exe, "--benchmark_filter=BM_SimThroughput|BM_EventQueue",
+         "--benchmark_min_time=0.05", "--benchmark_format=json"],
+        check=True, capture_output=True, text=True).stdout
+    data = json.loads(out)
+    micro = {}
+    for bench in data.get("benchmarks", []):
+        entry = {"cpu_time_ns": bench.get("cpu_time")}
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+        micro[bench["name"]] = entry
+    return micro
+
+
+def check(fresh: dict, baseline_path: str, threshold: float) -> int:
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    base_rows = {row["procs"]: row for row in baseline["throughput"]}
+    failures = []
+    for row in fresh["throughput"]:
+        base = base_rows.get(row["procs"])
+        if base is None:
+            continue
+        have = row["normalized_events_per_mop"]
+        want = base["normalized_events_per_mop"]
+        if have < want * (1.0 - threshold):
+            failures.append(
+                f"  {row['procs']} procs: normalized events/sec "
+                f"{have:.3f} vs recorded {want:.3f} "
+                f"({(1 - have / want) * 100:.0f}% drop > "
+                f"{threshold * 100:.0f}% threshold)")
+        else:
+            print(f"  {row['procs']} procs: {have:.3f} vs recorded "
+                  f"{want:.3f} normalized events/mop — ok")
+    if failures:
+        print("PERF REGRESSION against " + baseline_path + ":")
+        print("\n".join(failures))
+        return 1
+    print(f"perf guard passed ({baseline_path})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin-dir", default="build/release",
+                        help="CMake binary dir holding bench/ executables")
+    parser.add_argument("--out", default="BENCH_PR4.json",
+                        help="where to write the merged JSON")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full (non --smoke) throughput sweep")
+    parser.add_argument("--carry", metavar="JSON",
+                        help="carry baseline_pre_pr4 forward from this file")
+    parser.add_argument("--check", metavar="JSON",
+                        help="compare against this recorded trajectory and "
+                             "fail on >threshold normalized regression "
+                             "(implies --carry JSON)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_DROP_THRESHOLD,
+                        help="allowed fractional drop (default 0.20)")
+    args = parser.parse_args()
+
+    merged = run_tab_scalability(args.bin_dir, smoke=not args.full)
+    merged["generated_by"] = "scripts/bench_json.py"
+    micro = run_micro(args.bin_dir)
+    if micro:
+        merged["micro"] = micro
+
+    carry_from = args.carry or args.check
+    if carry_from and os.path.exists(carry_from):
+        with open(carry_from, encoding="utf-8") as f:
+            previous = json.load(f)
+        if "baseline_pre_pr4" in previous:
+            merged["baseline_pre_pr4"] = previous["baseline_pre_pr4"]
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        return check(merged, args.check, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

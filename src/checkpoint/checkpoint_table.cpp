@@ -2,14 +2,53 @@
 
 #include <algorithm>
 
+#include "util/small_vec.h"
+
 namespace splice::checkpoint {
 
 CheckpointTable::CheckpointTable(net::ProcId self, net::ProcId processors)
-    : self_(self), entries_(processors) {}
+    : self_(self), processors_(processors) {
+  for (std::uint32_t s = 0; s < kStripeCount; ++s) {
+    // Stripe s owns dests s, s + kStripeCount, ...
+    const std::uint32_t owned =
+        (processors > s) ? (processors - s - 1) / kStripeCount + 1 : 0;
+    stripes_[s].entries.resize(owned);
+  }
+}
+
+void CheckpointTable::index_add(net::ProcId dest,
+                                const runtime::LevelStamp& stamp) {
+  stripes_[stripe_of(dest)].by_stamp.emplace(
+      runtime::LevelStamp::Hash{}(stamp), dest);
+}
+
+void CheckpointTable::index_remove(net::ProcId dest,
+                                   const runtime::LevelStamp& stamp) {
+  auto& index = stripes_[stripe_of(dest)].by_stamp;
+  auto [it, end] = index.equal_range(runtime::LevelStamp::Hash{}(stamp));
+  for (; it != end; ++it) {
+    if (it->second == dest) {
+      index.erase(it);
+      return;
+    }
+  }
+}
+
+void CheckpointTable::on_insert(const CheckpointRecord& record) noexcept {
+  ++total_records_;
+  total_units_ += record.packet.size_units();
+  peak_records_ = std::max(peak_records_, total_records_);
+  peak_units_ = std::max(peak_units_, total_units_);
+}
+
+void CheckpointTable::on_erase(const CheckpointRecord& record) noexcept {
+  --total_records_;
+  total_units_ -= record.packet.size_units();
+}
 
 RecordOutcome CheckpointTable::record(net::ProcId dest,
                                       CheckpointRecord record) {
-  auto& entry = entries_.at(dest);
+  auto& entry = entry_mut(dest);
   // §3.2: descendant of an existing checkpoint -> nothing to store.
   for (const CheckpointRecord& existing : entry) {
     if (existing.packet.stamp.subsumes(record.packet.stamp)) {
@@ -21,32 +60,47 @@ RecordOutcome CheckpointTable::record(net::ProcId dest,
   // ancestor-before-descendant spawn order this rarely fires, but recovery
   // respawns can reorder arrivals.)
   std::erase_if(entry, [&](const CheckpointRecord& existing) {
-    return record.packet.stamp.is_ancestor_of(existing.packet.stamp);
+    if (record.packet.stamp.is_ancestor_of(existing.packet.stamp)) {
+      on_erase(existing);
+      index_remove(dest, existing.packet.stamp);
+      return true;
+    }
+    return false;
   });
   entry.push_back(std::move(record));
+  on_insert(entry.back());
+  index_add(dest, entry.back().packet.stamp);
   ++records_made_;
-  note_peak();
   if (listener_ != nullptr) listener_->on_record(dest, entry.back());
   return RecordOutcome::kRecorded;
 }
 
 std::vector<CheckpointRecord> CheckpointTable::take(net::ProcId dead) {
-  auto& entry = entries_.at(dead);
+  auto& entry = entry_mut(dead);
   std::vector<CheckpointRecord> out = std::move(entry);
   entry.clear();
+  for (const CheckpointRecord& record : out) {
+    on_erase(record);
+    index_remove(dead, record.packet.stamp);
+  }
   if (listener_ != nullptr && !out.empty()) listener_->on_take(dead);
   return out;
 }
 
 bool CheckpointTable::release(net::ProcId dest,
                               const runtime::LevelStamp& stamp) {
-  auto& entry = entries_.at(dest);
+  auto& entry = entry_mut(dest);
   const auto before = entry.size();
   std::erase_if(entry, [&](const CheckpointRecord& existing) {
-    return existing.packet.stamp == stamp;
+    if (existing.packet.stamp == stamp) {
+      on_erase(existing);
+      return true;
+    }
+    return false;
   });
   const bool found = entry.size() != before;
   if (found) {
+    index_remove(dest, stamp);
     ++released_;
     if (listener_ != nullptr) listener_->on_release(dest, stamp);
   }
@@ -54,21 +108,35 @@ bool CheckpointTable::release(net::ProcId dest,
 }
 
 bool CheckpointTable::release_anywhere(const runtime::LevelStamp& stamp) {
-  for (net::ProcId dest = 0; dest < entries_.size(); ++dest) {
-    if (release(dest, stamp)) return true;
+  const std::size_t hash = runtime::LevelStamp::Hash{}(stamp);
+  for (Stripe& stripe : stripes_) {
+    // Collect candidates first: release() edits the index being ranged.
+    util::SmallVec<net::ProcId, 8> candidates;
+    auto [it, end] = stripe.by_stamp.equal_range(hash);
+    for (; it != end; ++it) candidates.push_back(it->second);
+    for (const net::ProcId dest : candidates) {
+      // Hash hit: confirm against the actual records (collisions between
+      // distinct stamps are possible, release() re-checks equality).
+      if (release(dest, stamp)) return true;
+    }
   }
   return false;
 }
 
 void CheckpointTable::clear() {
-  for (auto& entry : entries_) entry.clear();
+  for (Stripe& stripe : stripes_) {
+    for (auto& entry : stripe.entries) entry.clear();
+    stripe.by_stamp.clear();
+  }
+  total_records_ = 0;
+  total_units_ = 0;
 }
 
 std::vector<std::pair<net::ProcId, CheckpointRecord*>>
 CheckpointTable::restored_children_of(const runtime::LevelStamp& parent) {
   std::vector<std::pair<net::ProcId, CheckpointRecord*>> out;
-  for (net::ProcId dest = 0; dest < entries_.size(); ++dest) {
-    for (CheckpointRecord& record : entries_[dest]) {
+  for (net::ProcId dest = 0; dest < processors_; ++dest) {
+    for (CheckpointRecord& record : entry_mut(dest)) {
       if (record.restored && record.packet.stamp.depth() == parent.depth() + 1 &&
           parent.is_ancestor_of(record.packet.stamp)) {
         out.emplace_back(dest, &record);
@@ -76,27 +144,6 @@ CheckpointTable::restored_children_of(const runtime::LevelStamp& parent) {
     }
   }
   return out;
-}
-
-std::size_t CheckpointTable::total_records() const noexcept {
-  std::size_t n = 0;
-  for (const auto& entry : entries_) n += entry.size();
-  return n;
-}
-
-std::uint64_t CheckpointTable::total_units() const noexcept {
-  std::uint64_t units = 0;
-  for (const auto& entry : entries_) {
-    for (const CheckpointRecord& record : entry) {
-      units += record.packet.size_units();
-    }
-  }
-  return units;
-}
-
-void CheckpointTable::note_peak() {
-  peak_records_ = std::max(peak_records_, total_records());
-  peak_units_ = std::max(peak_units_, total_units());
 }
 
 }  // namespace splice::checkpoint

@@ -8,9 +8,20 @@
 //
 // Invariant (property-tested): every entry is an antichain under the
 // level-stamp ancestry order — no record subsumes another.
+//
+// Layout: entries are sharded into kStripeCount stripes by destination
+// processor (dest mod kStripeCount), each stripe carrying a stamp-hash
+// index of its records. release_anywhere() — executed for every returning
+// result — consults the per-stripe indexes instead of scanning all P
+// entries, so its cost is independent of machine size; this is what lets
+// the table scale to 256+ processor machines. Record/unit totals are
+// maintained incrementally for the same reason (the peak-tracking used to
+// recount every record on every mutation).
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lang/expr.h"
@@ -39,6 +50,9 @@ enum class RecordOutcome : std::uint8_t {
 
 class CheckpointTable {
  public:
+  /// Destination-processor stripes (power of two for cheap modulo).
+  static constexpr std::uint32_t kStripeCount = 8;
+
   /// Mutation observer: the durable store subscribes to mirror every table
   /// mutation into its append-only log (store/durable_store.h). Callbacks
   /// fire after the mutation applied; a null listener costs nothing.
@@ -70,7 +84,8 @@ class CheckpointTable {
   bool release(net::ProcId dest, const runtime::LevelStamp& stamp);
 
   /// Release wherever it is held (used when the destination moved due to a
-  /// prior respawn). Returns true if found.
+  /// prior respawn). Returns true if found. O(1) expected via the stripe
+  /// stamp indexes — never a scan over all destinations.
   bool release_anywhere(const runtime::LevelStamp& stamp);
 
   /// Drop every live record (the table is volatile state: a crashed node
@@ -80,12 +95,10 @@ class CheckpointTable {
 
   [[nodiscard]] const std::vector<CheckpointRecord>& entry(
       net::ProcId dest) const {
-    return entries_.at(dest);
+    return stripes_[stripe_of(dest)].entries.at(dest / kStripeCount);
   }
 
-  [[nodiscard]] net::ProcId processors() const noexcept {
-    return static_cast<net::ProcId>(entries_.size());
-  }
+  [[nodiscard]] net::ProcId processors() const noexcept { return processors_; }
 
   /// Replay-restored records whose packet is a direct child of `parent`,
   /// with the destination entry each lives in. Mutable so a warm rejoin can
@@ -94,8 +107,12 @@ class CheckpointTable {
   [[nodiscard]] std::vector<std::pair<net::ProcId, CheckpointRecord*>>
   restored_children_of(const runtime::LevelStamp& parent);
 
-  [[nodiscard]] std::size_t total_records() const noexcept;
-  [[nodiscard]] std::uint64_t total_units() const noexcept;
+  [[nodiscard]] std::size_t total_records() const noexcept {
+    return total_records_;
+  }
+  [[nodiscard]] std::uint64_t total_units() const noexcept {
+    return total_units_;
+  }
   [[nodiscard]] std::size_t peak_records() const noexcept {
     return peak_records_;
   }
@@ -110,11 +127,36 @@ class CheckpointTable {
   [[nodiscard]] net::ProcId self() const noexcept { return self_; }
 
  private:
-  void note_peak();
+  struct Stripe {
+    /// entries[d] holds the checkpoints against processor
+    /// d * kStripeCount + stripe_index (the §3.2 "table of linked lists",
+    /// striped).
+    std::vector<std::vector<CheckpointRecord>> entries;
+    /// stamp-hash -> destination, one value per live record in this stripe.
+    /// A multimap because distinct stamps may collide; hits re-verify
+    /// against the actual records.
+    std::unordered_multimap<std::size_t, net::ProcId> by_stamp;
+  };
+
+  [[nodiscard]] static std::uint32_t stripe_of(net::ProcId dest) noexcept {
+    return dest & (kStripeCount - 1);
+  }
+  [[nodiscard]] std::vector<CheckpointRecord>& entry_mut(net::ProcId dest) {
+    return stripes_[stripe_of(dest)].entries.at(dest / kStripeCount);
+  }
+
+  void index_add(net::ProcId dest, const runtime::LevelStamp& stamp);
+  void index_remove(net::ProcId dest, const runtime::LevelStamp& stamp);
+  void on_insert(const CheckpointRecord& record) noexcept;
+  void on_erase(const CheckpointRecord& record) noexcept;
 
   net::ProcId self_;
+  net::ProcId processors_;
   Listener* listener_ = nullptr;
-  std::vector<std::vector<CheckpointRecord>> entries_;
+  Stripe stripes_[kStripeCount];
+
+  std::size_t total_records_ = 0;
+  std::uint64_t total_units_ = 0;
   std::size_t peak_records_ = 0;
   std::uint64_t peak_units_ = 0;
   std::uint64_t records_made_ = 0;

@@ -155,6 +155,16 @@ struct SystemConfig {
   /// processors").
   std::int64_t heartbeat_interval = 2000;
 
+  /// Orphan garbage collection period (ticks); 0 disables. Recovery can
+  /// leave *duplicate* live tasks — a reissue raced the original (undetected
+  /// rejoin, pre-link grace expiry, warm re-host vs. survivor reissue) and
+  /// both copies now compute the same (stamp, replica). The §4.1 rules make
+  /// the extra results harmless ("the second copy is simply ignored"), but
+  /// the duplicates burn processor time until run end. The sweep reclaims
+  /// every copy except the oldest at each period. Replicated depths
+  /// (quorum > 1) are exempt: their copies are the redundancy.
+  std::int64_t gc_interval = 0;
+
   /// §4.3.1 super-root: checkpoints the root program so the system survives
   /// failure of the root's host.
   bool super_root = true;

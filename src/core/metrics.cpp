@@ -16,6 +16,7 @@ void Counters::merge(const Counters& other) noexcept {
   duplicate_results_ignored += other.duplicate_results_ignored;
   late_results_discarded += other.late_results_discarded;
   orphans_stranded += other.orphans_stranded;
+  orphans_gced += other.orphans_gced;
   checkpoint_records += other.checkpoint_records;
   checkpoint_subsumed += other.checkpoint_subsumed;
   checkpoint_released += other.checkpoint_released;

@@ -25,6 +25,7 @@ struct Counters {
   std::uint64_t duplicate_results_ignored = 0;  // cases 6/7
   std::uint64_t late_results_discarded = 0;     // case 8 / unknown target
   std::uint64_t orphans_stranded = 0;      // undeliverable with no ancestor left
+  std::uint64_t orphans_gced = 0;          // duplicate tasks reclaimed by GC
 
   // Functional checkpointing.
   std::uint64_t checkpoint_records = 0;

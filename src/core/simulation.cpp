@@ -34,10 +34,11 @@ RunResult Simulation::run() {
         [this](const std::string& name) { injector_->fire_trigger(name); });
   }
 
-  // Reference answer: the determinacy oracle (§2.1).
-  lang::EvalStats ref_stats;
-  lang::Interpreter interp(program_);
-  const lang::Value expected = interp.run(ref_stats);
+  // Reference answer: the determinacy oracle (§2.1). Memoized per program —
+  // replicate sweeps and clean-makespan twin runs share one interpreter walk.
+  const lang::ReferenceCache& ref = lang::cached_reference(program_);
+  const lang::EvalStats& ref_stats = ref.stats;
+  const lang::Value& expected = ref.answer;
 
   std::int64_t deadline = config_.deadline_ticks;
   if (deadline <= 0) {

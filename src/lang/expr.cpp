@@ -105,7 +105,7 @@ Value scalar2(Op op, std::int64_t a, std::int64_t b) {
 
 }  // namespace
 
-Value apply_prim(Op op, const std::vector<Value>& operands,
+Value apply_prim(Op op, std::span<const Value> operands,
                  std::uint64_t* cost_out) {
   const auto expect = static_cast<std::size_t>(op_arity(op));
   if (operands.size() != expect) {

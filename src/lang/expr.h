@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,8 +64,9 @@ struct ExprNode {
 /// Apply a primitive to evaluated operands. Throws std::domain_error on type
 /// mismatch; division by zero yields 0 (total semantics keep programs pure).
 /// `cost_out`, when non-null, accrues the abstract tick cost of this
-/// application.
-[[nodiscard]] Value apply_prim(Op op, const std::vector<Value>& operands,
+/// application. Span-typed so hot callers can pass stack-resident operand
+/// buffers without materialising a std::vector.
+[[nodiscard]] Value apply_prim(Op op, std::span<const Value> operands,
                                std::uint64_t* cost_out);
 
 }  // namespace splice::lang

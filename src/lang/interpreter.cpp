@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/small_vec.h"
+
 namespace splice::lang {
 
 Value Interpreter::run() {
@@ -14,7 +16,7 @@ Value Interpreter::run(EvalStats& stats) {
   return apply(program_.entry(), program_.entry_args(), stats, 1);
 }
 
-Value Interpreter::apply(FuncId fn, const std::vector<Value>& args,
+Value Interpreter::apply(FuncId fn, std::span<const Value> args,
                          EvalStats& stats, std::uint32_t depth) {
   if (depth > depth_limit_) {
     throw std::runtime_error("interpreter: depth limit exceeded");
@@ -29,7 +31,7 @@ Value Interpreter::apply(FuncId fn, const std::vector<Value>& args,
 }
 
 Value Interpreter::eval_expr(const FunctionDef& def, ExprId expr,
-                             const std::vector<Value>& args, EvalStats& stats,
+                             std::span<const Value> args, EvalStats& stats,
                              std::uint32_t depth) {
   const ExprNode& node = def.nodes.at(expr);
   switch (node.kind) {
@@ -38,12 +40,13 @@ Value Interpreter::eval_expr(const FunctionDef& def, ExprId expr,
     case ExprKind::kArg:
       return args[node.arg_index];
     case ExprKind::kPrim: {
-      std::vector<Value> operands;
+      util::SmallVec<Value, 4> operands;
       operands.reserve(node.children.size());
       for (ExprId child : node.children) {
         operands.push_back(eval_expr(def, child, args, stats, depth));
       }
-      return apply_prim(node.op, operands, &stats.total_work);
+      return apply_prim(node.op, {operands.data(), operands.size()},
+                        &stats.total_work);
     }
     case ExprKind::kIf: {
       const Value cond = eval_expr(def, node.children[0], args, stats, depth);
@@ -52,12 +55,13 @@ Value Interpreter::eval_expr(const FunctionDef& def, ExprId expr,
       return eval_expr(def, branch, args, stats, depth);
     }
     case ExprKind::kCall: {
-      std::vector<Value> call_args;
+      util::SmallVec<Value, 4> call_args;
       call_args.reserve(node.children.size());
       for (ExprId child : node.children) {
         call_args.push_back(eval_expr(def, child, args, stats, depth));
       }
-      return apply(node.callee, call_args, stats, depth + 1);
+      return apply(node.callee, {call_args.data(), call_args.size()}, stats,
+                   depth + 1);
     }
   }
   throw std::logic_error("interpreter: bad expr kind");
@@ -73,6 +77,15 @@ EvalStats reference_stats(const Program& program) {
   EvalStats stats;
   (void)interp.run(stats);
   return stats;
+}
+
+const ReferenceCache& cached_reference(const Program& program) {
+  ReferenceCache& cache = *program.reference_cache();
+  std::call_once(cache.once, [&] {
+    Interpreter interp(program);
+    cache.answer = interp.run(cache.stats);
+  });
+  return cache;
 }
 
 }  // namespace splice::lang

@@ -2,9 +2,19 @@
 
 #include <stdexcept>
 
+#include "lang/interpreter.h"
+
 namespace splice::lang {
 
+Program::Program() : ref_cache_(std::make_shared<ReferenceCache>()) {}
+
+void Program::invalidate_reference() {
+  // Detach onto a fresh, never-run slot; copies made earlier keep theirs.
+  ref_cache_ = std::make_shared<ReferenceCache>();
+}
+
 FuncId Program::add_function(FunctionDef def) {
+  invalidate_reference();
   functions_.push_back(std::move(def));
   return static_cast<FuncId>(functions_.size() - 1);
 }

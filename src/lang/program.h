@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "lang/value.h"
 
 namespace splice::lang {
+
+struct ReferenceCache;  // interpreter.h: memoized reference evaluation
 
 struct FunctionDef {
   std::string name;
@@ -30,14 +33,19 @@ struct FunctionDef {
 
 class Program {
  public:
-  Program() = default;
+  Program();
 
   [[nodiscard]] FuncId add_function(FunctionDef def);
 
   [[nodiscard]] const FunctionDef& function(FuncId id) const {
     return functions_.at(id);
   }
+  /// Mutable access detaches the memoized reference cache *now*, at
+  /// access time — so mutate through the returned reference before the
+  /// next evaluation. Holding it across a run and editing afterwards
+  /// would leave that run's freshly-computed cache stale.
   [[nodiscard]] FunctionDef& function_mut(FuncId id) {
+    invalidate_reference();
     return functions_.at(id);
   }
   [[nodiscard]] std::size_t function_count() const noexcept {
@@ -46,6 +54,7 @@ class Program {
   [[nodiscard]] std::optional<FuncId> find(const std::string& name) const;
 
   void set_entry(FuncId fn, std::vector<Value> args) {
+    invalidate_reference();
     entry_ = fn;
     entry_args_ = std::move(args);
   }
@@ -61,11 +70,24 @@ class Program {
   [[nodiscard]] std::string name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Memoized reference-evaluation slot (interpreter.h::cached_reference).
+  /// Copies of a Program share the slot, so the determinacy oracle runs the
+  /// sequential interpreter once per program, not once per replicate — a
+  /// fixed per-run cost benchmarks would otherwise keep paying. Mutating
+  /// the program detaches it onto a fresh, empty slot.
+  [[nodiscard]] const std::shared_ptr<ReferenceCache>& reference_cache()
+      const noexcept {
+    return ref_cache_;
+  }
+
  private:
+  void invalidate_reference();
+
   std::string name_;
   std::vector<FunctionDef> functions_;
   FuncId entry_ = 0;
   std::vector<Value> entry_args_;
+  std::shared_ptr<ReferenceCache> ref_cache_;
 };
 
 /// Fluent builder for one function body. Nodes are appended to an arena;

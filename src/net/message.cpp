@@ -1,0 +1,47 @@
+#include "net/message.h"
+
+namespace splice::net {
+
+// Out of line because EnvelopeBox's unique_ptr needs Envelope complete.
+EnvelopeBox::EnvelopeBox() noexcept = default;
+EnvelopeBox::EnvelopeBox(Envelope&& env)
+    : boxed_(std::make_unique<Envelope>(std::move(env))) {}
+EnvelopeBox::EnvelopeBox(EnvelopeBox&&) noexcept = default;
+EnvelopeBox& EnvelopeBox::operator=(EnvelopeBox&&) noexcept = default;
+EnvelopeBox::~EnvelopeBox() = default;
+
+std::string_view to_string(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kTaskPacket:
+      return "task-packet";
+    case MsgKind::kSpawnAck:
+      return "spawn-ack";
+    case MsgKind::kForwardResult:
+      return "forward-result";
+    case MsgKind::kFetchData:
+      return "fetch-data";
+    case MsgKind::kDataReply:
+      return "data-reply";
+    case MsgKind::kErrorDetection:
+      return "error-detection";
+    case MsgKind::kDeliveryFailure:
+      return "delivery-failure";
+    case MsgKind::kHeartbeat:
+      return "heartbeat";
+    case MsgKind::kLoadUpdate:
+      return "load-update";
+    case MsgKind::kCheckpointXfer:
+      return "checkpoint-xfer";
+    case MsgKind::kRejoinNotice:
+      return "rejoin-notice";
+    case MsgKind::kStateRequest:
+      return "state-request";
+    case MsgKind::kStateChunk:
+      return "state-chunk";
+    case MsgKind::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+}  // namespace splice::net

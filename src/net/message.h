@@ -6,14 +6,27 @@
 // failure notifications (best-effort send + timeout, §1), heartbeats, load
 // updates for the gradient scheduler, and checkpoint-transfer for the
 // periodic-global baseline.
+//
+// Payloads are a *closed* variant over the concrete protocol message types,
+// not std::any: a send costs zero payload allocations (the variant lives
+// inline in the envelope), receivers dispatch with std::get, and adding a
+// kind without a payload alternative is a compile-time error at the
+// construction site instead of a bad_any_cast at delivery time. The one
+// recursive case — a delivery-failure notice carries the lost envelope —
+// is boxed through EnvelopeBox (a unique_ptr, so still one allocation, but
+// bounces are the cold path by construction).
 #pragma once
 
-#include <any>
 #include <cstdint>
+#include <memory>
 #include <string_view>
+#include <type_traits>
+#include <variant>
 
 #include "net/topology.h"
+#include "runtime/task_packet.h"
 #include "sim/time.h"
+#include "store/state_transfer.h"
 
 namespace splice::net {
 
@@ -38,8 +51,52 @@ inline constexpr std::size_t kMsgKindCount = 14;
 
 [[nodiscard]] std::string_view to_string(MsgKind kind) noexcept;
 
-/// An in-flight message. `payload` is owned; receivers any_cast to the
-/// concrete runtime payload type keyed by `kind`.
+struct Envelope;
+
+/// Heap box for the recursive delivery-failure payload (the notice carries
+/// the envelope that could not be delivered). Move-only, nothrow-movable.
+class EnvelopeBox {
+ public:
+  EnvelopeBox() noexcept;
+  explicit EnvelopeBox(Envelope&& env);
+  EnvelopeBox(EnvelopeBox&&) noexcept;
+  EnvelopeBox& operator=(EnvelopeBox&&) noexcept;
+  EnvelopeBox(const EnvelopeBox&) = delete;
+  EnvelopeBox& operator=(const EnvelopeBox&) = delete;
+  ~EnvelopeBox();
+
+  [[nodiscard]] Envelope& operator*() noexcept { return *boxed_; }
+  [[nodiscard]] const Envelope& operator*() const noexcept { return *boxed_; }
+  [[nodiscard]] Envelope* operator->() noexcept { return boxed_.get(); }
+  [[nodiscard]] const Envelope* operator->() const noexcept {
+    return boxed_.get();
+  }
+  [[nodiscard]] bool has_value() const noexcept { return boxed_ != nullptr; }
+
+ private:
+  std::unique_ptr<Envelope> boxed_;
+};
+
+/// The closed set of wire payloads, one alternative per payload-bearing
+/// MsgKind (monostate covers the kinds that are pure signals). Keep this in
+/// sync with MsgKind: receivers std::get the alternative keyed by `kind`.
+using Payload = std::variant<std::monostate,
+                             runtime::TaskPacket,       // kTaskPacket
+                             runtime::AckMsg,           // kSpawnAck
+                             runtime::ResultMsg,        // kForwardResult
+                             runtime::ErrorMsg,         // kErrorDetection
+                             runtime::HeartbeatMsg,     // kHeartbeat
+                             runtime::RejoinMsg,        // kRejoinNotice
+                             runtime::LoadMsg,          // kLoadUpdate
+                             runtime::ControlMsg,       // kControl
+                             store::StateRequestMsg,    // kStateRequest
+                             store::StateChunkMsg,      // kStateChunk
+                             EnvelopeBox>;              // kDeliveryFailure
+
+/// An in-flight message. `payload` is owned; receivers std::get the
+/// concrete payload alternative keyed by `kind`. Envelopes are move-only:
+/// delivery hands each message through the network exactly once, and the
+/// type system now proves no path copies one.
 struct Envelope {
   MsgKind kind = MsgKind::kControl;
   ProcId from = kNoProc;
@@ -47,7 +104,20 @@ struct Envelope {
   /// Abstract size in "data units"; scales transfer latency.
   std::uint32_t size_units = 1;
   sim::SimTime sent_at;
-  std::any payload;
+  Payload payload;
+
+  Envelope() = default;
+  Envelope(Envelope&&) = default;
+  Envelope& operator=(Envelope&&) = default;
+  Envelope(const Envelope&) = delete;
+  Envelope& operator=(const Envelope&) = delete;
 };
+
+// The scheduler-facing guarantee: envelopes relocate (through the event
+// queue, the in-flight pool, and receiver dispatch) without throwing and
+// without copying.
+static_assert(std::is_nothrow_move_constructible_v<Envelope>);
+static_assert(std::is_nothrow_move_assignable_v<Envelope>);
+static_assert(!std::is_copy_constructible_v<Envelope>);
 
 }  // namespace splice::net

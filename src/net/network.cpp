@@ -8,40 +8,6 @@
 
 namespace splice::net {
 
-std::string_view to_string(MsgKind kind) noexcept {
-  switch (kind) {
-    case MsgKind::kTaskPacket:
-      return "task-packet";
-    case MsgKind::kSpawnAck:
-      return "spawn-ack";
-    case MsgKind::kForwardResult:
-      return "forward-result";
-    case MsgKind::kFetchData:
-      return "fetch-data";
-    case MsgKind::kDataReply:
-      return "data-reply";
-    case MsgKind::kErrorDetection:
-      return "error-detection";
-    case MsgKind::kDeliveryFailure:
-      return "delivery-failure";
-    case MsgKind::kHeartbeat:
-      return "heartbeat";
-    case MsgKind::kLoadUpdate:
-      return "load-update";
-    case MsgKind::kCheckpointXfer:
-      return "checkpoint-xfer";
-    case MsgKind::kRejoinNotice:
-      return "rejoin-notice";
-    case MsgKind::kStateRequest:
-      return "state-request";
-    case MsgKind::kStateChunk:
-      return "state-chunk";
-    case MsgKind::kControl:
-      return "control";
-  }
-  return "?";
-}
-
 Network::Network(sim::Simulator& simulator, Topology topology,
                  LatencyModel latency)
     : sim_(simulator),
@@ -52,6 +18,23 @@ Network::Network(sim::Simulator& simulator, Topology topology,
 
 void Network::set_receiver(ProcId p, Receiver receiver) {
   receivers_.at(p) = std::move(receiver);
+}
+
+std::uint32_t Network::pool_acquire(Envelope&& envelope) {
+  if (inflight_free_.empty()) {
+    inflight_.push_back(std::move(envelope));
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+  }
+  const std::uint32_t slot = inflight_free_.back();
+  inflight_free_.pop_back();
+  inflight_[slot] = std::move(envelope);
+  return slot;
+}
+
+Envelope Network::pool_release(std::uint32_t slot) noexcept {
+  Envelope env = std::move(inflight_[slot]);
+  inflight_free_.push_back(slot);
+  return env;
 }
 
 void Network::send(Envelope envelope) {
@@ -72,14 +55,15 @@ void Network::send(Envelope envelope) {
   stats_.total_hop_units +=
       static_cast<std::uint64_t>(hops) * envelope.size_units;
   const sim::SimTime delay = latency_.latency(hops, envelope.size_units);
-  sim_.after(delay, [this, env = std::move(envelope)]() mutable {
-    deliver(std::move(env));
-  });
+  const std::uint32_t slot = pool_acquire(std::move(envelope));
+  sim_.after(delay, [this, slot] { deliver_from_pool(slot); });
 }
 
-void Network::deliver(Envelope envelope) {
+void Network::deliver_from_pool(std::uint32_t slot) {
+  Envelope& envelope = inflight_[slot];
   if (!alive_[envelope.to]) {
-    bounce(std::move(envelope));
+    Envelope dead = pool_release(slot);
+    bounce(std::move(dead));
     return;
   }
   ++stats_.delivered[static_cast<std::size_t>(envelope.kind)];
@@ -88,7 +72,14 @@ void Network::deliver(Envelope envelope) {
     throw std::logic_error("no receiver installed for processor " +
                            std::to_string(envelope.to));
   }
+  // Dispatch straight out of the pool slot. Safe against nested sends from
+  // inside the receiver: the pool is a deque (growth never relocates this
+  // slot) and the slot joins the free list only after the receiver returns
+  // (so it cannot be reused mid-dispatch). Receivers still should consume
+  // the payload promptly — the moved-from envelope is theirs only for the
+  // duration of the call.
   receiver(std::move(envelope));
+  inflight_free_.push_back(slot);
 }
 
 void Network::bounce(Envelope envelope) {
@@ -103,15 +94,16 @@ void Network::bounce(Envelope envelope) {
   notice.from = envelope.to;  // nominally "from" the dead node
   notice.to = sender;
   notice.size_units = 1;
-  notice.payload = std::move(envelope);
+  notice.payload = EnvelopeBox(std::move(envelope));
   ++stats_.failure_notices;
-  sim_.after(sim::SimTime(latency_.failure_timeout),
-             [this, n = std::move(notice)]() mutable {
-               if (!alive_[n.to]) return;
-               ++stats_.delivered[static_cast<std::size_t>(n.kind)];
-               Receiver& receiver = receivers_[n.to];
-               if (receiver) receiver(std::move(n));
-             });
+  const std::uint32_t slot = pool_acquire(std::move(notice));
+  sim_.after(sim::SimTime(latency_.failure_timeout), [this, slot] {
+    Envelope n = pool_release(slot);
+    if (!alive_[n.to]) return;
+    ++stats_.delivered[static_cast<std::size_t>(n.kind)];
+    Receiver& receiver = receivers_[n.to];
+    if (receiver) receiver(std::move(n));
+  });
 }
 
 void Network::kill(ProcId p) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -68,7 +69,9 @@ struct NetworkStats {
 
 class Network {
  public:
-  using Receiver = std::function<void(Envelope)>;
+  /// Rvalue-typed so delivery moves the envelope straight into the protocol
+  /// loop (no intermediate copy of the ~300-byte payload variant).
+  using Receiver = std::function<void(Envelope&&)>;
 
   Network(sim::Simulator& simulator, Topology topology, LatencyModel latency);
 
@@ -103,14 +106,28 @@ class Network {
   }
 
  private:
-  void deliver(Envelope envelope);
+  void deliver_from_pool(std::uint32_t slot);
   void bounce(Envelope envelope);
+
+  /// In-flight envelopes park in a recycled pool while their delivery event
+  /// waits in the queue. Delivery callbacks then capture only {this, slot}
+  /// — 16 bytes, comfortably inside EventFn's inline buffer — so a send is
+  /// allocation-free end to end (pool slots and their payload variants are
+  /// reused across messages). A deque, deliberately: growth never relocates
+  /// existing slots, so the reference deliver_from_pool dispatches through
+  /// stays valid even when a receiver's nested send grows the pool. A
+  /// slot returns to the free list only after its receiver finishes, so
+  /// nested sends cannot reuse it mid-dispatch either.
+  std::uint32_t pool_acquire(Envelope&& envelope);
+  Envelope pool_release(std::uint32_t slot) noexcept;
 
   sim::Simulator& sim_;
   Topology topology_;
   LatencyModel latency_;
   std::vector<Receiver> receivers_;
   std::vector<bool> alive_;
+  std::deque<Envelope> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   NetworkStats stats_;
 };
 

@@ -32,7 +32,7 @@ void PeriodicGlobalPolicy::begin_snapshot() {
   ++snapshots_;
   snapshot_units_total_ += units;
   rt_->trace().add(rt_->sim().now(), net::kNoProc, "snapshot",
-                   std::to_string(units) + " units");
+                   [&] { return std::to_string(units) + " units"; });
   // "Virtually stop all computational operations while ... checkpointing
   // takes place": frozen for a state-size-dependent window.
   const auto freeze =
@@ -90,7 +90,7 @@ void PeriodicGlobalPolicy::restore() {
   for (net::ProcId home = 0; home < snapshot_.size(); ++home) {
     for (Task& task : snapshot_[home]) {
       Task copy = task;
-      for (auto& [site, slot] : copy.slots_mut()) {
+      for (auto& slot : copy.slots_mut()) {
         if (slot.outstanding() && !present.contains(slot.retained.stamp)) {
           slot.spawned = false;
           slot.sent_to.clear();

@@ -79,7 +79,7 @@ void RollbackPolicy::reissue_against(Processor& proc, net::ProcId dead) {
   //     destinations and are skipped.)
   proc.abort_tasks_if(
       [&](Task& task) {
-        for (const auto& [site, slot] : task.slots()) {
+        for (const auto& slot : task.slots()) {
           if (slot.outstanding() && all_destinations_dead(proc, slot)) {
             return true;
           }

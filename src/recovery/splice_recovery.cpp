@@ -28,7 +28,7 @@ void SplicePolicy::reissue_against(Processor& proc, net::ProcId dead) {
           task.state() == TaskState::kAborted) {
         return;
       }
-      for (auto& [site, slot] : task.slots_mut()) {
+      for (auto& slot : task.slots_mut()) {
         if (slot.outstanding() && all_destinations_dead(proc, slot)) {
           proc.respawn_slot(task, slot, /*as_twin=*/true,
                             "eager step-parent");
@@ -85,9 +85,9 @@ void SplicePolicy::escalate(Processor& proc, ResultMsg msg) {
     }
   }
   ++proc.counters().orphans_stranded;
-  proc.runtime().trace().add(proc.runtime().sim().now(), proc.id(), "stranded",
-                             msg.stamp.to_string() +
-                                 " (ancestor chain exhausted)");
+  proc.runtime().trace().add(
+      proc.runtime().sim().now(), proc.id(), "stranded",
+      [&] { return msg.stamp.to_string() + " (ancestor chain exhausted)"; });
 }
 
 void SplicePolicy::on_ancestor_result(Processor& proc, ResultMsg msg) {
@@ -98,10 +98,7 @@ void SplicePolicy::on_ancestor_result(Processor& proc, ResultMsg msg) {
     // incarnation; re-derive it by stamp (the producer's stamp truncated
     // to the ancestor's depth) against the re-accepted task set.
     const std::size_t depth = msg.stamp.depth() - (msg.ancestor_index + 1);
-    const runtime::LevelStamp prefix(std::vector<runtime::StampDigit>(
-        msg.stamp.digits().begin(),
-        msg.stamp.digits().begin() + static_cast<std::ptrdiff_t>(depth)));
-    ancestor = proc.find_task_by_stamp(prefix);
+    ancestor = proc.find_task_by_stamp(msg.stamp.truncated(depth));
   }
   if (ancestor == nullptr || ancestor->state() == TaskState::kCompleted ||
       ancestor->state() == TaskState::kAborted) {
@@ -135,6 +132,7 @@ void SplicePolicy::on_ancestor_result(Processor& proc, ResultMsg msg) {
   if (slot.spawned && all_destinations_dead(proc, slot)) {
     proc.respawn_slot(*ancestor, slot, /*as_twin=*/true,
                       "step-parent (orphan arrival)");
+    if (proc.crashed()) return;  // respawn trigger killed the relay host
   }
   // "Transfer the result to its step-parent" — now, or when the twin acks.
   proc.relay_or_buffer(*ancestor, slot, std::move(msg));

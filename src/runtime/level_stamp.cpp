@@ -6,15 +6,19 @@
 namespace splice::runtime {
 
 LevelStamp LevelStamp::child(StampDigit digit) const {
-  std::vector<StampDigit> digits = digits_;
+  Digits digits = digits_;
   digits.push_back(digit);
   return LevelStamp(std::move(digits));
 }
 
 LevelStamp LevelStamp::parent() const {
   assert(!is_root());
-  std::vector<StampDigit> digits(digits_.begin(), digits_.end() - 1);
-  return LevelStamp(std::move(digits));
+  return LevelStamp(Digits(digits_.begin(), digits_.end() - 1));
+}
+
+LevelStamp LevelStamp::truncated(std::size_t depth) const {
+  assert(depth <= digits_.size());
+  return LevelStamp(Digits(digits_.begin(), digits_.begin() + depth));
 }
 
 bool LevelStamp::is_ancestor_of(const LevelStamp& other) const noexcept {

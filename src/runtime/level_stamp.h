@@ -10,11 +10,17 @@
 // the Call node in the parent's body, which makes the stamp of a recovery
 // twin's children equal to the stamps of the dead task's children — the
 // property splice recovery keys on.
+//
+// Stamps ride in every protocol message, so their digit strings live in a
+// small-buffer vector: copying a stamp of depth <= kInlineDepth (every
+// workload in EXPERIMENTS.md) costs zero heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/small_vec.h"
 
 namespace splice::runtime {
 
@@ -22,10 +28,13 @@ using StampDigit = std::uint32_t;
 
 class LevelStamp {
  public:
+  /// Digit strings up to this depth are stored inline (no heap).
+  static constexpr std::size_t kInlineDepth = 12;
+  using Digits = util::SmallVec<StampDigit, kInlineDepth>;
+
   /// Root stamp: the null (empty) level number.
   LevelStamp() = default;
-  explicit LevelStamp(std::vector<StampDigit> digits)
-      : digits_(std::move(digits)) {}
+  explicit LevelStamp(Digits digits) : digits_(std::move(digits)) {}
 
   [[nodiscard]] static LevelStamp root() { return LevelStamp{}; }
 
@@ -35,11 +44,13 @@ class LevelStamp {
   /// Stamp of the parent. Requires !is_root().
   [[nodiscard]] LevelStamp parent() const;
 
+  /// Stamp of the ancestor at `depth` (digit-string prefix of that length).
+  /// Requires depth <= depth().
+  [[nodiscard]] LevelStamp truncated(std::size_t depth) const;
+
   [[nodiscard]] bool is_root() const noexcept { return digits_.empty(); }
   [[nodiscard]] std::size_t depth() const noexcept { return digits_.size(); }
-  [[nodiscard]] const std::vector<StampDigit>& digits() const noexcept {
-    return digits_;
-  }
+  [[nodiscard]] const Digits& digits() const noexcept { return digits_; }
   [[nodiscard]] StampDigit last() const { return digits_.back(); }
 
   /// Strict ancestor test: *this is a proper prefix of other.
@@ -73,7 +84,7 @@ class LevelStamp {
   };
 
  private:
-  std::vector<StampDigit> digits_;
+  Digits digits_;
 };
 
 }  // namespace splice::runtime

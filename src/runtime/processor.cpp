@@ -1,8 +1,8 @@
 #include "runtime/processor.h"
 
 #include <algorithm>
-#include <any>
 #include <cassert>
+#include <variant>
 
 #include "runtime/runtime.h"
 #include "util/logging.h"
@@ -67,20 +67,25 @@ Processor::Processor(Runtime& rt, net::ProcId id)
 // Protocol loop dispatch
 // ---------------------------------------------------------------------------
 
-void Processor::handle(Envelope env) {
+void Processor::handle(Envelope&& env) {
   if (dead_) return;  // fail-silent: a dead node processes nothing
+  // `env` aliases the network's in-flight pool slot (stable for the
+  // duration of this call — the pool is a deque and the slot is freed only
+  // after handle returns). Each case still consumes the payload while
+  // evaluating its handler's *arguments* (by value / by move), so handlers
+  // own their data outright and never hold references into the pool.
   switch (env.kind) {
     case MsgKind::kTaskPacket:
-      accept_packet(std::any_cast<TaskPacket&&>(std::move(env.payload)));
+      accept_packet(std::get<TaskPacket>(std::move(env.payload)));
       break;
     case MsgKind::kSpawnAck:
-      handle_ack(std::any_cast<AckMsg&&>(std::move(env.payload)));
+      handle_ack(std::get<AckMsg>(std::move(env.payload)));
       break;
     case MsgKind::kForwardResult:
-      handle_result(std::any_cast<ResultMsg&&>(std::move(env.payload)));
+      handle_result(std::get<ResultMsg>(std::move(env.payload)));
       break;
     case MsgKind::kErrorDetection: {
-      const auto msg = std::any_cast<ErrorMsg>(env.payload);
+      const auto msg = std::get<ErrorMsg>(env.payload);
       // A broadcast that raced a repair is stale: the accused node already
       // revived (and announced it), so don't re-mark it dead.
       if (!rt_.network().alive(msg.dead)) {
@@ -90,19 +95,17 @@ void Processor::handle(Envelope env) {
     }
     case MsgKind::kDeliveryFailure:
       handle_delivery_failure(
-          std::any_cast<Envelope&&>(std::move(env.payload)));
+          std::move(*std::get<net::EnvelopeBox>(env.payload)));
       break;
     case MsgKind::kRejoinNotice:
-      learn_alive(std::any_cast<RejoinMsg>(env.payload).who);
+      learn_alive(std::get<RejoinMsg>(env.payload).who);
       break;
     case MsgKind::kStateRequest:
-      handle_state_request(
-          std::any_cast<store::StateRequestMsg>(env.payload));
+      handle_state_request(std::get<store::StateRequestMsg>(env.payload));
       break;
     case MsgKind::kStateChunk:
-      handle_state_chunk(
-          env.from,
-          std::any_cast<store::StateChunkMsg&&>(std::move(env.payload)));
+      handle_state_chunk(env.from,
+                         std::get<store::StateChunkMsg>(std::move(env.payload)));
       break;
     case MsgKind::kHeartbeat:
     case MsgKind::kLoadUpdate:
@@ -132,9 +135,10 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
   auto task = std::make_unique<Task>(uid, std::move(packet), rt_.sim().now());
   tasks_.emplace(uid, std::move(task));
 
-  rt_.trace().add(rt_.sim().now(), id_, "place",
-                  rt_.program().function(fn).name + " " + stamp.to_string() +
-                      " uid=" + std::to_string(uid));
+  rt_.trace().add(rt_.sim().now(), id_, "place", [&] {
+    return rt_.program().function(fn).name + " " + stamp.to_string() +
+           " uid=" + std::to_string(uid);
+  });
 
   // Positive acknowledgement: establishes the parent-to-child pointer
   // (Fig. 6 state b -> c).
@@ -182,6 +186,11 @@ void Processor::start_next_step() {
     task->set_dirty(false);
     if (rt_.has_triggers() && task->scan_count() == 0) {
       rt_.fire_trigger("exec:" + rt_.program().function(task->packet().fn).name);
+      // The trigger may have synchronously killed this processor (nuke()
+      // frees every task): re-validate before touching `task` again.
+      if (dead_) return;
+      task = find_task(uid);
+      if (task == nullptr || task->state() != TaskState::kRunning) continue;
     }
     // The scan's outcome is computed now; its cost advances the clock and
     // its effects (sends, completion) apply when the step finishes.
@@ -193,26 +202,32 @@ void Processor::start_next_step() {
         static_cast<std::int64_t>(outcome.spawns.size()) * cfg.spawn_cost;
     counters_.busy_ticks += cost;
     executing_ = true;
-    rt_.sim().after(sim::SimTime(cost),
-                    [this, uid, outcome = std::move(outcome)] {
-                      if (dead_) return;
-                      executing_ = false;
-                      finish_scan(uid, outcome);
-                      start_next_step();
-                    });
+    // One step runs at a time, so the outcome parks in the processor and the
+    // step-completion event captures only {this, uid, life} — inline in
+    // EventFn. The incarnation guard keeps a pre-crash step event from
+    // meddling with the revived node's parked outcome (it used to merely
+    // no-op on a stale uid; now it must not even clear executing_).
+    executing_outcome_ = std::move(outcome);
+    rt_.sim().after(sim::SimTime(cost), [this, uid, life = incarnation_] {
+      if (dead_ || life != incarnation_) return;
+      executing_ = false;
+      finish_scan(uid, executing_outcome_);
+      start_next_step();
+    });
     return;
   }
 }
 
-void Processor::finish_scan(TaskUid uid, const ScanOutcome& outcome) {
+void Processor::finish_scan(TaskUid uid, ScanOutcome& outcome) {
   Task* task = find_task(uid);
   if (task == nullptr || task->state() == TaskState::kAborted) return;
   if (outcome.result.has_value()) {
     complete_task(uid, *outcome.result);
     return;
   }
-  for (const SpawnRequest& request : outcome.spawns) {
-    spawn_child(*task, request);
+  for (SpawnRequest& request : outcome.spawns) {
+    spawn_child(*task, std::move(request));
+    if (dead_) return;  // a spawn trigger killed this node mid-loop
   }
   // A result may have landed while this scan executed.
   if (task->dirty()) {
@@ -231,7 +246,7 @@ void Processor::finish_scan(TaskUid uid, const ScanOutcome& outcome) {
 //    grandparent identifications to the task. Queue the task packet to load
 //    balancing manager. Functional checkpoint the packet."
 
-void Processor::spawn_child(Task& owner, const SpawnRequest& request) {
+void Processor::spawn_child(Task& owner, SpawnRequest request) {
   if (const CallSlot* existing = owner.find_slot(request.site);
       existing != nullptr && existing->spawned && !existing->resolved()) {
     // The slot was pre-linked by a warm rejoin while this scan's outcome
@@ -242,7 +257,7 @@ void Processor::spawn_child(Task& owner, const SpawnRequest& request) {
   TaskPacket packet;
   packet.stamp = owner.stamp().child(request.site);
   packet.fn = request.fn;
-  packet.args = request.args;
+  packet.args = std::move(request.args);
   packet.call_site = request.site;
   // Ancestor chain: self as parent, then the owner's own chain, truncated
   // to the configured resilience depth (>= 1).
@@ -254,7 +269,7 @@ void Processor::spawn_child(Task& owner, const SpawnRequest& request) {
     packet.ancestors.push_back(ref);
   }
   packet.zone = owner.packet().zone;  // lane confinement is inherited
-  owner.note_spawned(request.site, packet);
+  owner.note_spawned(request.site, std::move(packet));
   send_packet(owner, owner.slot(request.site));
 }
 
@@ -264,7 +279,7 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
       rt_.replication_for(packet.stamp.depth());
   const bool zoned = rt_.config().replication.enabled() &&
                      rt_.config().replication.zoned && replicas > 1;
-  std::vector<net::ProcId> dests;
+  sched::Scheduler::DestVec dests;
   if (zoned) {
     // Each replica is placed within its own lane, so destinations must be
     // chosen with the replica's zone annotated.
@@ -284,6 +299,7 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
   slot.child_uids.assign(dests.size(), kNoTask);
   if (rt_.has_triggers()) {
     rt_.fire_trigger("spawn:" + rt_.program().function(packet.fn).name);
+    if (dead_) return;  // trigger killed this node; owner/slot/packet freed
   }
   for (std::uint32_t r = 0; r < dests.size(); ++r) {
     TaskPacket copy = packet;
@@ -297,13 +313,12 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
     env.payload = std::move(copy);
     rt_.network().send(std::move(env));
   }
-  rt_.trace().add(rt_.sim().now(), id_, "spawn",
-                  rt_.program().function(packet.fn).name + " " +
-                      packet.stamp.to_string() + " -> P" +
-                      std::to_string(dests[0]) +
-                      (dests.size() > 1
-                           ? " (+" + std::to_string(dests.size() - 1) + ")"
-                           : ""));
+  rt_.trace().add(rt_.sim().now(), id_, "spawn", [&] {
+    return rt_.program().function(packet.fn).name + " " +
+           packet.stamp.to_string() + " -> P" + std::to_string(dests[0]) +
+           (dests.size() > 1 ? " (+" + std::to_string(dests.size() - 1) + ")"
+                             : "");
+  });
   // Functional checkpoint (replica 0's destination keys the table entry).
   if (rt_.policy().functional_checkpointing()) {
     checkpoint::CheckpointRecord record;
@@ -311,12 +326,12 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
     record.site = slot.site;
     record.packet = packet;
     const auto outcome = table_.record(dests[0], std::move(record));
-    rt_.trace().add(rt_.sim().now(), id_, "checkpoint",
-                    packet.stamp.to_string() + " entry P" +
-                        std::to_string(dests[0]) +
-                        (outcome == checkpoint::RecordOutcome::kSubsumed
-                             ? " (subsumed)"
-                             : ""));
+    rt_.trace().add(rt_.sim().now(), id_, "checkpoint", [&] {
+      return packet.stamp.to_string() + " entry P" +
+             std::to_string(dests[0]) +
+             (outcome == checkpoint::RecordOutcome::kSubsumed ? " (subsumed)"
+                                                             : "");
+    });
   }
 }
 
@@ -340,12 +355,14 @@ void Processor::complete_task(TaskUid uid, const lang::Value& value) {
   msg.ancestors = task->packet().ancestors;
   msg.replica = task->packet().replica;
 
-  rt_.trace().add(rt_.sim().now(), id_, "complete",
-                  rt_.program().function(task->packet().fn).name + " " +
-                      task->stamp().to_string() + " = " + value.to_string());
+  rt_.trace().add(rt_.sim().now(), id_, "complete", [&] {
+    return rt_.program().function(task->packet().fn).name + " " +
+           task->stamp().to_string() + " = " + value.to_string();
+  });
   if (rt_.has_triggers()) {
     rt_.fire_trigger("complete:" +
                      rt_.program().function(task->packet().fn).name);
+    if (dead_) return;  // trigger killed this node; `task` is freed
   }
 
   // The task is fully reduced; free the node's copy before routing the
@@ -431,9 +448,9 @@ void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
 
   if (msg.relayed) {
     ++counters_.orphan_results_salvaged;
-    rt_.trace().add(rt_.sim().now(), id_, "salvage",
-                    msg.stamp.to_string() + " into " +
-                        task.stamp().to_string());
+    rt_.trace().add(rt_.sim().now(), id_, "salvage", [&] {
+      return msg.stamp.to_string() + " into " + task.stamp().to_string();
+    });
   }
   // An unspawned slot can be pre-filled here (twin not yet scanned, or a
   // stamp-matched delivery into a re-hosted task); its default-constructed
@@ -441,6 +458,7 @@ void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
   if (rt_.has_triggers() && slot.spawned) {
     rt_.fire_trigger("result:" +
                      rt_.program().function(slot.retained.fn).name);
+    if (dead_) return;  // trigger killed this node; task/slot are freed
   }
   // The child returned; its functional checkpoint is no longer needed.
   if (rt_.policy().functional_checkpointing()) {
@@ -472,7 +490,7 @@ void Processor::resume_after_fill(Task& task) {
 // Acks, failures, recovery plumbing
 // ---------------------------------------------------------------------------
 
-void Processor::handle_ack(const AckMsg& msg) {
+void Processor::handle_ack(AckMsg msg) {
   Task* task = find_task(msg.parent.uid);
   if (task == nullptr) return;
   task->note_ack(msg.call_site, msg.child, msg.replica);
@@ -480,6 +498,7 @@ void Processor::handle_ack(const AckMsg& msg) {
     rt_.fire_trigger("ack:" + rt_.program().function(
                                   task->slot(msg.call_site).retained.fn)
                                   .name);
+    if (dead_) return;  // trigger killed this node; `task` is freed
   }
   // Grandparent transport role: flush orphan results buffered for the twin.
   CallSlot& slot = task->slot(msg.call_site);
@@ -512,10 +531,10 @@ void Processor::relay_or_buffer(Task& ancestor, CallSlot& slot,
   msg.ancestor_index = static_cast<std::uint32_t>(gap - 1);
   msg.relayed = true;
   ++counters_.results_relayed;
-  rt_.trace().add(rt_.sim().now(), id_, "relay",
-                  msg.stamp.to_string() + " -> twin " +
-                      std::to_string(twin.uid) + "@P" +
-                      std::to_string(twin.proc));
+  rt_.trace().add(rt_.sim().now(), id_, "relay", [&] {
+    return msg.stamp.to_string() + " -> twin " + std::to_string(twin.uid) +
+           "@P" + std::to_string(twin.proc);
+  });
   send_result_msg(std::move(msg), twin.proc);
 }
 
@@ -533,11 +552,11 @@ void Processor::handle_delivery_failure(Envelope original) {
   switch (original.kind) {
     case MsgKind::kTaskPacket:
       rt_.policy().on_spawn_undeliverable(
-          *this, std::any_cast<TaskPacket&>(original.payload));
+          *this, std::get<TaskPacket>(original.payload));
       break;
     case MsgKind::kForwardResult:
       rt_.policy().on_result_undeliverable(
-          *this, std::any_cast<ResultMsg&&>(std::move(original.payload)));
+          *this, std::get<ResultMsg>(std::move(original.payload)));
       break;
     case MsgKind::kStateRequest:
       // The peer died before it could stream anything; stop waiting on it.
@@ -553,10 +572,13 @@ void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
   known_dead_.insert(dead);
   // A catch-up peer that died mid-stream will never send its last chunk.
   note_transfer_peer_done(dead);
-  std::string detail = "P";
-  detail += std::to_string(dead);
-  detail += direct_detection ? " (direct)" : " (broadcast)";
-  rt_.trace().add(rt_.sim().now(), id_, "detect", std::move(detail));
+  rt_.trace().add(rt_.sim().now(), id_, "detect", [&] {
+    // Incremental concatenation dodges a gcc 12 -Wrestrict false positive.
+    std::string detail = "P";
+    detail += std::to_string(dead);
+    detail += direct_detection ? " (direct)" : " (broadcast)";
+    return detail;
+  });
   rt_.note_detection(dead);
   if (direct_detection) {
     // First-hand detector: broadcast error-detection so every processor can
@@ -585,10 +607,10 @@ void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
     slot.twin_active = true;
     ++counters_.twins_created;
   }
-  rt_.trace().add(rt_.sim().now(), id_, as_twin ? "twin" : "reissue",
-                  rt_.program().function(slot.retained.fn).name + " " +
-                      slot.retained.stamp.to_string() + " (" +
-                      std::string(reason) + ")");
+  rt_.trace().add(rt_.sim().now(), id_, as_twin ? "twin" : "reissue", [&] {
+    return rt_.program().function(slot.retained.fn).name + " " +
+           slot.retained.stamp.to_string() + " (" + std::string(reason) + ")";
+  });
   send_packet(owner, slot);
 }
 
@@ -601,9 +623,9 @@ void Processor::abort_task(TaskUid uid, std::string_view reason) {
   }
   task->set_state(TaskState::kAborted);
   ++counters_.tasks_aborted;
-  rt_.trace().add(rt_.sim().now(), id_, "abort",
-                  task->stamp().to_string() + " (" + std::string(reason) +
-                      ")");
+  rt_.trace().add(rt_.sim().now(), id_, "abort", [&] {
+    return task->stamp().to_string() + " (" + std::string(reason) + ")";
+  });
   tasks_.erase(uid);
 }
 
@@ -620,7 +642,7 @@ bool Processor::has_stake_in(net::ProcId dead) const {
       continue;
     }
     if (task->packet().parent().proc == dead) return true;
-    for (const auto& [site, slot] : task->slots()) {
+    for (const CallSlot& slot : task->slots()) {
       if (!slot.outstanding()) continue;
       for (net::ProcId p : slot.sent_to) {
         if (p == dead) return true;
@@ -656,9 +678,10 @@ void Processor::respawn_from_record(checkpoint::CheckpointRecord record,
   const net::ProcId dest = rt_.scheduler().choose(id_, packet);
   if (dest == net::kNoProc) return;
   ++counters_.tasks_respawned;
-  rt_.trace().add(rt_.sim().now(), id_, "reissue",
-                  packet.stamp.to_string() + " from restored record (" +
-                      std::string(reason) + ")");
+  rt_.trace().add(rt_.sim().now(), id_, "reissue", [&] {
+    return packet.stamp.to_string() + " from restored record (" +
+           std::string(reason) + ")";
+  });
   Envelope env;
   env.kind = MsgKind::kTaskPacket;
   env.from = id_;
@@ -713,10 +736,11 @@ void Processor::revive() {
   }
   if (store_.enabled()) table_.set_listener(&store_);
   ++counters_.rejoins;
-  rt_.trace().add(rt_.sim().now(), id_, "rejoin",
-                  warm ? "repaired, warm (" + std::to_string(restored) +
-                             " checkpoints restored)"
-                       : "repaired, blank");
+  rt_.trace().add(rt_.sim().now(), id_, "rejoin", [&] {
+    return warm ? "repaired, warm (" + std::to_string(restored) +
+                      " checkpoints restored)"
+                : std::string("repaired, blank");
+  });
   // Announce the rejoin so live peers drop this node from their dead sets
   // (dead peers either stay silent forever or rejoin themselves).
   for (net::ProcId p = 0; p < rt_.network().size(); ++p) {
@@ -756,7 +780,7 @@ void Processor::revive() {
 // Warm-rejoin state transfer (store/ subsystem)
 // ---------------------------------------------------------------------------
 
-void Processor::handle_state_request(const store::StateRequestMsg& msg) {
+void Processor::handle_state_request(store::StateRequestMsg msg) {
   // The request races the rejoin notice only in pathological orders; treat
   // it as proof of life either way.
   if (knows_dead(msg.who)) learn_alive(msg.who);
@@ -791,7 +815,7 @@ void Processor::accept_transferred_packet(TaskPacket packet) {
   ++counters_.reissues_avoided;  // the peer would have respawned this task
   const LevelStamp stamp = packet.stamp;
   rt_.trace().add(rt_.sim().now(), id_, "transfer-in",
-                  stamp.to_string() + " re-hosted");
+                  [&] { return stamp.to_string() + " re-hosted"; });
   const TaskUid uid = accept_packet(std::move(packet));
   Task* task = find_task(uid);
   if (task == nullptr) return;
@@ -811,9 +835,10 @@ void Processor::accept_transferred_packet(TaskPacket packet) {
     CallSlot& slot = task->slot(record->site);
     slot.sent_to = {dest};
     slot.prelinked = true;
-    rt_.trace().add(rt_.sim().now(), id_, "pre-link",
-                    record->packet.stamp.to_string() + " awaiting P" +
-                        std::to_string(dest));
+    rt_.trace().add(rt_.sim().now(), id_, "pre-link", [&] {
+      return record->packet.stamp.to_string() + " awaiting P" +
+             std::to_string(dest);
+    });
   }
 }
 
@@ -826,10 +851,10 @@ void Processor::note_transfer_peer_done(net::ProcId peer) {
 
 void Processor::complete_catch_up() {
   counters_.catch_up_ticks += (rt_.sim().now() - revive_time_).ticks();
-  rt_.trace().add(rt_.sim().now(), id_, "catch-up",
-                  "state transfer complete after " +
-                      std::to_string((rt_.sim().now() - revive_time_).ticks()) +
-                      " ticks");
+  rt_.trace().add(rt_.sim().now(), id_, "catch-up", [&] {
+    return "state transfer complete after " +
+           std::to_string((rt_.sim().now() - revive_time_).ticks()) + " ticks";
+  });
   flush_warm_results();  // stragglers now resolve or discard normally
   // Liveness guard on the awaited orphans: a pre-linked result can be lost
   // to a later fault (ancestor chain exhausted, host re-crash) or be a
@@ -841,7 +866,7 @@ void Processor::complete_catch_up() {
                   [this, life = incarnation_] {
                     if (life != incarnation_ || dead_ || rt_.done()) return;
                     for_each_task([&](Task& task) {
-                      for (auto& [site, slot] : task.slots_mut()) {
+                      for (CallSlot& slot : task.slots_mut()) {
                         if (!slot.prelinked || slot.resolved()) continue;
                         slot.prelinked = false;
                         respawn_slot(task, slot, /*as_twin=*/true,
@@ -871,21 +896,27 @@ void Processor::learn_alive(net::ProcId back) {
     env.payload = store::StateRequestMsg{id_, incarnation_};
     rt_.network().send(std::move(env));
   }
-  // Incremental concatenation dodges a gcc 12 -Wrestrict false positive
-  // (same workaround as learn_dead).
-  std::string detail = "P";
-  detail += std::to_string(back);
+  // Incremental concatenation in the thunks dodges a gcc 12 -Wrestrict
+  // false positive (same workaround as learn_dead).
   if (known_dead_.erase(back) > 0) {
-    detail += " is back";
-    rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", std::move(detail));
+    rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", [&] {
+      std::string detail = "P";
+      detail += std::to_string(back);
+      detail += " is back";
+      return detail;
+    });
     return;
   }
   // We never saw this node die: the repair beat our detection timeout. Its
   // volatile state — including any of our children it hosted — is gone all
   // the same, so honour the reissue obligations a death notification would
   // have triggered. (No-op when we hold no checkpoints toward it.)
-  detail += " rejoined undetected";
-  rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", std::move(detail));
+  rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", [&] {
+    std::string detail = "P";
+    detail += std::to_string(back);
+    detail += " rejoined undetected";
+    return detail;
+  });
   rt_.policy().on_error_detected(*this, back);
 }
 

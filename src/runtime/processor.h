@@ -47,7 +47,7 @@ class Processor {
   [[nodiscard]] net::ProcId id() const noexcept { return id_; }
 
   /// Network receiver: the protocol loop's dispatch.
-  void handle(net::Envelope env);
+  void handle(net::Envelope&& env);
 
   /// Accept a task packet (from the network or the super-root's host
   /// channel): create the task, acknowledge, queue its first scan. Returns
@@ -171,9 +171,9 @@ class Processor {
 
  private:
   void start_next_step();
-  void finish_scan(TaskUid uid, const ScanOutcome& outcome);
-  void spawn_child(Task& owner, const SpawnRequest& request);
-  void handle_state_request(const store::StateRequestMsg& msg);
+  void finish_scan(TaskUid uid, ScanOutcome& outcome);
+  void spawn_child(Task& owner, SpawnRequest request);
+  void handle_state_request(store::StateRequestMsg msg);
   void handle_state_chunk(net::ProcId from, store::StateChunkMsg msg);
   /// Re-host one transferred task packet: accept it, then pre-link its call
   /// slots from replay-restored child checkpoints so surviving orphan
@@ -187,7 +187,7 @@ class Processor {
   void send_packet(Task& owner, CallSlot& slot);
   void complete_task(TaskUid uid, const lang::Value& value);
   void handle_result(ResultMsg msg);
-  void handle_ack(const AckMsg& msg);
+  void handle_ack(AckMsg msg);
   void handle_delivery_failure(net::Envelope original);
   void do_heartbeat();
   void resume_after_fill(Task& task);
@@ -197,6 +197,10 @@ class Processor {
   std::unordered_map<TaskUid, std::unique_ptr<Task>> tasks_;
   std::deque<TaskUid> step_queue_;
   bool executing_ = false;
+  /// Outcome of the step in flight (valid while executing_): parked here so
+  /// the step-completion event's capture stays within EventFn's inline
+  /// buffer. Single-occupancy is guaranteed by the one-step-at-a-time rule.
+  ScanOutcome executing_outcome_;
   bool frozen_ = false;
   bool dead_ = false;
   std::unordered_set<net::ProcId> known_dead_;

@@ -1,5 +1,9 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "recovery/rollback.h"
 #include "util/logging.h"
 
@@ -20,8 +24,9 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
   procs_.reserve(config_.processors);
   for (net::ProcId p = 0; p < config_.processors; ++p) {
     procs_.push_back(std::make_unique<Processor>(*this, p));
-    network_.set_receiver(
-        p, [this, p](net::Envelope env) { procs_[p]->handle(std::move(env)); });
+    network_.set_receiver(p, [this, p](net::Envelope&& env) {
+      procs_[p]->handle(std::move(env));
+    });
   }
 
   sched::SchedulerEnv env;
@@ -71,13 +76,15 @@ void Runtime::start() {
   TaskPacket root;
   root.stamp = LevelStamp::root();
   root.fn = program_.entry();
-  root.args = program_.entry_args();
+  root.args = TaskPacket::Args(program_.entry_args().begin(),
+                               program_.entry_args().end());
   root.call_site = lang::kNoExpr;
   root.ancestors.push_back(super_root_->ref());
   super_root_->start(std::move(root));
 
   for (auto& proc : procs_) proc->start_heartbeats();
   schedule_scheduler_tick();
+  schedule_gc_tick();
 }
 
 net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
@@ -88,9 +95,10 @@ net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
   const net::ProcId dest = scheduler_->choose(0, packet);
   if (dest == net::kNoProc) return net::kNoProc;
   ++host_messages_;
-  trace_.add(sim_.now(), net::kNoProc, "inject-root",
-             "replica " + std::to_string(packet.replica) + " -> P" +
-                 std::to_string(dest));
+  trace_.add(sim_.now(), net::kNoProc, "inject-root", [&] {
+    return "replica " + std::to_string(packet.replica) + " -> P" +
+           std::to_string(dest);
+  });
   sim_.after(sim::SimTime(config_.latency.base),
              [this, dest, packet = std::move(packet)]() mutable {
                if (!network_.alive(dest)) {
@@ -114,7 +122,7 @@ void Runtime::deliver_to_super_root(ResultMsg msg) {
                  done_ = true;
                  completion_time_ = sim_.now();
                  trace_.add(sim_.now(), net::kNoProc, "done",
-                            super_root_->answer().to_string());
+                            [&] { return super_root_->answer().to_string(); });
                }
              });
 }
@@ -186,8 +194,9 @@ bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
   // per observer per death.
   if (!proc.has_stake_in(dead)) return false;
   ++proc.counters().reissues_deferred;
-  trace_.add(sim_.now(), proc.id(), "defer",
-             "reissue against P" + std::to_string(dead) + " (warm rejoin)");
+  trace_.add(sim_.now(), proc.id(), "defer", [&] {
+    return "reissue against P" + std::to_string(dead) + " (warm rejoin)";
+  });
   const net::ProcId holder = proc.id();
   sim_.after(sim::SimTime(config_.store.warm_grace), [this, holder, dead] {
     if (done_) return;
@@ -195,8 +204,9 @@ bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
     Processor& p = *procs_.at(holder);
     if (p.crashed()) return;  // the holder died meanwhile; its own recovery
                               // (or its peers') regrows the branch
-    trace_.add(sim_.now(), holder, "grace-expired",
-               "cold reissue against P" + std::to_string(dead));
+    trace_.add(sim_.now(), holder, "grace-expired", [&] {
+      return "cold reissue against P" + std::to_string(dead);
+    });
     policy_->reissue_against(p, dead);
   });
   return true;
@@ -223,6 +233,111 @@ void Runtime::schedule_scheduler_tick() {
     scheduler_messages_ += scheduler_->on_tick(sim_.now());
     schedule_scheduler_tick();
   });
+}
+
+void Runtime::schedule_gc_tick() {
+  if (config_.gc_interval <= 0) return;
+  sim_.after(sim::SimTime(config_.gc_interval), [this] {
+    if (done_) return;
+    gc_sweep();
+    schedule_gc_tick();
+  });
+}
+
+void Runtime::gc_sweep() {
+  // Recovery can race the machine into hosting the same (stamp, replica)
+  // twice: a reissue fired while the original survived (undetected rejoin,
+  // pre-link grace expiry, warm re-host vs. survivor fallback). Results of
+  // the extra copies are ignored by the §4.1 duplicate rules, so the only
+  // damage is wasted compute — which this sweep reclaims.
+  //
+  // Which copy survives matters: only the copy the live parent's call slot
+  // currently points at can still deliver its result (the others address a
+  // stale parent ref or lost their relay chain). So the sweep resolves each
+  // duplicate's parent by stamp and keeps the copy on the processor the
+  // parent last (re)spawned toward; with no live, unresolved parent slot —
+  // or with the pointed-at copy still in flight — it conservatively keeps
+  // everything. Children the aborted copies already spawned become
+  // duplicates of the survivor's children and fall to the *next* sweep:
+  // the sweep converges subtree by subtree.
+  //
+  // The sweep reads global state directly — the simulator's omniscient
+  // stand-in for a cancel-message protocol — but runs at deterministic
+  // times over deterministic state, so replay identity is preserved.
+  struct Copy {
+    net::ProcId proc;
+    TaskUid uid;
+  };
+  std::map<std::pair<LevelStamp, std::uint32_t>, std::vector<Copy>> hosts;
+  std::map<LevelStamp, int> copies_of_stamp;  // all live tasks, any replica
+  for (net::ProcId p = 0; p < procs_.size(); ++p) {
+    if (procs_[p]->crashed()) continue;
+    procs_[p]->for_each_task([&](Task& task) {
+      const LevelStamp& stamp = task.stamp();
+      ++copies_of_stamp[stamp];
+      // Root reincarnations are the super-root's business; replicated
+      // depths are redundant by design (their quorum needs every copy).
+      if (stamp.is_root() || quorum_for(stamp.depth()) > 1) return;
+      hosts[std::make_pair(stamp, task.packet().replica)].push_back(
+          Copy{p, task.uid()});
+    });
+  }
+  std::vector<std::pair<net::ProcId, TaskUid>> victims;
+  for (auto& [key, copies] : hosts) {
+    if (copies.size() < 2) continue;
+    const LevelStamp& stamp = key.first;
+    const lang::ExprId site = stamp.last();
+    // A duplicated *parent* means two live lineages whose child pointers
+    // disagree; reclaiming a child now could sever the lineage that wins.
+    // Dedup strictly top-down: this level waits until the parent level is
+    // unique (a later sweep — the sweep converges level by level).
+    const auto parent_copies = copies_of_stamp.find(stamp.parent());
+    if (parent_copies != copies_of_stamp.end() &&
+        parent_copies->second > 1) {
+      continue;
+    }
+    // Resolve the live parent (lowest processor wins; determinism) and the
+    // copy its slot for this call site points at. Strict rule: the pointee
+    // must be *acknowledged* — (proc, uid) known exactly — so the sweep
+    // never guesses between an in-flight respawn and a stale tenant.
+    net::ProcId keeper_proc = net::kNoProc;
+    TaskUid keeper_uid = kNoTask;
+    const LevelStamp parent_stamp = stamp.parent();
+    for (net::ProcId p = 0; p < procs_.size() && keeper_proc == net::kNoProc;
+         ++p) {
+      if (procs_[p]->crashed()) continue;
+      Task* parent = procs_[p]->find_task_by_stamp(parent_stamp);
+      if (parent == nullptr) continue;
+      const CallSlot* slot = parent->find_slot(site);
+      if (slot == nullptr || !slot->spawned || slot->resolved() ||
+          slot->child_procs.empty() ||
+          slot->child_procs[0] == net::kNoProc ||
+          slot->child_uids[0] == kNoTask) {
+        continue;
+      }
+      keeper_proc = slot->child_procs[0];
+      keeper_uid = slot->child_uids[0];
+    }
+    if (keeper_proc == net::kNoProc) continue;  // no acked pointer: keep all
+    // The pointed-at copy must be among the live hosted ones — if the ack
+    // is stale (pointee crashed away), reclaim nothing this round.
+    const Copy* keep = nullptr;
+    for (const Copy& copy : copies) {
+      if (copy.proc == keeper_proc && copy.uid == keeper_uid) {
+        keep = &copy;
+        break;
+      }
+    }
+    if (keep == nullptr) continue;
+    for (const Copy& copy : copies) {
+      if (&copy != keep) victims.emplace_back(copy.proc, copy.uid);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [p, uid] : victims) {
+    ++procs_[p]->counters().orphans_gced;
+    procs_[p]->abort_task(uid, "orphan-gc: duplicate of the linked copy");
+  }
 }
 
 void Runtime::freeze_all() {

@@ -152,6 +152,10 @@ class Runtime {
   std::function<void(const std::string&)> trigger_sink_;
 
   void schedule_scheduler_tick();
+  /// Orphan GC (config.gc_interval): periodically reclaim duplicate live
+  /// tasks left behind by racing recovery actions. See gc_sweep().
+  void schedule_gc_tick();
+  void gc_sweep();
   [[nodiscard]] net::ProcId spawn_root_packet(TaskPacket packet);
 };
 

@@ -25,7 +25,7 @@ ScanOutcome Task::scan(const lang::Program& program) {
   ++scans_;
   ScanOutcome outcome;
   const lang::FunctionDef& def = program.function(packet_.fn);
-  std::vector<lang::ExprId> requested;
+  RequestedSites requested;
   outcome.result = eval(program, def, def.root, outcome, requested);
   // Task setup / resume overhead: a few ticks per scan on top of prim work.
   outcome.cost += 2;
@@ -35,7 +35,7 @@ ScanOutcome Task::scan(const lang::Program& program) {
 std::optional<lang::Value> Task::eval(const lang::Program& program,
                                       const lang::FunctionDef& def,
                                       lang::ExprId expr, ScanOutcome& outcome,
-                                      std::vector<lang::ExprId>& requested) {
+                                      RequestedSites& requested) {
   const lang::ExprNode& node = def.nodes[expr];
   switch (node.kind) {
     case lang::ExprKind::kConst:
@@ -45,7 +45,7 @@ std::optional<lang::Value> Task::eval(const lang::Program& program,
     case lang::ExprKind::kPrim: {
       // Evaluate every operand even after one suspends, so all ready calls
       // under this prim are demanded in the same scan (maximal parallelism).
-      std::vector<lang::Value> operands;
+      util::SmallVec<lang::Value, 4> operands;
       operands.reserve(node.children.size());
       bool complete = true;
       for (lang::ExprId child : node.children) {
@@ -57,7 +57,8 @@ std::optional<lang::Value> Task::eval(const lang::Program& program,
         }
       }
       if (!complete) return std::nullopt;
-      return lang::apply_prim(node.op, operands, &outcome.cost);
+      return lang::apply_prim(node.op, {operands.data(), operands.size()},
+                              &outcome.cost);
     }
     case lang::ExprKind::kIf: {
       auto cond = eval(program, def, node.children[0], outcome, requested);
@@ -73,7 +74,7 @@ std::optional<lang::Value> Task::eval(const lang::Program& program,
         return existing->result;
       }
       // Evaluate arguments; nested calls inside them are demanded first.
-      std::vector<lang::Value> call_args;
+      TaskPacket::Args call_args;
       call_args.reserve(node.children.size());
       bool args_ready = true;
       for (lang::ExprId child : node.children) {
@@ -137,24 +138,29 @@ void Task::prefill(lang::ExprId site, const lang::Value& value) {
 }
 
 CallSlot* Task::find_slot(lang::ExprId site) {
-  auto it = slots_.find(site);
-  return it == slots_.end() ? nullptr : &it->second;
+  for (CallSlot& s : slots_) {
+    if (s.site == site) return &s;
+  }
+  return nullptr;
 }
 
 const CallSlot* Task::find_slot(lang::ExprId site) const {
-  auto it = slots_.find(site);
-  return it == slots_.end() ? nullptr : &it->second;
+  for (const CallSlot& s : slots_) {
+    if (s.site == site) return &s;
+  }
+  return nullptr;
 }
 
 CallSlot& Task::slot(lang::ExprId site) {
-  auto [it, inserted] = slots_.try_emplace(site);
-  if (inserted) it->second.site = site;
-  return it->second;
+  if (CallSlot* existing = find_slot(site)) return *existing;
+  slots_.push_back(CallSlot{});
+  slots_.back().site = site;
+  return slots_.back();
 }
 
 std::uint32_t Task::outstanding_children() const noexcept {
   std::uint32_t n = 0;
-  for (const auto& [site, s] : slots_) {
+  for (const CallSlot& s : slots_) {
     if (s.outstanding()) ++n;
   }
   return n;
@@ -162,7 +168,7 @@ std::uint32_t Task::outstanding_children() const noexcept {
 
 std::uint32_t Task::state_units() const noexcept {
   std::uint32_t units = packet_.size_units();
-  for (const auto& [site, s] : slots_) {
+  for (const CallSlot& s : slots_) {
     units += 1;
     if (s.result.has_value()) units += s.result->size_units();
     if (s.spawned) units += s.retained.size_units();

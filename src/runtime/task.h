@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -54,10 +53,12 @@ struct CallSlot {
   std::optional<lang::Value> result;
 
   /// Destinations the packet (replicas) went to at the last (re)spawn.
-  std::vector<net::ProcId> sent_to;
+  /// Inline for the common replication factors — slot bookkeeping costs no
+  /// heap for <= 2 replicas.
+  util::SmallVec<net::ProcId, 2> sent_to;
   /// Where each replica of the child was acknowledged (kNoProc until ack).
-  std::vector<net::ProcId> child_procs;
-  std::vector<TaskUid> child_uids;
+  util::SmallVec<net::ProcId, 2> child_procs;
+  util::SmallVec<TaskUid, 2> child_uids;
 
   /// Replication votes (§5.3): values returned by replicas so far.
   std::uint32_t votes = 0;
@@ -89,12 +90,14 @@ struct CallSlot {
 struct SpawnRequest {
   lang::ExprId site = lang::kNoExpr;
   lang::FuncId fn = 0;
-  std::vector<lang::Value> args;
+  TaskPacket::Args args;
 };
 
 struct ScanOutcome {
   std::optional<lang::Value> result;
-  std::vector<SpawnRequest> spawns;
+  /// Inline for the common fan-outs (a binary body demands at most two
+  /// children per scan); higher-arity bodies spill to the heap once.
+  util::SmallVec<SpawnRequest, 2> spawns;
   /// Abstract ticks of local work this scan performed.
   std::uint64_t cost = 0;
 };
@@ -140,12 +143,11 @@ class Task {
   [[nodiscard]] CallSlot* find_slot(lang::ExprId site);
   [[nodiscard]] const CallSlot* find_slot(lang::ExprId site) const;
   CallSlot& slot(lang::ExprId site);
-  [[nodiscard]] const std::map<lang::ExprId, CallSlot>& slots() const noexcept {
-    return slots_;
-  }
-  [[nodiscard]] std::map<lang::ExprId, CallSlot>& slots_mut() noexcept {
-    return slots_;
-  }
+  /// Slots in creation (body scan) order; each carries its own `site`.
+  /// Inline storage: a task with <= 2 call sites costs no slot-map nodes.
+  using Slots = util::SmallVec<CallSlot, 2>;
+  [[nodiscard]] const Slots& slots() const noexcept { return slots_; }
+  [[nodiscard]] Slots& slots_mut() noexcept { return slots_; }
 
   [[nodiscard]] std::uint32_t outstanding_children() const noexcept;
   [[nodiscard]] std::uint64_t scan_count() const noexcept { return scans_; }
@@ -161,16 +163,17 @@ class Task {
   [[nodiscard]] std::uint32_t state_units() const noexcept;
 
  private:
+  using RequestedSites = util::SmallVec<lang::ExprId, 8>;
   std::optional<lang::Value> eval(const lang::Program& program,
                                   const lang::FunctionDef& def,
                                   lang::ExprId expr, ScanOutcome& outcome,
-                                  std::vector<lang::ExprId>& requested);
+                                  RequestedSites& requested);
 
   TaskUid uid_;
   TaskPacket packet_;
   sim::SimTime created_at_;
   TaskState state_ = TaskState::kQueued;
-  std::map<lang::ExprId, CallSlot> slots_;
+  Slots slots_;
   std::uint64_t scans_ = 0;
   bool dirty_ = false;
 };

@@ -18,6 +18,7 @@
 #include "lang/value.h"
 #include "net/topology.h"
 #include "runtime/level_stamp.h"
+#include "util/small_vec.h"
 
 namespace splice::runtime {
 
@@ -34,9 +35,13 @@ struct TaskRef {
 };
 
 struct TaskPacket {
+  /// Inline argument list: packet copies (checkpoint retention, replicas,
+  /// state transfer) stay allocation-free for every workload arity.
+  using Args = util::SmallVec<lang::Value, 4>;
+
   LevelStamp stamp;
   lang::FuncId fn = 0;
-  std::vector<lang::Value> args;
+  Args args;
 
   /// Call site in the parent's body whose slot this task's result fills.
   lang::ExprId call_site = lang::kNoExpr;
@@ -44,8 +49,9 @@ struct TaskPacket {
   /// Ancestor chain: ancestors[0] is the parent, ancestors[1] the
   /// grandparent, ancestors[2] the great-grandparent, ... Length is the
   /// configured resilience depth (>= 2 for splice). The root's chain points
-  /// at the super-root sentinel.
-  std::vector<TaskRef> ancestors;
+  /// at the super-root sentinel. Inline small-vector: copying a packet
+  /// never allocates for the chain at any depth the config allows.
+  util::SmallVec<TaskRef, 4> ancestors;
 
   /// Replica ordinal for §5.3 replicated-task redundancy (0 for the
   /// primary; replicas share the stamp).
@@ -90,7 +96,7 @@ struct ResultMsg {
   /// failure when the §5.2 extension is active.
   std::uint32_t ancestor_index = 0;
   /// Remaining ancestor chain of the producer (for escalation).
-  std::vector<TaskRef> ancestors;
+  util::SmallVec<TaskRef, 4> ancestors;
   std::uint32_t replica = 0;
   /// True once an ancestor relayed this result toward a step-parent —
   /// consuming such a result is a *salvage* (§4's whole point).

@@ -6,10 +6,10 @@
 
 namespace splice::sched {
 
-std::vector<net::ProcId> Scheduler::choose_replicas(
+Scheduler::DestVec Scheduler::choose_replicas(
     net::ProcId origin, const runtime::TaskPacket& packet,
     std::uint32_t count) {
-  std::vector<net::ProcId> out;
+  DestVec out;
   out.reserve(count);
   // Prefer distinct destinations; fall back to duplicates when fewer alive
   // processors exist than replicas requested.
@@ -21,7 +21,7 @@ std::vector<net::ProcId> Scheduler::choose_replicas(
       out.push_back(p);
     }
   }
-  while (out.size() < count && !out.empty()) out.push_back(out.front());
+  while (out.size() < count && !out.empty()) out.push_back(out[0]);
   return out;
 }
 

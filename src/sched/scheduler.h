@@ -19,6 +19,7 @@
 #include "lang/program.h"
 #include "net/topology.h"
 #include "runtime/task_packet.h"
+#include "util/small_vec.h"
 #include "sim/time.h"
 #include "util/rng.h"
 
@@ -50,9 +51,13 @@ class Scheduler {
   [[nodiscard]] virtual net::ProcId choose(net::ProcId origin,
                                            const runtime::TaskPacket& packet) = 0;
 
+  /// Destination list type: inline for the common replication factors, so
+  /// a spawn's placement decision allocates nothing.
+  using DestVec = util::SmallVec<net::ProcId, 2>;
+
   /// Choose `count` destinations for replicated spawns; distinct processors
   /// when possible (§5.3: "each copy is executed by a different processor").
-  [[nodiscard]] virtual std::vector<net::ProcId> choose_replicas(
+  [[nodiscard]] virtual DestVec choose_replicas(
       net::ProcId origin, const runtime::TaskPacket& packet,
       std::uint32_t count);
 

@@ -1,36 +1,61 @@
-// Discrete-event priority queue.
+// Discrete-event queue: two-tier ladder (calendar) structure.
 //
 // Events at equal times fire in insertion order (a monotone sequence number
-// breaks ties), which is what makes whole-system replay deterministic.
+// breaks ties), which is what makes whole-system replay deterministic. The
+// pop order is exactly lexicographic (time, sequence) — identical to the
+// binary-heap implementation this replaced; tests/event_queue_ladder_test.cpp
+// drives both against each other on randomized schedules to prove it.
+//
+// Structure:
+//  * a near-future window of kWindowSize one-tick buckets covering
+//    [base, base + kWindowSize): schedule and pop are O(1) amortized, and
+//    FIFO-within-timestamp is free because a bucket is a single timestamp
+//    and entries only ever append;
+//  * a sorted overflow tier (binary min-heap over (time, seq)) for events
+//    beyond the window. When the window drains, the next pop re-anchors the
+//    window at the earliest overflow event and migrates everything that now
+//    fits — overflow pops arrive sorted, so bucket order stays FIFO.
+//
+// Callbacks live in a slot table recycled through a free list: a slot is
+// reclaimed the moment its event fires or is cancelled, so callback memory
+// is bounded by *live* events, not by the total ever scheduled (the old
+// side table grew monotonically). A generation counter per slot makes stale
+// EventIds harmless and lets cancelled queue entries be skipped lazily;
+// when more than half the queued entries are dead they are compacted away.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inplace_function.h"
 #include "sim/time.h"
 
 namespace splice::sim {
 
-using EventFn = std::function<void()>;
-
-/// Handle for cancelling a scheduled event. Cancellation is lazy: the slot
-/// stays queued but fires as a no-op.
+/// Handle for cancelling a scheduled event. Encodes (slot, generation); a
+/// handle outlives its event harmlessly — cancel on a fired/cancelled id is
+/// a no-op because the slot's generation has moved on.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
+  /// Width of the near-future window in ticks (one bucket per tick).
+  static constexpr std::int64_t kWindowSize = 4096;
+
   /// Schedule fn at absolute time `when`. Returns a cancellable id.
   EventId schedule(SimTime when, EventFn fn);
 
   /// Cancel a pending event; cancelling an already-fired or invalid id is a
-  /// harmless no-op. Returns true if the event was still pending.
+  /// harmless no-op. Returns true if the event was still pending. The
+  /// callback (and its captures) are destroyed immediately and the slot is
+  /// recycled; only a 16/24-byte tombstone entry stays queued, and even
+  /// those are compacted once they outnumber live entries.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  /// Earliest *live* event time. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
 
   /// Pop and run the earliest event. Requires !empty().
@@ -40,27 +65,106 @@ class EventQueue {
   SimTime run_next(SimTime* clock = nullptr);
 
   [[nodiscard]] std::uint64_t total_scheduled() const noexcept {
-    return next_id_ - 1;
+    return seq_counter_;
+  }
+
+  // ---- introspection for benches/tests -------------------------------------
+  /// Callback slots currently allocated (bounded by peak live events).
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return slots_.size();
+  }
+  /// Cancelled entries still queued as tombstones.
+  [[nodiscard]] std::size_t dead_entries() const noexcept {
+    return window_dead_ + overflow_dead_;
+  }
+  /// Times the tombstone compactor ran.
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
   }
 
  private:
-  struct Entry {
-    SimTime when;
-    EventId id = kInvalidEvent;
-    // Heap entries own their callbacks through a side table so cancel() can
-    // drop the callable immediately (breaking reference cycles).
+  struct Entry {          // window tier: `when` is implied by the bucket
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among equal-time events
-    }
+  struct OverflowEntry {  // overflow tier: explicit time
+    std::int64_t when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Bucket {
+    std::vector<Entry> items;
+    std::size_t head = 0;  // consumed prefix (popped or discarded tombstones)
+  };
+  struct Slot {
+    EventFn fn;
+    std::int64_t when = 0;
+    std::uint32_t gen = 1;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<EventFn> callbacks_;   // indexed by id; empty fn == cancelled
-  std::uint64_t next_id_ = 1;
+  [[nodiscard]] bool entry_live(std::uint32_t slot,
+                                std::uint32_t gen) const noexcept {
+    return slots_[slot].gen == gen;
+  }
+  [[nodiscard]] Bucket& bucket_of(std::int64_t when) noexcept {
+    return buckets_[static_cast<std::size_t>(when) & (kWindowSize - 1)];
+  }
+
+  std::uint32_t acquire_slot(std::int64_t when, EventFn fn);
+  void free_slot(std::uint32_t slot) noexcept;
+
+  void overflow_push(OverflowEntry entry);
+  void overflow_pop_top() noexcept;
+  void overflow_drop_dead_tops() noexcept;
+
+  /// Re-establish the head invariant after a pop or a head cancellation:
+  /// discard tombstones at bucket fronts, clear drained buckets, fall back
+  /// to the overflow top. Never moves the window base.
+  void restore_head();
+  /// Pop every live overflow entry that fits the current window into its
+  /// bucket; pops arrive (when, seq)-sorted so FIFO order is preserved.
+  void migrate_overflow();
+  /// Re-anchor the window at the overflow head and migrate everything that
+  /// fits. Only called from run_next, when the fire time becomes "now" —
+  /// so the base never advances past a time that could still be scheduled.
+  void rotate_window();
+  /// Move every queued window entry to the overflow tier (rare: schedule
+  /// below the window base while the window spans too much to just slide).
+  void demote_window();
+  /// live_ == 0: drop any remaining tombstones so the window can re-anchor.
+  void purge_all_dead() noexcept;
+  void maybe_compact();
+
+  void set_occupied(std::int64_t when) noexcept;
+  void clear_occupied(std::int64_t when) noexcept;
+  /// First occupied bucket at window offset >= `from_offset`, scanning in
+  /// time order (cyclic over the bucket array). Returns kWindowSize if none.
+  [[nodiscard]] std::int64_t next_occupied_offset(
+      std::int64_t from_offset) const noexcept;
+
+  std::vector<Bucket> buckets_{static_cast<std::size_t>(kWindowSize)};
+  std::vector<std::uint64_t> occupied_ =
+      std::vector<std::uint64_t>(static_cast<std::size_t>(kWindowSize / 64), 0);
+  std::vector<OverflowEntry> overflow_;  // binary min-heap over (when, seq)
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+
+  std::int64_t base_ = 0;          // window covers [base_, base_ + kWindowSize)
+  std::int64_t scan_offset_ = 0;   // buckets below this offset are drained
+  std::int64_t span_max_ = 0;      // max `when` currently in the window
+  std::int64_t head_when_ = 0;     // earliest live event (valid iff live_ > 0)
+  bool head_in_window_ = false;
+
   std::size_t live_ = 0;
+  std::size_t window_live_ = 0;
+  std::size_t overflow_live_ = 0;
+  std::size_t window_dead_ = 0;
+  std::size_t overflow_dead_ = 0;
+  std::uint64_t seq_counter_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace splice::sim

@@ -1,0 +1,139 @@
+// Small-buffer-optimized, move-only callable for the simulator hot path.
+//
+// Every scheduled event used to cost one std::function, whose libstdc++
+// inline buffer (16 bytes) is too small for anything capturing more than a
+// couple of pointers — so nearly every schedule() heap-allocated. EventFn
+// stores captures up to kInlineCapacity bytes in place; larger (or
+// throwing-move) callables fall back to a single heap cell, counted so the
+// benches can report the fallback rate. Move-only on purpose: envelopes and
+// other message state are moved, never copied, into callbacks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace splice::sim {
+
+class EventFn {
+ public:
+  /// Captures up to this many bytes live inside the EventFn itself.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+      heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buffer_, other.buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    ops_->call(buffer_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Lifetime count of callables too large (or not nothrow-movable) for the
+  /// inline buffer; the micro benches report this as a regression signal.
+  [[nodiscard]] static std::uint64_t heap_fallbacks() noexcept {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*call)(std::byte* storage);
+    // Move-construct into dst from src, then destroy src's callable.
+    void (*relocate)(std::byte* dst, std::byte* src) noexcept;
+    void (*destroy)(std::byte* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineCapacity &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](std::byte* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](std::byte* dst, std::byte* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](std::byte* s) noexcept {
+        std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](std::byte* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](std::byte* dst, std::byte* src) noexcept {
+        ::new (static_cast<void*>(dst))
+            Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](std::byte* s) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(s));
+      },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buffer_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+
+  inline static std::atomic<std::uint64_t> heap_fallbacks_{0};
+};
+
+}  // namespace splice::sim

@@ -1,0 +1,233 @@
+// Inline-capacity vector for the protocol hot path.
+//
+// The simulator copies many tiny sequences — level-stamp digit strings,
+// ancestor chains, argument lists, prim operands — whose lengths almost
+// never exceed a handful. std::vector heap-allocates every non-empty copy;
+// SmallVec keeps up to N elements in the object itself and only touches the
+// heap beyond that. Trivially copyable element types relocate via memcpy;
+// other types (lang::Value and friends) move element-wise. Moves are
+// noexcept whenever T's are, which is what the move-only envelope and
+// event-queue machinery requires.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace splice::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0);
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "SmallVec relocation must not throw");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) emplace_unchecked(v);
+  }
+  template <typename It>
+  SmallVec(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  SmallVec(const SmallVec& other) {
+    reserve(other.size_);
+    for (const T& v : other) emplace_unchecked(v);
+  }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& v : other) emplace_unchecked(v);
+    }
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      release_heap();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    clear();
+    release_heap();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] T* data() noexcept {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] T& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data()[size_ - 1]; }
+
+  [[nodiscard]] iterator begin() noexcept { return data(); }
+  [[nodiscard]] iterator end() noexcept { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data() + size_; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      // `value` may alias an element of this container; detach it before
+      // growth relocates the storage (same hazard std::vector guards).
+      T detached(value);
+      grow(size_ + 1);
+      ::new (static_cast<void*>(data() + size_)) T(std::move(detached));
+    } else {
+      ::new (static_cast<void*>(data() + size_)) T(value);
+    }
+    ++size_;
+  }
+  void push_back(T&& value) {
+    if (size_ == capacity_) {
+      T detached(std::move(value));
+      grow(size_ + 1);
+      ::new (static_cast<void*>(data() + size_)) T(std::move(detached));
+    } else {
+      ::new (static_cast<void*>(data() + size_)) T(std::move(value));
+    }
+    ++size_;
+  }
+
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() noexcept {
+    std::destroy_n(data(), size_);
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void assign(std::size_t n, const T& value) {
+    clear();
+    reserve(n);
+    for (std::size_t i = 0; i < n; ++i) emplace_unchecked(value);
+  }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    if (n < size_) {
+      std::destroy_n(data() + n, size_ - n);
+      size_ = static_cast<std::uint32_t>(n);
+      return;
+    }
+    reserve(n);
+    while (size_ < n) emplace_unchecked(fill);
+  }
+
+  /// Give back the heap cell if the contents fit inline again (mirrors the
+  /// retained-packet trimming in the runtime).
+  void shrink_to_fit() noexcept {
+    if (heap_ == nullptr || size_ > N) return;
+    T* heap = heap_;
+    relocate_n(heap, size_, inline_data());
+    heap_ = nullptr;
+    capacity_ = N;
+    ::operator delete(heap);
+  }
+
+  [[nodiscard]] bool operator==(const SmallVec& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+  [[nodiscard]] bool operator<(const SmallVec& other) const {
+    return std::lexicographical_compare(begin(), end(), other.begin(),
+                                        other.end());
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  [[nodiscard]] const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void emplace_unchecked(const T& v) {
+    ::new (static_cast<void*>(data() + size_)) T(v);
+    ++size_;
+  }
+
+  // Move `n` elements from src to (uninitialized) dst, destroying src.
+  static void relocate_n(T* src, std::size_t n, T* dst) noexcept {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+                  sizeof(T) * n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+        src[i].~T();
+      }
+    }
+  }
+
+  void steal(SmallVec& other) noexcept {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+    } else {
+      relocate_n(other.inline_data(), size_, inline_data());
+    }
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  void grow(std::size_t n) {
+    const std::size_t cap = std::max(n, std::size_t{capacity_} * 2);
+    T* fresh = static_cast<T*>(::operator new(sizeof(T) * cap));
+    relocate_n(data(), size_, fresh);
+    release_heap();
+    heap_ = fresh;
+    capacity_ = static_cast<std::uint32_t>(cap);
+  }
+
+  void release_heap() noexcept {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+    }
+    capacity_ = N;
+  }
+
+  alignas(T) std::byte inline_storage_[sizeof(T) * N];
+  T* heap_ = nullptr;
+  // 32-bit bookkeeping: these sequences are tiny by design, and the smaller
+  // header keeps packet/envelope relocation cheap.
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = N;
+};
+
+}  // namespace splice::util

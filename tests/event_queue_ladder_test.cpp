@@ -1,0 +1,367 @@
+// Ladder-queue equivalence and stress tests.
+//
+// The EventQueue rewrite (two-tier ladder + slot recycling) must be
+// *observationally identical* to the binary-heap queue it replaced: pop
+// order is exactly lexicographic (time, schedule-sequence). These tests
+// drive the ladder against an embedded reference implementation — the old
+// heap, reproduced verbatim modulo the callback table — on randomized
+// schedule/cancel workloads, and assert replay-identical traces. A
+// property-test storm then hammers cancel/reschedule patterns (the
+// heartbeat/detector lifecycle) and checks the liveness counters, slot
+// recycling, and tombstone compaction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace splice::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference queue: the pre-ladder implementation (std::priority_queue over
+// (when, id) + lazily-cancelled callback side table), kept as the golden
+// model for the determinism A/B.
+// ---------------------------------------------------------------------------
+class ReferenceQueue {
+ public:
+  using Id = std::uint64_t;
+
+  Id schedule(SimTime when, std::function<void()> fn) {
+    const Id id = next_id_++;
+    if (callbacks_.size() <= id) callbacks_.resize(id + 1);
+    callbacks_[id] = std::move(fn);
+    heap_.push(Entry{when, id});
+    ++live_;
+    return id;
+  }
+
+  bool cancel(Id id) {
+    if (id == 0 || id >= callbacks_.size() || !callbacks_[id]) return false;
+    callbacks_[id] = nullptr;
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  SimTime run_next() {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      auto& slot = callbacks_[top.id];
+      if (!slot) continue;
+      auto fn = std::move(slot);
+      slot = nullptr;
+      --live_;
+      fn();
+      return top.when;
+    }
+    ADD_FAILURE() << "reference run_next on empty queue";
+    return SimTime::zero();
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    Id id = 0;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::function<void()>> callbacks_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+// One trace event: which tagged callback fired, at what time.
+struct Fired {
+  std::int64_t when;
+  std::uint32_t tag;
+  bool operator==(const Fired&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Determinism A/B: identical randomized workloads driven through both
+// queues must produce identical fire traces.
+// ---------------------------------------------------------------------------
+
+void drive_ab(std::uint64_t seed, bool with_cancels, bool far_future) {
+  util::Xoshiro256 rng_a(seed);
+  util::Xoshiro256 rng_b(seed);
+
+  std::vector<Fired> trace_a;
+  std::vector<Fired> trace_b;
+
+  // The workload interleaves schedules, cancels, and pops; callbacks
+  // schedule follow-ups, which is where tie-breaking subtleties live.
+  auto drive = [&](auto& queue, auto& rng, std::vector<Fired>& trace) {
+    std::int64_t now = 0;
+    std::uint32_t tag = 0;
+    std::vector<std::uint64_t> ids;
+    std::function<void(std::uint32_t, std::int64_t)> fire =
+        [&](std::uint32_t t, std::int64_t when) {
+          trace.push_back(Fired{when, t});
+          // Every third callback schedules a follow-up, sometimes at the
+          // *same* tick (FIFO-within-timestamp must hold).
+          if (t % 3 == 0) {
+            const std::uint32_t follow = 100000 + t;
+            const std::int64_t delay =
+                (t % 9 == 0) ? 0
+                             : static_cast<std::int64_t>(rng.next_below(97));
+            queue.schedule(SimTime(when + delay),
+                           [&, follow, when, delay] {
+                             trace.push_back(Fired{when + delay, follow});
+                           });
+          }
+        };
+    for (int round = 0; round < 400; ++round) {
+      const auto dice = rng.next_below(10);
+      if (dice < 5) {
+        const std::uint32_t t = tag++;
+        const std::int64_t horizon = far_future ? 100000 : 700;
+        const std::int64_t when =
+            now + static_cast<std::int64_t>(
+                      rng.next_below(static_cast<std::uint64_t>(horizon)));
+        ids.push_back(
+            queue.schedule(SimTime(when), [&, t, when] { fire(t, when); }));
+      } else if (dice < 7 && with_cancels && !ids.empty()) {
+        queue.cancel(ids[rng.next_below(ids.size())]);
+      } else if (!queue.empty()) {
+        now = queue.run_next().ticks();
+      }
+    }
+    while (!queue.empty()) now = queue.run_next().ticks();
+  };
+
+  EventQueue ladder;
+  ReferenceQueue reference;
+  struct LadderShim {  // run_next() without the clock out-param
+    EventQueue& q;
+    std::uint64_t schedule(SimTime when, EventFn fn) {
+      return q.schedule(when, std::move(fn));
+    }
+    bool cancel(std::uint64_t id) { return q.cancel(id); }
+    [[nodiscard]] bool empty() const { return q.empty(); }
+    SimTime run_next() { return q.run_next(); }
+  } shim{ladder};
+
+  drive(shim, rng_a, trace_a);
+  drive(reference, rng_b, trace_b);
+
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    ASSERT_EQ(trace_a[i], trace_b[i]) << "traces diverge at event " << i;
+  }
+}
+
+TEST(LadderDeterminismAB, NearFutureWindowOnly) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    drive_ab(seed, /*with_cancels=*/false, /*far_future=*/false);
+  }
+}
+
+TEST(LadderDeterminismAB, WithCancels) {
+  for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+    drive_ab(seed, /*with_cancels=*/true, /*far_future=*/false);
+  }
+}
+
+TEST(LadderDeterminismAB, OverflowTierAndRotation) {
+  // Horizons far beyond kWindowSize force overflow migration + rotation.
+  for (std::uint64_t seed = 21; seed <= 28; ++seed) {
+    drive_ab(seed, /*with_cancels=*/true, /*far_future=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ladder-specific structure tests
+// ---------------------------------------------------------------------------
+
+TEST(LadderQueue, FarFutureEventsMigrateInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // All far beyond the window: overflow tier, then rotation on first pop.
+  q.schedule(SimTime(3 * EventQueue::kWindowSize), [&] { order.push_back(2); });
+  q.schedule(SimTime(2 * EventQueue::kWindowSize), [&] { order.push_back(1); });
+  q.schedule(SimTime(9 * EventQueue::kWindowSize), [&] { order.push_back(3); });
+  q.schedule(SimTime(9 * EventQueue::kWindowSize), [&] { order.push_back(4); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(LadderQueue, SameTickFollowUpRunsBeforeLaterEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  SimTime clock;
+  q.schedule(SimTime(10), [&] {
+    order.push_back(1);
+    q.schedule(SimTime(10), [&] { order.push_back(2); });  // same tick
+  });
+  q.schedule(SimTime(11), [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next(&clock);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LadderQueue, ScheduleBelowAnchoredWindowStillOrdersCorrectly) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime(5000), [&] { order.push_back(2); });
+  q.schedule(SimTime(100), [&] { order.push_back(1); });  // below the anchor
+  q.schedule(SimTime(9000), [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LadderQueue, WideSpanBelowWindowDemotesAndStaysOrdered) {
+  EventQueue q;
+  std::vector<int> order;
+  // Span wider than the window forces the demote-and-remigrate path.
+  q.schedule(SimTime(10 * EventQueue::kWindowSize), [&] { order.push_back(3); });
+  q.schedule(SimTime(EventQueue::kWindowSize / 2), [&] { order.push_back(2); });
+  q.schedule(SimTime(1), [&] { order.push_back(1); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LadderQueue, CancelFreesSlotImmediately) {
+  EventQueue q;
+  const std::size_t before = q.slot_capacity();
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(SimTime(1000 + i), [] {}));
+  }
+  for (EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  // Slots were recycled; scheduling again must not grow the table.
+  const std::size_t grown = q.slot_capacity();
+  for (int i = 0; i < 100; ++i) q.schedule(SimTime(2000 + i), [] {});
+  EXPECT_EQ(q.slot_capacity(), grown);
+  EXPECT_GE(grown, before);
+}
+
+TEST(LadderQueue, SlotTableBoundedByLiveEventsNotTotalScheduled) {
+  EventQueue q;
+  // Sequentially schedule + run 10k events while never holding more than
+  // two: the callback table must stay tiny (the old queue grew it to 10k).
+  std::int64_t t = 0;
+  q.schedule(SimTime(1), [] {});
+  for (int i = 0; i < 10000; ++i) {
+    q.schedule(SimTime(t + 2), [] {});
+    t = q.run_next().ticks();
+  }
+  EXPECT_EQ(q.total_scheduled(), 10001U);
+  EXPECT_LE(q.slot_capacity(), 4U);
+}
+
+TEST(LadderQueue, TombstoneCompactionTriggers) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  // A big batch of cancels with a few survivors: > half the queued entries
+  // become tombstones and the compactor must fire.
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(SimTime(10 + i % 50), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 != 0) q.cancel(ids[i]);
+  }
+  EXPECT_GT(q.compactions(), 0U);
+  EXPECT_EQ(q.pending(), 100U);
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.run_next();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 100U);
+  // Tombstones past the last live event purge lazily: the next schedule
+  // after a full drain sweeps them.
+  q.schedule(SimTime(1), [] {});
+  EXPECT_EQ(q.dead_entries(), 0U);
+  q.run_next();
+}
+
+// ---------------------------------------------------------------------------
+// Property storm: randomized cancel/reschedule against a model
+// ---------------------------------------------------------------------------
+
+TEST(LadderPropertyStorm, CancelRescheduleAgainstModel) {
+  for (std::uint64_t seed = 101; seed <= 112; ++seed) {
+    util::Xoshiro256 rng(seed);
+    EventQueue q;
+    // Model: the multiset of live (when, seq) pairs, via the reference.
+    ReferenceQueue model;
+    std::vector<std::pair<EventId, ReferenceQueue::Id>> live;
+    std::vector<Fired> fired_q;
+    std::vector<Fired> fired_m;
+    std::int64_t now = 0;
+    std::uint32_t tag = 0;
+    for (int round = 0; round < 3000; ++round) {
+      const auto dice = rng.next_below(100);
+      if (dice < 45) {
+        const std::int64_t when =
+            now + static_cast<std::int64_t>(rng.next_below(20000));
+        const std::uint32_t t = tag++;
+        const EventId a =
+            q.schedule(SimTime(when), [&fired_q, t, when] {
+              fired_q.push_back(Fired{when, t});
+            });
+        const auto b = model.schedule(SimTime(when), [&fired_m, t, when] {
+          fired_m.push_back(Fired{when, t});
+        });
+        live.emplace_back(a, b);
+      } else if (dice < 75 && !live.empty()) {
+        const std::size_t pick = rng.next_below(live.size());
+        const auto [a, b] = live[pick];
+        EXPECT_EQ(q.cancel(a), model.cancel(b));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (!q.empty()) {
+        ASSERT_FALSE(model.empty());
+        const std::int64_t announced = q.next_time().ticks();
+        EXPECT_EQ(announced, q.run_next().ticks());
+        now = model.run_next().ticks();
+      }
+      ASSERT_EQ(q.pending(), model.pending());
+    }
+    while (!q.empty()) {
+      q.run_next();
+      model.run_next();
+    }
+    EXPECT_TRUE(model.empty());
+    ASSERT_EQ(fired_q.size(), fired_m.size());
+    for (std::size_t i = 0; i < fired_q.size(); ++i) {
+      ASSERT_EQ(fired_q[i], fired_m[i]) << "storm diverges at " << i;
+    }
+    // Double-cancel of long-dead ids stays a no-op.
+    for (const auto& [a, b] : live) {
+      q.cancel(a);
+      model.cancel(b);
+    }
+  }
+}
+
+// Cancelled ids whose slot was recycled by a *new* event must not cancel
+// the new tenant (generation guard).
+TEST(LadderPropertyStorm, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId old_id = q.schedule(SimTime(5), [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  bool fired = false;
+  const EventId new_id = q.schedule(SimTime(6), [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(old_id));  // stale handle, recycled slot
+  EXPECT_EQ(q.pending(), 1U);
+  q.run_next();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(q.cancel(new_id));  // already fired
+}
+
+}  // namespace
+}  // namespace splice::sim

@@ -19,7 +19,7 @@ TEST(LevelStamp, RootIsNull) {
 TEST(LevelStamp, ChildAppendsDigit) {
   const LevelStamp child = LevelStamp::root().child(3).child(7);
   EXPECT_EQ(child.depth(), 2U);
-  EXPECT_EQ(child.digits(), (std::vector<StampDigit>{3, 7}));
+  EXPECT_EQ(child.digits(), (LevelStamp::Digits{3, 7}));
   EXPECT_EQ(child.last(), 7U);
   EXPECT_EQ(child.to_string(), "<3.7>");
 }

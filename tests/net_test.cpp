@@ -2,6 +2,7 @@
 
 #include <string>
 #include <tuple>
+#include <variant>
 #include <vector>
 
 #include "net/fault_injector.h"
@@ -176,7 +177,7 @@ TEST(Network, SendToDeadYieldsDeliveryFailureToSender) {
   const Envelope& notice = f.received[0];
   EXPECT_EQ(notice.kind, MsgKind::kDeliveryFailure);
   EXPECT_EQ(notice.to, 0U);
-  const auto& original = std::any_cast<const Envelope&>(notice.payload);
+  const Envelope& original = *std::get<EnvelopeBox>(notice.payload);
   EXPECT_EQ(original.kind, MsgKind::kTaskPacket);
   EXPECT_EQ(original.to, 2U);
   EXPECT_EQ(f.net.stats().dropped_dead_dest, 1U);

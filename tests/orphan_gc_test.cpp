@@ -1,0 +1,110 @@
+// Orphan GC: duplicate live tasks left behind by racing recovery actions
+// are reclaimed mid-run instead of computing to run end.
+//
+// The duplicate generator: a warm rejoin whose pre-link grace is far too
+// short. The rejoiner re-hosts its lost tasks and pre-links surviving
+// orphan subtrees, but the grace timer expires before their results arrive
+// and respawns them as twins — while the originals keep computing on their
+// peers. Same (stamp, replica) hosted twice, both live: exactly the §4.1
+// "second copy is simply ignored" waste the sweep exists to reclaim.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "lang/programs.h"
+#include "store/persistency.h"
+
+namespace splice {
+namespace {
+
+core::SystemConfig gc_config(std::uint64_t seed, std::int64_t gc_interval) {
+  core::SystemConfig cfg;
+  cfg.processors = 8;
+  cfg.topology = net::TopologyKind::kMesh2D;
+  cfg.scheduler.kind = core::SchedulerKind::kRandom;
+  cfg.recovery.kind = core::RecoveryKind::kSplice;
+  cfg.heartbeat_interval = 500;
+  cfg.store.model = store::Persistency::kLocal;
+  cfg.store.warm_grace = 40000;
+  cfg.store.prelink_grace = 1;  // expire immediately: guaranteed respawn race
+  cfg.gc_interval = gc_interval;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(OrphanGc, ReclaimsDuplicateTasksAndStaysCorrect) {
+  const auto program = lang::programs::tree_sum(6, 2, 400, 30);
+  bool saw_gc = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    core::SystemConfig cfg = gc_config(seed, /*gc_interval=*/400);
+    const std::int64_t makespan =
+        core::Simulation::fault_free_makespan(cfg, program);
+    net::FaultPlan plan =
+        net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+    plan.with_rejoin(sim::SimTime(makespan / 10), net::RejoinMode::kWarm);
+    const core::RunResult r = core::run_once(cfg, program, plan);
+    EXPECT_TRUE(r.completed) << "seed " << seed;
+    EXPECT_TRUE(r.answer_correct) << "seed " << seed;
+    saw_gc |= r.counters.orphans_gced > 0;
+  }
+  EXPECT_TRUE(saw_gc)
+      << "no seed produced a duplicate for the sweep to reclaim";
+}
+
+TEST(OrphanGc, SweepIsDeterministic) {
+  const auto program = lang::programs::tree_sum(6, 2, 400, 30);
+  core::SystemConfig cfg = gc_config(7, /*gc_interval=*/400);
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(makespan / 10), net::RejoinMode::kWarm);
+  const core::RunResult a = core::run_once(cfg, program, plan);
+  const core::RunResult b = core::run_once(cfg, program, plan);
+  EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.counters.orphans_gced, b.counters.orphans_gced);
+  EXPECT_EQ(a.counters.tasks_aborted, b.counters.tasks_aborted);
+  EXPECT_EQ(a.counters.scans, b.counters.scans);
+}
+
+TEST(OrphanGc, DisabledByDefaultAndHarmlessWhenIdle) {
+  const auto program = lang::programs::tree_sum(4, 2, 100, 10);
+  // Fault-free run with the sweep armed: nothing to reclaim, same answer.
+  core::SystemConfig cfg = gc_config(3, /*gc_interval=*/300);
+  const core::RunResult with_gc = core::run_once(cfg, program);
+  EXPECT_TRUE(with_gc.completed);
+  EXPECT_TRUE(with_gc.answer_correct);
+  EXPECT_EQ(with_gc.counters.orphans_gced, 0U);
+
+  core::SystemConfig off = gc_config(3, /*gc_interval=*/0);
+  const core::RunResult without = core::run_once(off, program);
+  EXPECT_EQ(with_gc.makespan_ticks, without.makespan_ticks);
+  EXPECT_EQ(with_gc.counters.scans, without.counters.scans);
+}
+
+TEST(OrphanGc, ReducesWastedScansUnderDuplicateLoad) {
+  const auto program = lang::programs::tree_sum(6, 2, 400, 30);
+  std::uint64_t wasted_with = 0;
+  std::uint64_t wasted_without = 0;
+  int reclaimed_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    core::SystemConfig cfg_on = gc_config(seed, /*gc_interval=*/400);
+    core::SystemConfig cfg_off = gc_config(seed, /*gc_interval=*/0);
+    const std::int64_t makespan =
+        core::Simulation::fault_free_makespan(cfg_off, program);
+    net::FaultPlan plan =
+        net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+    plan.with_rejoin(sim::SimTime(makespan / 10), net::RejoinMode::kWarm);
+    const core::RunResult on = core::run_once(cfg_on, program, plan);
+    const core::RunResult off = core::run_once(cfg_off, program, plan);
+    EXPECT_TRUE(on.answer_correct && off.answer_correct) << "seed " << seed;
+    if (on.counters.orphans_gced > 0) ++reclaimed_runs;
+    wasted_with += on.counters.scans;
+    wasted_without += off.counters.scans;
+  }
+  ASSERT_GT(reclaimed_runs, 0);
+  // Reclaiming duplicates early must not *increase* total work.
+  EXPECT_LE(wasted_with, wasted_without + wasted_without / 20);
+}
+
+}  // namespace
+}  // namespace splice

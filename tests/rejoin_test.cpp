@@ -30,11 +30,14 @@ TEST(NetworkRevive, RevivedNodeReceivesAgain) {
     });
   }
   network.kill(2);
-  net::Envelope env;
-  env.kind = net::MsgKind::kControl;
-  env.from = 0;
-  env.to = 2;
-  network.send(env);  // lost: 2 is down
+  auto make_env = [] {
+    net::Envelope env;
+    env.kind = net::MsgKind::kControl;
+    env.from = 0;
+    env.to = 2;
+    return env;
+  };
+  network.send(make_env());  // lost: 2 is down
   EXPECT_TRUE(sim.run_until());
   EXPECT_TRUE(at2.empty());
 
@@ -45,7 +48,7 @@ TEST(NetworkRevive, RevivedNodeReceivesAgain) {
   network.revive(2);  // idempotent
   EXPECT_EQ(network.stats().revives, 1U);
 
-  network.send(env);
+  network.send(make_env());
   EXPECT_TRUE(sim.run_until());
   ASSERT_EQ(at2.size(), 1U);
   EXPECT_EQ(at2[0], net::MsgKind::kControl);

@@ -20,7 +20,7 @@ using runtime::TaskPacket;
 using store::DurableStore;
 using store::Persistency;
 
-TaskPacket packet_for(std::vector<runtime::StampDigit> digits) {
+TaskPacket packet_for(LevelStamp::Digits digits) {
   TaskPacket packet;
   packet.stamp = LevelStamp(std::move(digits));
   packet.fn = 0;
@@ -28,7 +28,7 @@ TaskPacket packet_for(std::vector<runtime::StampDigit> digits) {
   return packet;
 }
 
-CheckpointRecord record_for(std::vector<runtime::StampDigit> digits,
+CheckpointRecord record_for(LevelStamp::Digits digits,
                             runtime::TaskUid owner) {
   CheckpointRecord record;
   record.owner = owner;

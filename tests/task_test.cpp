@@ -21,7 +21,8 @@ TaskPacket packet_for(const Program& p, std::vector<Value> args = {}) {
   TaskPacket packet;
   packet.stamp = LevelStamp::root();
   packet.fn = p.entry();
-  packet.args = args.empty() ? p.entry_args() : std::move(args);
+  const std::vector<Value>& chosen = args.empty() ? p.entry_args() : args;
+  packet.args = TaskPacket::Args(chosen.begin(), chosen.end());
   packet.ancestors.push_back(TaskRef{net::kNoProc, 1});
   return packet;
 }
