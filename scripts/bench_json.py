@@ -1,26 +1,28 @@
 #!/usr/bin/env python3
-"""Emit and check the repo's recorded perf trajectory (BENCH_PR4.json).
+"""Emit and check the repo's recorded perf trajectory (BENCH_PR5.json).
 
 Emit: runs the E16 throughput section of tab_scalability (and, when present,
 the BM_SimThroughput gate in micro_structures), then writes one merged JSON:
 
-    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR4.json
+    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR5.json
 
 Check: compares a freshly emitted JSON against the trajectory checked into
 the repo and fails (exit 1) if events/sec regressed by more than the
 threshold at any machine size:
 
     python3 scripts/bench_json.py --bin-dir build/release \
-        --out /tmp/fresh.json --check BENCH_PR4.json
+        --out /tmp/fresh.json --check BENCH_PR5.json
 
 Machines differ, so the guard compares *normalized* throughput: events/sec
 divided by a fixed pure-CPU calibration loop's rate measured in the same
 binary on the same machine (normalized_events_per_mop). Raw events/sec is
 recorded alongside for the trajectory table in EXPERIMENTS.md.
 
-The "baseline_pre_pr4" block is carried forward verbatim from the previous
-JSON (via --carry, which --check implies): it preserves the pre-overhaul
-measurements that started the trajectory.
+Historic baseline blocks ("baseline_pre_pr4", and the PR4 measurements as
+"baseline_pr4") are carried forward verbatim from the previous JSON (via
+--carry, which --check implies): the trajectory keeps every recorded point.
+The PR5 JSON also carries the E17 reclaim table (sweep-GC vs. the cancel
+protocol) emitted by tab_scalability --perf-json.
 """
 
 from __future__ import annotations
@@ -105,7 +107,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", default="build/release",
                         help="CMake binary dir holding bench/ executables")
-    parser.add_argument("--out", default="BENCH_PR4.json",
+    parser.add_argument("--out", default="BENCH_PR5.json",
                         help="where to write the merged JSON")
     parser.add_argument("--full", action="store_true",
                         help="run the full (non --smoke) throughput sweep")
@@ -130,8 +132,9 @@ def main() -> int:
     if carry_from and os.path.exists(carry_from):
         with open(carry_from, encoding="utf-8") as f:
             previous = json.load(f)
-        if "baseline_pre_pr4" in previous:
-            merged["baseline_pre_pr4"] = previous["baseline_pre_pr4"]
+        for block in ("baseline_pre_pr4", "baseline_pr4"):
+            if block in previous:
+                merged[block] = previous[block]
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=False)

@@ -123,6 +123,24 @@ bool CheckpointTable::release_anywhere(const runtime::LevelStamp& stamp) {
   return false;
 }
 
+bool CheckpointTable::contains(net::ProcId dest,
+                               const runtime::LevelStamp& stamp) const {
+  const Stripe& stripe = stripes_[stripe_of(dest)];
+  auto [it, end] =
+      stripe.by_stamp.equal_range(runtime::LevelStamp::Hash{}(stamp));
+  for (; it != end; ++it) {
+    if (it->second != dest) continue;
+    // Hash hit on this destination: confirm against the actual records
+    // (distinct stamps may collide).
+    for (const CheckpointRecord& record :
+         stripe.entries.at(dest / kStripeCount)) {
+      if (record.packet.stamp == stamp) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
 void CheckpointTable::clear() {
   for (Stripe& stripe : stripes_) {
     for (auto& entry : stripe.entries) entry.clear();

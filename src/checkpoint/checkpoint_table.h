@@ -88,6 +88,14 @@ class CheckpointTable {
   /// stamp indexes — never a scan over all destinations.
   bool release_anywhere(const runtime::LevelStamp& stamp);
 
+  /// Is a checkpoint for `stamp` currently held against `dest`? O(1)
+  /// expected via the stripe stamp index. Used by the state-transfer pump
+  /// to drop packets whose record was released (result arrived, or the
+  /// lineage was cancelled) after the stream snapshot was taken — a
+  /// released checkpoint must never resurrect as a re-hosted task.
+  [[nodiscard]] bool contains(net::ProcId dest,
+                              const runtime::LevelStamp& stamp) const;
+
   /// Drop every live record (the table is volatile state: a crashed node
   /// that rejoins starts blank). Lifetime counters are preserved — they
   /// describe the run, not the node's current contents.

@@ -297,6 +297,10 @@ std::string SystemConfig::describe() const {
       out << "(p=" << store.survive_p << ")";
     }
   }
+  if (!cancellation) out << " cancel=off";
+  if (gc_interval > 0) {
+    out << (gc_oracle ? " gc-oracle=" : " gc=") << gc_interval;
+  }
   out << " seed=" << seed;
   return out.str();
 }

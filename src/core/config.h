@@ -155,15 +155,37 @@ struct SystemConfig {
   /// processors").
   std::int64_t heartbeat_interval = 2000;
 
-  /// Orphan garbage collection period (ticks); 0 disables. Recovery can
-  /// leave *duplicate* live tasks — a reissue raced the original (undetected
-  /// rejoin, pre-link grace expiry, warm re-host vs. survivor reissue) and
-  /// both copies now compute the same (stamp, replica). The §4.1 rules make
-  /// the extra results harmless ("the second copy is simply ignored"), but
-  /// the duplicates burn processor time until run end. The sweep reclaims
-  /// every copy except the oldest at each period. Replicated depths
-  /// (quorum > 1) are exempt: their copies are the redundancy.
+  /// First-class task-cancellation protocol. Recovery can leave *duplicate*
+  /// live tasks — a reissue raced the original (undetected rejoin, pre-link
+  /// grace expiry, warm re-host vs. survivor reissue) and both copies now
+  /// compute the same (stamp, replica). The §4.1 rules make the extra
+  /// results harmless ("the second copy is simply ignored"), but the
+  /// duplicates burn processor time until run end. With cancellation on,
+  /// every recovery action that supersedes a live instance also emits a
+  /// kCancel message naming it; receivers abort the addressed task, release
+  /// its retained checkpoints, and forward cancels down every outstanding
+  /// call slot — the duplicate subtree converges by message propagation.
+  /// Replicated depths are exempt: their copies are the redundancy.
+  bool cancellation = true;
+
+  /// Legacy orphan-GC sweep period (ticks); 0 disables. The sweep reads
+  /// global simulator state — the omniscient ancestor of the cancel
+  /// protocol — and reclaims every duplicate copy except the one the live
+  /// parent's acknowledged slot points at. Kept as (a) the measured
+  /// baseline for E17 and (b) the cadence of the validation oracle below.
   std::int64_t gc_interval = 0;
+
+  /// Demote the sweep to a read-only validation oracle: at each
+  /// gc_interval tick it *identifies* the duplicates the old sweep would
+  /// have reclaimed but aborts nothing; a duplicate still present at the
+  /// next tick (cancel latency is bounded by one network traversal, far
+  /// below any sensible cadence) counts as a protocol leak in
+  /// Counters::gc_oracle_orphans. The enforced invariant is the protocol's
+  /// reach: no duplicate whose own parent *instance* is live may persist.
+  /// True orphans (the exact parent task is gone) are excluded under a
+  /// salvaging policy — they are §4.1 salvage material, unreachable by any
+  /// message until their results flow.
+  bool gc_oracle = false;
 
   /// §4.3.1 super-root: checkpoints the root program so the system survives
   /// failure of the root's host.

@@ -17,6 +17,11 @@ void Counters::merge(const Counters& other) noexcept {
   late_results_discarded += other.late_results_discarded;
   orphans_stranded += other.orphans_stranded;
   orphans_gced += other.orphans_gced;
+  cancels_sent += other.cancels_sent;
+  tasks_cancelled += other.tasks_cancelled;
+  cancels_ignored += other.cancels_ignored;
+  gc_oracle_orphans += other.gc_oracle_orphans;
+  reclaim_latency_ticks += other.reclaim_latency_ticks;
   checkpoint_records += other.checkpoint_records;
   checkpoint_subsumed += other.checkpoint_subsumed;
   checkpoint_released += other.checkpoint_released;

@@ -25,7 +25,18 @@ struct Counters {
   std::uint64_t duplicate_results_ignored = 0;  // cases 6/7
   std::uint64_t late_results_discarded = 0;     // case 8 / unknown target
   std::uint64_t orphans_stranded = 0;      // undeliverable with no ancestor left
-  std::uint64_t orphans_gced = 0;          // duplicate tasks reclaimed by GC
+  std::uint64_t orphans_gced = 0;          // duplicates reclaimed by legacy sweep
+
+  // Cancellation protocol (kCancel, duplicate-lineage reclaim by message).
+  std::uint64_t cancels_sent = 0;          // kCancel messages issued
+  std::uint64_t tasks_cancelled = 0;       // live duplicates aborted by cancel
+  std::uint64_t cancels_ignored = 0;       // no live addressee (already done)
+  std::uint64_t gc_oracle_orphans = 0;     // duplicates the oracle saw leak
+  /// Sum over reclaimed duplicates of (reclaim time - task creation time);
+  /// divide by tasks_cancelled + orphans_gced for the E17 mean reclaim
+  /// latency. Both reclaim paths use the same proxy, so sweep and cancel
+  /// runs compare like for like.
+  std::int64_t reclaim_latency_ticks = 0;
 
   // Functional checkpointing.
   std::uint64_t checkpoint_records = 0;

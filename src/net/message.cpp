@@ -38,6 +38,8 @@ std::string_view to_string(MsgKind kind) noexcept {
       return "state-request";
     case MsgKind::kStateChunk:
       return "state-chunk";
+    case MsgKind::kCancel:
+      return "cancel";
     case MsgKind::kControl:
       return "control";
   }

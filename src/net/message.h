@@ -44,10 +44,11 @@ enum class MsgKind : std::uint8_t {
   kRejoinNotice,     // repaired processor announces it is back
   kStateRequest,     // warm rejoiner asks peers for state held against it
   kStateChunk,       // bounded slice of checkpoints + liveness (transfer)
+  kCancel,           // abort a duplicate task lineage (subtree-scoped)
   kControl,          // runtime-internal control (super-root start, etc.)
 };
 
-inline constexpr std::size_t kMsgKindCount = 14;
+inline constexpr std::size_t kMsgKindCount = 15;
 
 [[nodiscard]] std::string_view to_string(MsgKind kind) noexcept;
 
@@ -89,6 +90,7 @@ using Payload = std::variant<std::monostate,
                              runtime::RejoinMsg,        // kRejoinNotice
                              runtime::LoadMsg,          // kLoadUpdate
                              runtime::ControlMsg,       // kControl
+                             runtime::CancelMsg,        // kCancel
                              store::StateRequestMsg,    // kStateRequest
                              store::StateChunkMsg,      // kStateChunk
                              EnvelopeBox>;              // kDeliveryFailure

@@ -49,11 +49,21 @@ void RollbackPolicy::on_error_detected(Processor& proc, net::ProcId dead) {
 }
 
 void RollbackPolicy::reissue_against(Processor& proc, net::ProcId dead) {
+  // Under the cancellation protocol a doomed lineage's descendants on
+  // *other* processors are reclaimed too: the abort forwards kCancel down
+  // every outstanding slot instead of letting the subtree compute to run
+  // end for a result nobody can consume.
+  const bool cascade = proc.runtime().config().cancellation;
   // (a) Abort direct orphans: their results could only flow to the dead
   //     parent ("the result of the task cannot be forwarded").
-  proc.abort_tasks_if(
-      [&](Task& task) { return task.packet().parent().proc == dead; },
-      "orphan: parent processor failed");
+  const auto orphaned = [&](Task& task) {
+    return task.packet().parent().proc == dead;
+  };
+  if (cascade) {
+    proc.cancel_tasks_if(orphaned, "orphan: parent processor failed");
+  } else {
+    proc.abort_tasks_if(orphaned, "orphan: parent processor failed");
+  }
 
   // (b) Reissue the topmost checkpoints held against the dead processor.
   auto records = proc.table().take(dead);
@@ -77,16 +87,19 @@ void RollbackPolicy::reissue_against(Processor& proc, net::ProcId dead) {
   //     ancestor is being regrown elsewhere, so "new arguments of the task
   //     cannot be obtained". (Reissued slots in (b) already point at live
   //     destinations and are skipped.)
-  proc.abort_tasks_if(
-      [&](Task& task) {
-        for (const auto& slot : task.slots()) {
-          if (slot.outstanding() && all_destinations_dead(proc, slot)) {
-            return true;
-          }
-        }
-        return false;
-      },
-      "doomed: child lost and not topmost");
+  const auto doomed = [&](Task& task) {
+    for (const auto& slot : task.slots()) {
+      if (slot.outstanding() && all_destinations_dead(proc, slot)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (cascade) {
+    proc.cancel_tasks_if(doomed, "doomed: child lost and not topmost");
+  } else {
+    proc.abort_tasks_if(doomed, "doomed: child lost and not topmost");
+  }
 }
 
 void RollbackPolicy::on_result_undeliverable(Processor& proc,

@@ -40,6 +40,10 @@ store::StateStreamer::Env make_streamer_env(Processor& self, Runtime& rt) {
     }
     return packets;
   };
+  env.still_checkpointed = [&self](net::ProcId rejoiner,
+                                   const LevelStamp& stamp) {
+    return self.table().contains(rejoiner, stamp);
+  };
   env.known_dead = [&self, &rt] {
     // Sorted so the chunk contents — and therefore the whole run — stay a
     // pure function of the seed (the dead set is an unordered container).
@@ -107,6 +111,9 @@ void Processor::handle(Envelope&& env) {
       handle_state_chunk(env.from,
                          std::get<store::StateChunkMsg>(std::move(env.payload)));
       break;
+    case MsgKind::kCancel:
+      handle_cancel(std::get<CancelMsg>(std::move(env.payload)));
+      break;
     case MsgKind::kHeartbeat:
     case MsgKind::kLoadUpdate:
     case MsgKind::kCheckpointXfer:
@@ -131,7 +138,21 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
   const TaskRef parent = packet.parent();
   const lang::ExprId call_site = packet.call_site;
   const std::uint32_t replica = packet.replica;
+  const std::uint32_t lineage = packet.lineage;
   const lang::FuncId fn = packet.fn;
+  if (rt_.config().cancellation && lineage > 0 && !stamp.is_root() &&
+      rt_.replication_for(stamp.depth()) == 1) {
+    // A recovery respawn landed here. If an older instance of the same
+    // (stamp, replica) *from the same parent instance* is co-resident, it
+    // is the superseded original of the lineage this packet replaces —
+    // reclaim it locally before the replacement starts. (Gated on
+    // lineage > 0 so the hot first-spawn path pays nothing for the scan;
+    // parent-filtered so a sibling lineage's copy is never touched.)
+    if (Task* older = find_task_by_stamp_replica(stamp, replica, parent,
+                                                 rt_.sim().now())) {
+      cancel_task(older->uid(), "cancelled: superseded by local respawn");
+    }
+  }
   auto task = std::make_unique<Task>(uid, std::move(packet), rt_.sim().now());
   tasks_.emplace(uid, std::move(task));
 
@@ -148,6 +169,7 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
   ack.parent = parent;
   ack.child = TaskRef{id_, uid};
   ack.replica = replica;
+  ack.lineage = lineage;
   if (parent.proc == net::kNoProc) {
     rt_.super_root_ack(ack);
   } else {
@@ -274,6 +296,10 @@ void Processor::spawn_child(Task& owner, SpawnRequest request) {
 }
 
 void Processor::send_packet(Task& owner, CallSlot& slot) {
+  // Stamp the slot's current spawn generation into the packet: acks echo it
+  // (stale-lineage acks are dropped) and a superseded instance can be told
+  // apart from its replacement wherever both land.
+  slot.retained.lineage = slot.respawns;
   const TaskPacket& packet = slot.retained;
   const std::uint32_t replicas =
       rt_.replication_for(packet.stamp.depth());
@@ -297,6 +323,9 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
   slot.sent_to = dests;
   slot.child_procs.assign(dests.size(), net::kNoProc);
   slot.child_uids.assign(dests.size(), kNoTask);
+  // This spawn is the slot's lineage now; pre-link provenance (used to
+  // address cancels at the previous incarnation's child) is spent.
+  slot.prelink_prev_owner = kNoTask;
   if (rt_.has_triggers()) {
     rt_.fire_trigger("spawn:" + rt_.program().function(packet.fn).name);
     if (dead_) return;  // trigger killed this node; owner/slot/packet freed
@@ -321,6 +350,13 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
   });
   // Functional checkpoint (replica 0's destination keys the table entry).
   if (rt_.policy().functional_checkpointing()) {
+    if (slot.respawns > 0) {
+      // A respawn moves the reissue obligation to the new destination; the
+      // record made for the superseded spawn must not linger in the old
+      // destination's entry, or a later warm rejoin of that processor
+      // would re-host — resurrect — the lineage this respawn replaces.
+      table_.release_anywhere(packet.stamp);
+    }
     checkpoint::CheckpointRecord record;
     record.owner = owner.uid();
     record.site = slot.site;
@@ -460,6 +496,18 @@ void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
                      rt_.program().function(slot.retained.fn).name);
     if (dead_) return;  // trigger killed this node; task/slot are freed
   }
+  // The slot resolved on a lineage that was recovered at least once (a
+  // salvaged orphan return beat the twin, or the twin's own return beat the
+  // superseded original): some instance of it may still be computing the
+  // very value just delivered. The §4.1 rules would let it run to run end
+  // and ignore its result; instead the discard travels as a cancel to
+  // every instance the slot still points at (a completed producer is
+  // simply no longer there to receive it). A pre-linked slot resolving
+  // directly needs nothing: its single awaited original just completed,
+  // and its grace respawn would have set twin_active.
+  if (rt_.config().cancellation && (msg.relayed || slot.twin_active)) {
+    cancel_slot_instances(task, slot);  // async sends: nothing dies here
+  }
   // The child returned; its functional checkpoint is no longer needed.
   if (rt_.policy().functional_checkpointing()) {
     table_.release_anywhere(msg.stamp);
@@ -491,9 +539,46 @@ void Processor::resume_after_fill(Task& task) {
 // ---------------------------------------------------------------------------
 
 void Processor::handle_ack(AckMsg msg) {
+  // Ack-of-corpse: the child announced itself to a parent instance that no
+  // longer exists (cancelled, aborted as an orphan, or lost to a crash the
+  // uid outlived). Nothing will ever consume the child's result — reply
+  // with a uid-exact cancel so the in-flight spawns of reclaimed lineages
+  // are reclaimed too, however late they land. (Replicated depths keep
+  // every copy; see cancel_slot_instances.)
+  const auto reply_cancel = [&](std::string_view why) {
+    if (!rt_.config().cancellation || msg.stamp.is_root() ||
+        rt_.replication_for(msg.stamp.depth()) > 1 ||
+        msg.child.proc == net::kNoProc || knows_dead(msg.child.proc)) {
+      return;
+    }
+    if (msg.parent.uid < incarnation_uid_floor_) {
+      // The addressed parent died with a previous incarnation of this
+      // node, it was not cancelled: its branch may be regrowing from a
+      // restored checkpoint record (respawn_from_record keeps the old
+      // parent ref so results still route by stamp), and cancelling the
+      // fresh child would nullify the only remaining copy.
+      return;
+    }
+    rt_.trace().add(rt_.sim().now(), id_, "ack-of-corpse", [&] {
+      return msg.stamp.to_string() + " " + std::string(why);
+    });
+    send_cancel(msg.stamp, msg.replica, msg.child.uid, msg.parent,
+                msg.child.proc);
+  };
   Task* task = find_task(msg.parent.uid);
-  if (task == nullptr) return;
-  task->note_ack(msg.call_site, msg.child, msg.replica);
+  if (task == nullptr) {
+    reply_cancel("parent instance gone");
+    return;
+  }
+  if (!task->note_ack(msg.call_site, msg.child, msg.replica, msg.lineage)) {
+    // Stale spawn generation: the instance this ack names was superseded
+    // (and cancelled) by a later respawn of the slot. Recording it would
+    // point relays — and forwarded cancels — at a corpse; the reply makes
+    // sure the superseded instance itself dies even if the respawn-time
+    // cancel raced past it in flight.
+    reply_cancel("superseded spawn generation");
+    return;
+  }
   if (rt_.has_triggers()) {
     rt_.fire_trigger("ack:" + rt_.program().function(
                                   task->slot(msg.call_site).retained.fn)
@@ -601,6 +686,13 @@ void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
 void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
                              std::string_view reason) {
   if (slot.resolved() || !slot.spawned) return;
+  // The instances the slot pointed at so far are superseded by the twin
+  // about to spawn; any that survive on a live processor (undetected
+  // rejoin, pre-link grace expiry, warm re-host vs. survivor fallback)
+  // would compute a duplicate lineage. Discard travels as a message:
+  // cancels go out *before* the replacement packets, so on a shared
+  // destination the cancel is delivered first and can never hit the twin.
+  if (rt_.config().cancellation) cancel_slot_instances(owner, slot);
   ++slot.respawns;
   ++counters_.tasks_respawned;
   if (as_twin) {
@@ -612,6 +704,114 @@ void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
            slot.retained.stamp.to_string() + " (" + std::string(reason) + ")";
   });
   send_packet(owner, slot);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation protocol (kCancel)
+// ---------------------------------------------------------------------------
+// The recovery scheme never assumes global knowledge: every corrective
+// action — reissue, splice, discard — travels as a message. Reclamation of
+// duplicate lineages is the discard case. A cancel names its victim by
+// (stamp, replica), the identity that survives crashes (§3.1), plus the
+// exact uid when the issuer holds an acknowledged pointer; the receiver
+// aborts the addressed task, releases the checkpoints it retained for its
+// own children, and forwards cancels down every outstanding call slot, so
+// the duplicate subtree converges hop by hop instead of level by level
+// under an omniscient sweep.
+
+void Processor::send_cancel(const LevelStamp& stamp, std::uint32_t replica,
+                            TaskUid uid, TaskRef parent, net::ProcId to) {
+  ++counters_.cancels_sent;
+  rt_.trace().add(rt_.sim().now(), id_, "cancel", [&] {
+    return stamp.to_string() + (uid != kNoTask
+                                    ? " uid=" + std::to_string(uid)
+                                    : " (of parent uid=" +
+                                          std::to_string(parent.uid) + ")") +
+           " -> P" + std::to_string(to);
+  });
+  CancelMsg msg;
+  msg.stamp = stamp;
+  msg.replica = replica;
+  msg.uid = uid;
+  msg.parent = parent;
+  msg.issued_at = rt_.sim().now();
+  Envelope env;
+  env.kind = MsgKind::kCancel;
+  env.from = id_;
+  env.to = to;
+  env.size_units = msg.size_units();
+  env.payload = msg;
+  rt_.network().send(std::move(env));
+}
+
+void Processor::cancel_slot_instances(const Task& owner, const CallSlot& slot) {
+  if (!rt_.config().cancellation) return;
+  const LevelStamp& stamp = slot.retained.stamp;
+  // Roots belong to the super-root; replicated depths keep every copy by
+  // design (§5.3 — the redundancy IS the copies).
+  if (stamp.is_root() || rt_.replication_for(stamp.depth()) > 1) return;
+  // Stamp-addressed cancels revoke a specific parent instance's spawn: for
+  // a pre-linked slot the awaited original carries the *previous
+  // incarnation's* owner uid; every other never-acked instance carries the
+  // current owner's.
+  const TaskRef spawner{id_, slot.prelink_prev_owner != kNoTask
+                                 ? slot.prelink_prev_owner
+                                 : owner.uid()};
+  for (std::size_t r = 0; r < slot.sent_to.size(); ++r) {
+    const bool acked = r < slot.child_procs.size() &&
+                       slot.child_procs[r] != net::kNoProc &&
+                       slot.child_uids[r] != kNoTask;
+    const net::ProcId where = acked ? slot.child_procs[r] : slot.sent_to[r];
+    if (where == net::kNoProc || where >= rt_.network().size() ||
+        knows_dead(where)) {
+      continue;  // nothing lives there to reclaim
+    }
+    send_cancel(stamp, static_cast<std::uint32_t>(r),
+                acked ? slot.child_uids[r] : kNoTask, spawner, where);
+  }
+}
+
+void Processor::handle_cancel(CancelMsg msg) {
+  if (!rt_.config().cancellation || msg.stamp.is_root()) return;
+  Task* task = nullptr;
+  if (msg.uid != kNoTask) {
+    task = find_task(msg.uid);
+    // Uids are never reused, but a stamp mismatch would mean a protocol
+    // bug upstream — refuse to abort anything the cancel does not name.
+    if (task != nullptr && task->stamp() != msg.stamp) task = nullptr;
+  } else {
+    task = find_task_by_stamp_replica(msg.stamp, msg.replica, msg.parent,
+                                      msg.issued_at);
+  }
+  if (task == nullptr || task->state() == TaskState::kCompleted ||
+      task->state() == TaskState::kAborted) {
+    // Already completed, already reclaimed, or a fresh lineage the
+    // incarnation fence protects — either way the cancel found no work.
+    ++counters_.cancels_ignored;
+    return;
+  }
+  cancel_task(task->uid(), "cancelled: duplicate lineage");
+}
+
+void Processor::cancel_task(TaskUid uid, std::string_view reason) {
+  Task* task = find_task(uid);
+  if (task == nullptr || task->state() == TaskState::kCompleted ||
+      task->state() == TaskState::kAborted) {
+    return;
+  }
+  ++counters_.tasks_cancelled;
+  counters_.reclaim_latency_ticks +=
+      (rt_.sim().now() - task->created_at()).ticks();
+  // Release the checkpoints this lineage retained and propagate the cancel
+  // down every outstanding slot before the local abort frees them.
+  for (const CallSlot& slot : task->slots()) {
+    if (!slot.spawned || slot.resolved()) continue;
+    if (rt_.policy().functional_checkpointing()) {
+      table_.release_anywhere(slot.retained.stamp);
+    }
+    cancel_slot_instances(*task, slot);
+  }
+  abort_task(uid, reason);
 }
 
 void Processor::abort_task(TaskUid uid, std::string_view reason) {
@@ -657,6 +857,24 @@ bool Processor::has_stake_in(net::ProcId dead) const {
   return false;
 }
 
+Task* Processor::find_task_by_stamp_replica(const LevelStamp& stamp,
+                                            std::uint32_t replica,
+                                            TaskRef parent,
+                                            sim::SimTime before) {
+  Task* best = nullptr;
+  for (auto& [uid, task] : tasks_) {
+    if (task->state() == TaskState::kCompleted ||
+        task->state() == TaskState::kAborted || task->stamp() != stamp ||
+        task->packet().replica != replica ||
+        !(task->packet().parent() == parent) ||
+        !(task->created_at() < before)) {
+      continue;
+    }
+    if (best == nullptr || task->uid() < best->uid()) best = task.get();
+  }
+  return best;
+}
+
 Task* Processor::find_task_by_stamp(const LevelStamp& stamp) {
   // Lowest uid wins so the choice is deterministic regardless of hash-map
   // iteration order (replicas can share a stamp on one node).
@@ -675,6 +893,12 @@ void Processor::respawn_from_record(checkpoint::CheckpointRecord record,
                                     std::string_view reason) {
   TaskPacket packet = record.packet;
   packet.replica = 0;
+  // A restored-record reissue supersedes whatever instance the record's
+  // previous spawn produced; bump the generation so (a) the replacement's
+  // acceptance triggers local duplicate reclaim and (b) a straggling ack
+  // from the old instance cannot outrank the new one.
+  ++packet.lineage;
+  record.packet.lineage = packet.lineage;
   const net::ProcId dest = rt_.scheduler().choose(id_, packet);
   if (dest == net::kNoProc) return;
   ++counters_.tasks_respawned;
@@ -716,6 +940,7 @@ void Processor::revive() {
   dead_ = false;
   frozen_ = false;
   executing_ = false;
+  incarnation_uid_floor_ = rt_.current_uid();
   // Whatever the rejoin mode, the node has no memory of which peers failed
   // while it was down; warm catch-up re-learns that from survivors.
   known_dead_.clear();
@@ -826,6 +1051,7 @@ void Processor::accept_transferred_packet(TaskPacket packet) {
   // flight, so a non-salvaging policy respawns instead of awaiting.
   const bool prelink = rt_.policy().salvages_orphans();
   for (auto& [dest, record] : table_.restored_children_of(stamp)) {
+    const TaskUid prev_owner = record->owner;
     record->owner = uid;
     if (!record->packet.ancestors.empty()) {
       record->packet.ancestors[0] = TaskRef{id_, uid};
@@ -835,6 +1061,10 @@ void Processor::accept_transferred_packet(TaskPacket packet) {
     CallSlot& slot = task->slot(record->site);
     slot.sent_to = {dest};
     slot.prelinked = true;
+    // The awaited original out there still carries the previous
+    // incarnation's owner uid as its parent ref; a cancel for it (pre-link
+    // grace expiry) must name that instance, not the re-hosted owner.
+    slot.prelink_prev_owner = prev_owner;
     rt_.trace().add(rt_.sim().now(), id_, "pre-link", [&] {
       return record->packet.stamp.to_string() + " awaiting P" +
              std::to_string(dest);

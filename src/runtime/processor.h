@@ -20,6 +20,7 @@
 // cost advances the simulated clock. Steps queue FIFO.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -89,6 +90,17 @@ class Processor {
   /// nullptr. Warm rejoin re-creates tasks under fresh uids; stamp identity
   /// is what survives the crash (§3.1: names come from program structure).
   [[nodiscard]] Task* find_task_by_stamp(const LevelStamp& stamp);
+  /// Stamp-addressed cancel resolution: the live local task matching
+  /// (stamp, replica) that carries exactly `parent` as its parent ref and
+  /// was accepted strictly before `before` (lowest uid wins for
+  /// determinism). The parent filter makes the match unambiguous — uids
+  /// are never reused, so only the issuer's own superseded child can
+  /// match; the time fence additionally protects the issuer's replacement
+  /// twin (same parent ref, spawned after the cancel).
+  [[nodiscard]] Task* find_task_by_stamp_replica(const LevelStamp& stamp,
+                                                 std::uint32_t replica,
+                                                 TaskRef parent,
+                                                 sim::SimTime before);
   /// Reissue a replay-restored checkpoint whose owner task died with this
   /// node and was not re-accepted: send the retained packet to a fresh
   /// destination and re-record it. The result flows to the old parent ref
@@ -100,6 +112,12 @@ class Processor {
   void respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
                     std::string_view reason);
   void abort_task(TaskUid uid, std::string_view reason);
+  /// Cancel a local task: abort it, release the checkpoint-table entries it
+  /// retained for its own children, and forward kCancel messages down every
+  /// outstanding call slot so the whole duplicate subtree converges by
+  /// message propagation (the protocol replacement for the old global
+  /// orphan-GC sweep).
+  void cancel_task(TaskUid uid, std::string_view reason);
   /// Deliver a direct-child result into a live local task (shared by the
   /// network path and policy relays).
   void deliver_parent_result(Task& task, const ResultMsg& msg);
@@ -119,6 +137,24 @@ class Processor {
       }
     }
     for (TaskUid uid : victims) abort_task(uid, reason);
+    return victims.size();
+  }
+  /// Cancel every live task matching a predicate (abort + checkpoint
+  /// release + cancels forwarded to children); returns count. The
+  /// cancellation-protocol variant of abort_tasks_if: a doomed lineage's
+  /// descendants on other processors are reclaimed by message instead of
+  /// computing to run end.
+  template <typename Pred>
+  std::size_t cancel_tasks_if(Pred pred, std::string_view reason) {
+    std::vector<TaskUid> victims;
+    for (auto& [uid, task] : tasks_) {
+      if (task->state() != TaskState::kCompleted &&
+          task->state() != TaskState::kAborted && pred(*task)) {
+        victims.push_back(uid);
+      }
+    }
+    std::sort(victims.begin(), victims.end());
+    for (TaskUid uid : victims) cancel_task(uid, reason);
     return victims.size();
   }
   /// Iterate live tasks (policies use this for reissue sweeps).
@@ -173,6 +209,20 @@ class Processor {
   void start_next_step();
   void finish_scan(TaskUid uid, ScanOutcome& outcome);
   void spawn_child(Task& owner, SpawnRequest request);
+  void handle_cancel(CancelMsg msg);
+  /// Emit one kCancel naming (stamp, replica) — uid-exact when the issuer
+  /// holds an acknowledged pointer, else (stamp, parent-instance)-addressed
+  /// with the issue time as incarnation fence.
+  void send_cancel(const LevelStamp& stamp, std::uint32_t replica,
+                   TaskUid uid, TaskRef parent, net::ProcId to);
+  /// Cancel every instance this slot currently points at (acked ones by
+  /// uid, in-flight/never-acked ones by (stamp, parent ref) at their send
+  /// destination). Called when the slot's lineage is superseded — a
+  /// respawn replaces it, a salvaged result resolves it, or the owning
+  /// task is itself cancelled. Replicated depths are exempt (their copies
+  /// are the redundancy) and destinations known dead are skipped (nothing
+  /// lives there to reclaim).
+  void cancel_slot_instances(const Task& owner, const CallSlot& slot);
   void handle_state_request(store::StateRequestMsg msg);
   void handle_state_chunk(net::ProcId from, store::StateChunkMsg msg);
   /// Re-host one transferred task packet: accept it, then pre-link its call
@@ -219,6 +269,13 @@ class Processor {
   /// incarnation abandon themselves instead of beating alongside the chain
   /// the revived node starts.
   std::uint64_t incarnation_ = 0;
+  /// Uid watermark of this incarnation: every task this life hosts has a
+  /// uid at or above it (uids are global and monotone). An ack addressed
+  /// to a parent uid *below* the watermark names a crash casualty, not a
+  /// cancelled task — its branch may have been legitimately reissued from
+  /// a restored checkpoint record, so the ack-of-corpse reply must not
+  /// fire (the pre-cancellation behaviour was to ignore such acks).
+  TaskUid incarnation_uid_floor_ = 0;
 };
 
 }  // namespace splice::runtime

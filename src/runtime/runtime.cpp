@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 #include <utility>
 
 #include "recovery/rollback.h"
@@ -244,79 +245,112 @@ void Runtime::schedule_gc_tick() {
   });
 }
 
-void Runtime::gc_sweep() {
+std::vector<Runtime::GcVictim> Runtime::collect_gc_victims() {
   // Recovery can race the machine into hosting the same (stamp, replica)
   // twice: a reissue fired while the original survived (undetected rejoin,
   // pre-link grace expiry, warm re-host vs. survivor fallback). Results of
   // the extra copies are ignored by the §4.1 duplicate rules, so the only
-  // damage is wasted compute — which this sweep reclaims.
+  // damage is wasted compute.
   //
   // Which copy survives matters: only the copy the live parent's call slot
   // currently points at can still deliver its result (the others address a
-  // stale parent ref or lost their relay chain). So the sweep resolves each
+  // stale parent ref or lost their relay chain). So the pass resolves each
   // duplicate's parent by stamp and keeps the copy on the processor the
   // parent last (re)spawned toward; with no live, unresolved parent slot —
   // or with the pointed-at copy still in flight — it conservatively keeps
-  // everything. Children the aborted copies already spawned become
-  // duplicates of the survivor's children and fall to the *next* sweep:
-  // the sweep converges subtree by subtree.
+  // everything. Children of the non-kept copies become duplicates of the
+  // survivor's children and fall to the *next* pass: selection converges
+  // subtree by subtree.
   //
-  // The sweep reads global state directly — the simulator's omniscient
-  // stand-in for a cancel-message protocol — but runs at deterministic
-  // times over deterministic state, so replay identity is preserved.
+  // This pass reads global state directly — the simulator's omniscient
+  // view. In legacy mode it feeds the reclaim sweep; with the cancellation
+  // protocol it is demoted to the read-only validation oracle. Parent
+  // resolution goes through `tasks_by_stamp`, built in the same single
+  // iteration over live tasks, so the whole pass is O(live tasks) — the
+  // old per-duplicate scan over all processors made the retained oracle
+  // O(P · duplicates) at 256 processors.
   struct Copy {
     net::ProcId proc;
     TaskUid uid;
+    TaskRef parent;
+  };
+  struct Host {
+    net::ProcId proc;
+    Task* task;
   };
   std::map<std::pair<LevelStamp, std::uint32_t>, std::vector<Copy>> hosts;
-  std::map<LevelStamp, int> copies_of_stamp;  // all live tasks, any replica
+  std::unordered_map<LevelStamp, std::vector<Host>, LevelStamp::Hash>
+      tasks_by_stamp;  // all live tasks, any replica
   for (net::ProcId p = 0; p < procs_.size(); ++p) {
     if (procs_[p]->crashed()) continue;
     procs_[p]->for_each_task([&](Task& task) {
       const LevelStamp& stamp = task.stamp();
-      ++copies_of_stamp[stamp];
+      tasks_by_stamp[stamp].push_back(Host{p, &task});
       // Root reincarnations are the super-root's business; replicated
       // depths are redundant by design (their quorum needs every copy).
       if (stamp.is_root() || quorum_for(stamp.depth()) > 1) return;
       hosts[std::make_pair(stamp, task.packet().replica)].push_back(
-          Copy{p, task.uid()});
+          Copy{p, task.uid(), task.packet().parent()});
     });
   }
-  std::vector<std::pair<net::ProcId, TaskUid>> victims;
+  // Deterministic candidate order for parent resolution: ascending
+  // processor, then ascending uid (for_each_task iterates an unordered
+  // map, so the collected order is not reproducible by itself).
+  for (auto& [stamp, candidates] : tasks_by_stamp) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Host& a, const Host& b) {
+                return a.proc != b.proc ? a.proc < b.proc
+                                        : a.task->uid() < b.task->uid();
+              });
+  }
+  std::vector<GcVictim> victims;
   for (auto& [key, copies] : hosts) {
     if (copies.size() < 2) continue;
     const LevelStamp& stamp = key.first;
     const lang::ExprId site = stamp.last();
+    const LevelStamp parent_stamp = stamp.parent();
+    const auto parent_hosts = tasks_by_stamp.find(parent_stamp);
     // A duplicated *parent* means two live lineages whose child pointers
     // disagree; reclaiming a child now could sever the lineage that wins.
     // Dedup strictly top-down: this level waits until the parent level is
-    // unique (a later sweep — the sweep converges level by level).
-    const auto parent_copies = copies_of_stamp.find(stamp.parent());
-    if (parent_copies != copies_of_stamp.end() &&
-        parent_copies->second > 1) {
-      continue;
+    // unique (a later pass — selection converges level by level).
+    if (parent_hosts != tasks_by_stamp.end() &&
+        parent_hosts->second.size() > 1) {
+      // Replicas legitimately share a stamp on distinct lanes; only treat
+      // same-replica multiplicity at the parent level as duplication.
+      bool duplicated = false;
+      for (std::size_t i = 0;
+           !duplicated && i + 1 < parent_hosts->second.size(); ++i) {
+        for (std::size_t j = i + 1; j < parent_hosts->second.size(); ++j) {
+          if (parent_hosts->second[i].task->packet().replica ==
+              parent_hosts->second[j].task->packet().replica) {
+            duplicated = true;
+            break;
+          }
+        }
+      }
+      if (duplicated) continue;
     }
-    // Resolve the live parent (lowest processor wins; determinism) and the
-    // copy its slot for this call site points at. Strict rule: the pointee
-    // must be *acknowledged* — (proc, uid) known exactly — so the sweep
-    // never guesses between an in-flight respawn and a stale tenant.
+    // Resolve the live parent (lowest processor, then lowest uid — same
+    // deterministic choice the old per-processor scan made) and the copy
+    // its slot for this call site points at. Strict rule: the pointee must
+    // be *acknowledged* — (proc, uid) known exactly — so the pass never
+    // guesses between an in-flight respawn and a stale tenant.
     net::ProcId keeper_proc = net::kNoProc;
     TaskUid keeper_uid = kNoTask;
-    const LevelStamp parent_stamp = stamp.parent();
-    for (net::ProcId p = 0; p < procs_.size() && keeper_proc == net::kNoProc;
-         ++p) {
-      if (procs_[p]->crashed()) continue;
-      Task* parent = procs_[p]->find_task_by_stamp(parent_stamp);
-      if (parent == nullptr) continue;
-      const CallSlot* slot = parent->find_slot(site);
-      if (slot == nullptr || !slot->spawned || slot->resolved() ||
-          slot->child_procs.empty() ||
-          slot->child_procs[0] == net::kNoProc ||
-          slot->child_uids[0] == kNoTask) {
-        continue;
+    if (parent_hosts != tasks_by_stamp.end()) {
+      for (const Host& host : parent_hosts->second) {
+        const CallSlot* slot = host.task->find_slot(site);
+        if (slot == nullptr || !slot->spawned || slot->resolved() ||
+            slot->child_procs.empty() ||
+            slot->child_procs[0] == net::kNoProc ||
+            slot->child_uids[0] == kNoTask) {
+          continue;
+        }
+        keeper_proc = slot->child_procs[0];
+        keeper_uid = slot->child_uids[0];
+        break;
       }
-      keeper_proc = slot->child_procs[0];
-      keeper_uid = slot->child_uids[0];
     }
     if (keeper_proc == net::kNoProc) continue;  // no acked pointer: keep all
     // The pointed-at copy must be among the live hosted ones — if the ack
@@ -330,14 +364,71 @@ void Runtime::gc_sweep() {
     }
     if (keep == nullptr) continue;
     for (const Copy& copy : copies) {
-      if (&copy != keep) victims.emplace_back(copy.proc, copy.uid);
+      if (&copy != keep) {
+        victims.push_back(GcVictim{copy.proc, copy.uid, copy.parent});
+      }
     }
   }
-  std::sort(victims.begin(), victims.end());
-  for (const auto& [p, uid] : victims) {
-    ++procs_[p]->counters().orphans_gced;
-    procs_[p]->abort_task(uid, "orphan-gc: duplicate of the linked copy");
+  std::sort(victims.begin(), victims.end(),
+            [](const GcVictim& a, const GcVictim& b) {
+              return a.key() < b.key();
+            });
+  return victims;
+}
+
+void Runtime::gc_sweep() {
+  std::vector<GcVictim> victims = collect_gc_victims();
+  if (config_.gc_oracle) {
+    gc_oracle_check(victims);
+    return;
   }
+  for (const GcVictim& victim : victims) {
+    Processor& host = *procs_[victim.proc];
+    Task* task = host.find_task(victim.uid);
+    if (task == nullptr) continue;
+    ++host.counters().orphans_gced;
+    host.counters().reclaim_latency_ticks +=
+        (sim_.now() - task->created_at()).ticks();
+    host.abort_task(victim.uid, "orphan-gc: duplicate of the linked copy");
+  }
+}
+
+void Runtime::gc_oracle_check(const std::vector<GcVictim>& victims) {
+  // Read-only validation: the cancel protocol's propagation latency is
+  // bounded by one network traversal per tree level, far below any
+  // sensible oracle cadence — so a duplicate sighted at two consecutive
+  // ticks leaked past the protocol. The enforced invariant is exactly the
+  // protocol's reach: no duplicate whose own parent *instance* is live may
+  // persist (that parent supersedes, resolves, or forwards the cancel).
+  // True orphans — the exact parent task is gone — are excluded under a
+  // salvaging policy: they are §4.1 salvage material ("returns from orphan
+  // tasks are theoretically harmless"), reachable by no message until
+  // their results flow, and the old sweep's abort of them is exactly the
+  // omniscient shortcut this oracle exists to retire.
+  std::vector<std::pair<net::ProcId, TaskUid>> sightings;
+  const bool salvaging = policy_->salvages_orphans();
+  for (const GcVictim& victim : victims) {
+    if (salvaging) {
+      const TaskRef parent = victim.parent;
+      const bool parent_live =
+          parent.proc != net::kNoProc && parent.proc < procs_.size() &&
+          !procs_[parent.proc]->crashed() &&
+          procs_[parent.proc]->find_task(parent.uid) != nullptr;
+      if (!parent_live) continue;
+    }
+    sightings.push_back(victim.key());
+  }
+  for (const auto& sighting : sightings) {
+    if (std::binary_search(oracle_prev_sightings_.begin(),
+                           oracle_prev_sightings_.end(), sighting)) {
+      ++gc_oracle_orphans_;
+      trace_.add(sim_.now(), sighting.first, "oracle-leak", [&] {
+        return "uid=" + std::to_string(sighting.second) +
+               " outlived the cancel protocol";
+      });
+    }
+  }
+  oracle_prev_sightings_ = std::move(sightings);
 }
 
 void Runtime::freeze_all() {
@@ -376,6 +467,7 @@ core::RunResult Runtime::collect(sim::SimTime end_time,
   result.net.sent[static_cast<std::size_t>(net::MsgKind::kLoadUpdate)] +=
       scheduler_messages_;
   result.counters.orphans_stranded += stranded_from_host_;
+  result.counters.gc_oracle_orphans += gc_oracle_orphans_;
   // A root reincarnation is a recovery respawn too (§4.3.1).
   result.counters.tasks_respawned += super_root_->root_respawns();
 

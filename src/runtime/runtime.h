@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "checkpoint/super_root.h"
@@ -64,6 +65,9 @@ class Runtime {
   }
 
   [[nodiscard]] TaskUid next_uid() noexcept { return uid_counter_++; }
+  /// The next uid that will be allocated (nothing consumed). Processors
+  /// snapshot this at revive time as their incarnation's uid watermark.
+  [[nodiscard]] TaskUid current_uid() const noexcept { return uid_counter_; }
 
   // ---- warm rejoin (store/ subsystem) --------------------------------------
   /// Set by the simulation facade when the armed fault plan repairs nodes
@@ -128,6 +132,18 @@ class Runtime {
     return first_detection_ticks_;
   }
 
+  /// One identified duplicate copy (sweep victim / oracle sighting).
+  struct GcVictim {
+    net::ProcId proc = net::kNoProc;
+    TaskUid uid = kNoTask;
+    /// The victim's own parent ref (ancestors[0] of its packet).
+    TaskRef parent;
+
+    [[nodiscard]] auto key() const noexcept {
+      return std::pair<net::ProcId, TaskUid>{proc, uid};
+    }
+  };
+
  private:
   sim::Simulator& sim_;
   net::Network& network_;
@@ -152,11 +168,23 @@ class Runtime {
   std::function<void(const std::string&)> trigger_sink_;
 
   void schedule_scheduler_tick();
-  /// Orphan GC (config.gc_interval): periodically reclaim duplicate live
-  /// tasks left behind by racing recovery actions. See gc_sweep().
+  /// Orphan GC (config.gc_interval): periodically reclaim — or, in oracle
+  /// mode, merely identify — duplicate live tasks left behind by racing
+  /// recovery actions. See gc_sweep().
   void schedule_gc_tick();
   void gc_sweep();
+  /// The sweep's victim-selection pass, shared by the legacy reclaim mode
+  /// and the read-only validation oracle. Single pass over all live tasks;
+  /// parent resolution goes through a stamp-hash map built alongside, so
+  /// the cost is O(live tasks), independent of machine size.
+  [[nodiscard]] std::vector<GcVictim> collect_gc_victims();
+  /// Oracle tick: a victim sighted in two consecutive sweeps outlived the
+  /// cancel protocol's bounded propagation — count it as a leak.
+  void gc_oracle_check(const std::vector<GcVictim>& victims);
   [[nodiscard]] net::ProcId spawn_root_packet(TaskPacket packet);
+  /// Oracle memory: victims sighted at the previous tick.
+  std::vector<std::pair<net::ProcId, TaskUid>> oracle_prev_sightings_;
+  std::uint64_t gc_oracle_orphans_ = 0;
 };
 
 }  // namespace splice::runtime

@@ -109,14 +109,17 @@ void Task::note_spawned(lang::ExprId site, TaskPacket retained) {
   s.retained = std::move(retained);
 }
 
-void Task::note_ack(lang::ExprId site, TaskRef child, std::uint32_t replica) {
+bool Task::note_ack(lang::ExprId site, TaskRef child, std::uint32_t replica,
+                    std::uint32_t lineage) {
   CallSlot& s = slot(site);
+  if (lineage < s.respawns) return false;  // superseded spawn generation
   if (s.child_procs.size() <= replica) {
     s.child_procs.resize(replica + 1, net::kNoProc);
     s.child_uids.resize(replica + 1, kNoTask);
   }
   s.child_procs[replica] = child.proc;
   s.child_uids[replica] = child.uid;
+  return true;
 }
 
 bool Task::deliver_result(lang::ExprId site, const lang::Value& value,

@@ -75,6 +75,13 @@ struct CallSlot {
   /// the pre-link grace sweep gives up waiting and respawns.
   bool prelinked = false;
 
+  /// Pre-link provenance: the uid of the *previous incarnation's* task that
+  /// originally spawned the awaited child (the restored checkpoint's owner
+  /// before rebinding). A cancel for the awaited original must carry the
+  /// parent ref that original actually holds — the re-hosted owner's fresh
+  /// uid would name the replacement twin instead. Cleared on respawn.
+  TaskUid prelink_prev_owner = kNoTask;
+
   /// Orphan results received for *grandchildren* under this slot, awaiting
   /// the twin's ack so they can be relayed (grandparent transport role,
   /// §4.1: "it transports the orphan results to their step-parent").
@@ -124,8 +131,14 @@ class Task {
   /// Mark a slot spawned and retain its checkpoint packet.
   void note_spawned(lang::ExprId site, TaskPacket retained);
 
-  /// Record a child ack (parent-to-child pointer, Fig. 6 state c).
-  void note_ack(lang::ExprId site, TaskRef child, std::uint32_t replica);
+  /// Record a child ack (parent-to-child pointer, Fig. 6 state c). Returns
+  /// false — and records nothing — when `lineage` is older than the slot's
+  /// current spawn generation: a stale ack from a superseded (possibly
+  /// already cancelled) instance must not overwrite the pointer the
+  /// replacement's ack establishes, or recovery would relay results and
+  /// forward cancels into a corpse.
+  bool note_ack(lang::ExprId site, TaskRef child, std::uint32_t replica,
+                std::uint32_t lineage);
 
   /// Deliver a result into a slot. With replication, `quorum` > 1 results
   /// must arrive before the slot resolves (§5.3 majority consensus; values

@@ -18,6 +18,7 @@
 #include "lang/value.h"
 #include "net/topology.h"
 #include "runtime/level_stamp.h"
+#include "sim/time.h"
 #include "util/small_vec.h"
 
 namespace splice::runtime {
@@ -56,6 +57,13 @@ struct TaskPacket {
   /// Replica ordinal for §5.3 replicated-task redundancy (0 for the
   /// primary; replicas share the stamp).
   std::uint32_t replica = 0;
+
+  /// Spawn generation of the owning call slot: 0 for the first spawn, then
+  /// the slot's respawn count. An ack echoing a lineage older than the
+  /// slot's current one is stale (it names a superseded, possibly already
+  /// cancelled instance) and must not overwrite the parent-to-child
+  /// pointer the replacement's ack will establish.
+  std::uint32_t lineage = 0;
 
   /// Replication zone: lane confinement à la Misunas's TMR dataflow
   /// machine ("each copy is executed by a different processor and utilizes
@@ -115,6 +123,38 @@ struct AckMsg {
   TaskRef parent;        // who should record the pointer
   TaskRef child;         // where the child actually landed
   std::uint32_t replica = 0;
+  /// Echo of TaskPacket::lineage: the parent drops acks from spawn
+  /// generations older than the slot's current one (cancel/ack race guard).
+  std::uint32_t lineage = 0;
+};
+
+/// kCancel payload: abort a duplicate task lineage. Every corrective action
+/// of the recovery scheme travels as a message; reclamation is no
+/// exception. A cancel names its victim by (stamp, replica) — the identity
+/// that survives crashes (§3.1) — plus the exact uid when the issuer holds
+/// an acknowledged pointer. Receivers abort the addressed task, release the
+/// checkpoint-table entries it retained for its own children, and forward
+/// cancels down every outstanding call slot, so a whole duplicate subtree
+/// converges by message propagation instead of by an omniscient sweep.
+struct CancelMsg {
+  LevelStamp stamp;               // stamp of the lineage being cancelled
+  std::uint32_t replica = 0;
+  /// Exact victim instance when the issuer saw its ack; kNoTask = address
+  /// by (stamp, replica, parent) instead.
+  TaskUid uid = kNoTask;
+  /// Stamp-addressed cancels name the *parent instance* whose spawn they
+  /// revoke: only a task whose packet carries this exact parent ref
+  /// matches. Task uids are never reused, so two same-stamp instances at
+  /// one destination (duplicate lineages racing) can never be confused —
+  /// a cancel reaches the issuer's own superseded child and nothing else.
+  TaskRef parent;
+  /// Incarnation fence for stamp-addressed cancels: only instances accepted
+  /// *before* this time match. The issuer's replacement twin (same parent
+  /// ref by construction) is spawned after the cancel is issued, so the
+  /// fence keeps the revocation from ever touching it.
+  sim::SimTime issued_at;
+
+  [[nodiscard]] std::uint32_t size_units() const noexcept { return 1; }
 };
 
 /// kErrorDetection payload: "processor `dead` is faulty".

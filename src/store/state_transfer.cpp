@@ -36,6 +36,15 @@ void StateStreamer::pump(net::ProcId rejoiner, std::uint64_t epoch) {
     return;
   }
 
+  if (env_.still_checkpointed) {
+    // Drop packets whose record was released since the snapshot (the child
+    // returned, or its lineage was cancelled): re-hosting them would
+    // resurrect work the protocol already retired.
+    std::erase_if(stream.pending, [&](const runtime::TaskPacket& packet) {
+      return !env_.still_checkpointed(rejoiner, packet.stamp);
+    });
+  }
+
   StateChunkMsg chunk;
   chunk.incarnation = stream.incarnation;
   chunk.seq = stream.seq++;

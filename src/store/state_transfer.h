@@ -76,6 +76,13 @@ class StateStreamer {
         packets_against;
     /// The owner's current dead set (liveness catch-up payload).
     std::function<std::vector<net::ProcId>()> known_dead;
+    /// Is this packet's checkpoint still held against the rejoiner? The
+    /// pending snapshot is taken when the stream starts, but releases (a
+    /// result arrived, or a cancel reclaimed the lineage) can land between
+    /// chunks; a released checkpoint must not resurrect as a re-hosted
+    /// task. Optional: when unset, every snapshotted packet ships.
+    std::function<bool(net::ProcId rejoiner, const runtime::LevelStamp&)>
+        still_checkpointed;
     std::uint32_t chunk_records = 4;
     sim::SimTime chunk_interval{50};
   };

@@ -1,5 +1,5 @@
-// Orphan GC: duplicate live tasks left behind by racing recovery actions
-// are reclaimed mid-run instead of computing to run end.
+// Legacy orphan-GC sweep: duplicate live tasks left behind by racing
+// recovery actions are reclaimed mid-run instead of computing to run end.
 //
 // The duplicate generator: a warm rejoin whose pre-link grace is far too
 // short. The rejoiner re-hosts its lost tasks and pre-links surviving
@@ -7,6 +7,12 @@
 // and respawns them as twins — while the originals keep computing on their
 // peers. Same (stamp, replica) hosted twice, both live: exactly the §4.1
 // "second copy is simply ignored" waste the sweep exists to reclaim.
+//
+// These suites pin cancellation = false: they exercise the omniscient
+// sweep in isolation, as the measured baseline the cancel protocol is
+// compared against (E17). The protocol's own coverage — the same chaos
+// scenarios with sweeps disabled and the sweep demoted to a validation
+// oracle — lives in cancel_protocol_test.cpp.
 #include <gtest/gtest.h>
 
 #include "core/simulation.h"
@@ -27,6 +33,7 @@ core::SystemConfig gc_config(std::uint64_t seed, std::int64_t gc_interval) {
   cfg.store.warm_grace = 40000;
   cfg.store.prelink_grace = 1;  // expire immediately: guaranteed respawn race
   cfg.gc_interval = gc_interval;
+  cfg.cancellation = false;  // the sweep alone reclaims here
   cfg.seed = seed;
   return cfg;
 }

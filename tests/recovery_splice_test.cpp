@@ -61,7 +61,12 @@ TEST(Splice, SalvagesOrphanResultsInOrphanHeavyScenario) {
 
 TEST(Splice, SalvageReducesRedoneWorkVersusRollback) {
   // The whole point of §4: salvage ≥ rollback never redoes less work.
+  // Compare the *paper's* schemes: with the cancellation protocol on,
+  // rollback additionally reclaims doomed orphan subtrees mid-flight
+  // (work splice deliberately lets run for salvage), which breaks the
+  // busy-ticks theorem this test encodes.
   SystemConfig splice_cfg = splice_config(8, 5);
+  splice_cfg.cancellation = false;
   SystemConfig rollback_cfg = splice_cfg;
   rollback_cfg.recovery.kind = RecoveryKind::kRollback;
   const auto program = lang::programs::tree_sum(6, 2, 700, 30);
@@ -107,7 +112,10 @@ TEST(Splice, NoAbortsUnderSplice) {
   const RunResult r = core::run_once(
       cfg, program, net::FaultPlan::single(3, sim::SimTime(makespan / 2)));
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.counters.tasks_aborted, 0U);
+  // Splice never aborts orphans (their results are salvage material); the
+  // only aborts allowed are duplicate-lineage reclaims by the cancellation
+  // protocol, which each count in tasks_cancelled too.
+  EXPECT_EQ(r.counters.tasks_aborted, r.counters.tasks_cancelled);
 }
 
 TEST(Splice, DuplicateResultsAreIgnoredNotDoubleCounted) {

@@ -222,14 +222,30 @@ TEST(TaskSlots, AckRecordsChildPointerPerReplica) {
   TaskPacket child;
   child.call_site = 6;
   task.note_spawned(6, child);
-  task.note_ack(6, TaskRef{3, 77}, /*replica=*/0);
-  task.note_ack(6, TaskRef{5, 78}, /*replica=*/2);
+  EXPECT_TRUE(task.note_ack(6, TaskRef{3, 77}, /*replica=*/0, /*lineage=*/0));
+  EXPECT_TRUE(task.note_ack(6, TaskRef{5, 78}, /*replica=*/2, /*lineage=*/0));
   const CallSlot& slot = task.slot(6);
   ASSERT_EQ(slot.child_procs.size(), 3U);
   EXPECT_EQ(slot.child_procs[0], 3U);
   EXPECT_EQ(slot.child_procs[1], net::kNoProc);
   EXPECT_EQ(slot.child_procs[2], 5U);
   EXPECT_EQ(slot.child_uids[2], 78U);
+}
+
+TEST(TaskSlots, StaleLineageAckIsDropped) {
+  const Program p = two_call_program();
+  Task task(24, packet_for(p), sim::SimTime(0));
+  TaskPacket child;
+  child.call_site = 6;
+  task.note_spawned(6, child);
+  // The slot was respawned once: generation-0 acks are from the superseded
+  // (cancelled) instance and must not overwrite the twin's pointer.
+  task.slot(6).respawns = 1;
+  EXPECT_TRUE(task.note_ack(6, TaskRef{4, 90}, /*replica=*/0, /*lineage=*/1));
+  EXPECT_FALSE(task.note_ack(6, TaskRef{3, 77}, /*replica=*/0, /*lineage=*/0));
+  const CallSlot& slot = task.slot(6);
+  EXPECT_EQ(slot.child_procs[0], 4U);
+  EXPECT_EQ(slot.child_uids[0], 90U);
 }
 
 TEST(TaskSlots, StateUnitsGrowWithRetainedState) {
