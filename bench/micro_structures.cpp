@@ -6,6 +6,8 @@
 #include "checkpoint/checkpoint_table.h"
 #include "core/simulation.h"
 #include "lang/programs.h"
+#include "net/codec.h"
+#include "net/transport.h"
 #include "runtime/level_stamp.h"
 #include "sched/gradient.h"
 #include "sim/event_queue.h"
@@ -168,6 +170,148 @@ void BM_EnvelopeVariantRoundtrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EnvelopeVariantRoundtrip);
+
+// Representative wire traffic for the codec benches: the kinds that
+// dominate a run (task packets, returned results, spawn acks, heartbeats),
+// with realistic stamp depths and ancestor chains.
+std::vector<net::Envelope> sample_wire_mix() {
+  std::vector<net::Envelope> mix;
+
+  runtime::TaskPacket packet;
+  packet.stamp = runtime::LevelStamp::root().child(3).child(1).child(4);
+  packet.fn = 2;
+  packet.args = {lang::Value::integer(42), lang::Value::integer(7)};
+  packet.call_site = 3;
+  packet.ancestors.push_back(runtime::TaskRef{1, 10});
+  packet.ancestors.push_back(runtime::TaskRef{2, 20});
+  net::Envelope spawn;
+  spawn.kind = net::MsgKind::kTaskPacket;
+  spawn.from = 1;
+  spawn.to = 2;
+  spawn.payload = std::move(packet);
+  mix.push_back(std::move(spawn));
+
+  runtime::ResultMsg result;
+  result.stamp = runtime::LevelStamp::root().child(3).child(1).child(4);
+  result.call_site = 3;
+  result.value = lang::Value::integer(123456789);
+  result.target = runtime::TaskRef{1, 10};
+  result.ancestors.push_back(runtime::TaskRef{2, 20});
+  net::Envelope ret;
+  ret.kind = net::MsgKind::kForwardResult;
+  ret.from = 2;
+  ret.to = 1;
+  ret.payload = std::move(result);
+  mix.push_back(std::move(ret));
+
+  runtime::AckMsg ack;
+  ack.stamp = runtime::LevelStamp::root().child(3).child(1);
+  ack.call_site = 1;
+  ack.parent = runtime::TaskRef{1, 10};
+  ack.child = runtime::TaskRef{2, 21};
+  net::Envelope acked;
+  acked.kind = net::MsgKind::kSpawnAck;
+  acked.from = 2;
+  acked.to = 1;
+  acked.payload = ack;
+  mix.push_back(std::move(acked));
+
+  net::Envelope beat;
+  beat.kind = net::MsgKind::kHeartbeat;
+  beat.from = 3;
+  beat.to = 4;
+  beat.payload = runtime::HeartbeatMsg{977};
+  mix.push_back(std::move(beat));
+  return mix;
+}
+
+// Serialization cost per message: items/sec over the representative mix is
+// messages/sec (ns/msg = 1e9 / items_per_second); bytes/sec reflects the
+// encoded density. bench_json.py records both into BENCH_PR6.json.
+void BM_CodecEncode(benchmark::State& state) {
+  const std::vector<net::Envelope> mix = sample_wire_mix();
+  std::vector<std::uint8_t> buf;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    buf.clear();
+    for (const net::Envelope& env : mix) {
+      net::codec::encode_envelope(env, buf);
+    }
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mix.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  std::vector<std::vector<std::uint8_t>> encoded;
+  std::size_t bytes = 0;
+  for (const net::Envelope& env : sample_wire_mix()) {
+    encoded.push_back(net::codec::encode_envelope(env));
+    bytes += encoded.back().size();
+  }
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const auto& buf : encoded) {
+      const net::Envelope env =
+          net::codec::decode_envelope(buf.data(), buf.size());
+      sink += static_cast<std::uint64_t>(env.kind) + env.to;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CodecDecode);
+
+// End-to-end wire density: a full seeded run over the shared-memory ring
+// backend (every protocol message serialized through the codec) reporting
+// encoded bytes per simulated event and per message, plus the measured
+// encode/decode ns per message. These counters land in BENCH_PR6.json.
+void BM_WireBytesPerEvent(benchmark::State& state) {
+  const lang::Program program = lang::programs::tree_sum(8, 2, 60, 10);
+  core::SystemConfig cfg;
+  cfg.processors = 16;
+  cfg.topology = net::TopologyKind::kTorus2D;
+  cfg.scheduler.kind = core::SchedulerKind::kLocalFirst;
+  cfg.recovery.kind = core::RecoveryKind::kSplice;
+  cfg.heartbeat_interval = 2000;
+  cfg.seed = 71;
+  cfg.transport.backend = net::TransportKind::kShmRing;
+  std::uint64_t frames = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t encode_ns = 0;
+  std::uint64_t decode_ns = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::Simulation sim(cfg, program);
+    const core::RunResult r = sim.run();
+    if (!r.completed) state.SkipWithError("did not complete");
+    const net::WireStats& wire = sim.runtime_for_test().network().wire();
+    frames += wire.frames;
+    payload_bytes += wire.payload_bytes;
+    encode_ns += wire.encode_ns;
+    decode_ns += wire.decode_ns;
+    events += r.sim_events;
+  }
+  if (frames > 0 && events > 0) {
+    const auto d = [](std::uint64_t num, std::uint64_t den) {
+      return static_cast<double>(num) / static_cast<double>(den);
+    };
+    state.counters["bytes_per_event"] = d(payload_bytes, events);
+    state.counters["bytes_per_msg"] = d(payload_bytes, frames);
+    state.counters["encode_ns_per_msg"] = d(encode_ns, frames);
+    state.counters["decode_ns_per_msg"] = d(decode_ns, frames);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_WireBytesPerEvent)->Unit(benchmark::kMillisecond);
 
 // Whole-simulator throughput gate (bench_json.py records items/sec =
 // simulated events/sec into BENCH_PR4.json alongside the tab_scalability

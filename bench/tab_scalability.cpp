@@ -320,11 +320,11 @@ int main(int argc, char** argv) {
             cfg.store.warm_grace = 40000;
             cfg.store.prelink_grace = 1;  // guaranteed respawn race
             if (cancel_mode) {
-              cfg.cancellation = true;
-              cfg.gc_interval = 0;  // protocol only
+              cfg.reclaim.cancellation = true;
+              cfg.reclaim.gc_interval = 0;  // protocol only
             } else {
-              cfg.cancellation = false;
-              cfg.gc_interval = 500;  // the omniscient baseline
+              cfg.reclaim.cancellation = false;
+              cfg.reclaim.gc_interval = 500;  // the omniscient baseline
             }
             return cfg;
           },

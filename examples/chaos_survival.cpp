@@ -4,10 +4,14 @@
 // spec to wreck it your own way (regional outages, cascades, Poisson fault
 // rates, crash-recovery rejoin — see core::parse_fault_plan).
 //
-//   $ ./chaos_survival [n] [processors] [scenario]
+//   $ ./chaos_survival [n] [processors] [scenario] [transport]
 //   $ ./chaos_survival 6 16 "rect:0,0,2x2@20000;rejoin:8000"
 //   $ ./chaos_survival 6 16 "cascade:5@15000,p=0.9,hops=2;rejoin:10000"
-//   $ ./chaos_survival 6 16 "poisson:mean=9000,stop=200000;rejoin:12000"
+//   $ ./chaos_survival 6 16 "poisson:mean=9000,stop=200000;rejoin:12000" shm
+//
+// `transport` is inproc (default) or shm: the latter routes every message
+// through the wire codec and shared-memory rings — same seeded answer,
+// real bytes (net/transport.h).
 #include <cstdio>
 #include <cstdlib>
 
@@ -38,6 +42,17 @@ int main(int argc, char** argv) {
   cfg.recovery.ancestor_depth = 3;  // great-grandparent extension (§5.2)
   cfg.heartbeat_interval = 1000;
   cfg.seed = 99;
+  if (argc > 4) {
+    try {
+      cfg.transport.backend = net::parse_transport(argv[4]);
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "bad transport: %s\n", err.what());
+      return 2;
+    }
+    std::printf("transport: %.*s\n",
+                static_cast<int>(net::to_string(cfg.transport.backend).size()),
+                net::to_string(cfg.transport.backend).data());
+  }
 
   const std::int64_t makespan =
       core::Simulation::fault_free_makespan(cfg, program);

@@ -1,28 +1,32 @@
 #!/usr/bin/env python3
-"""Emit and check the repo's recorded perf trajectory (BENCH_PR5.json).
+"""Emit and check the repo's recorded perf trajectory (BENCH_PR6.json).
 
 Emit: runs the E16 throughput section of tab_scalability (and, when present,
-the BM_SimThroughput gate in micro_structures), then writes one merged JSON:
+the BM_SimThroughput gate plus the wire-codec benches in micro_structures),
+then writes one merged JSON:
 
-    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR5.json
+    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR6.json
 
 Check: compares a freshly emitted JSON against the trajectory checked into
 the repo and fails (exit 1) if events/sec regressed by more than the
 threshold at any machine size:
 
     python3 scripts/bench_json.py --bin-dir build/release \
-        --out /tmp/fresh.json --check BENCH_PR5.json
+        --out /tmp/fresh.json --check BENCH_PR6.json
 
 Machines differ, so the guard compares *normalized* throughput: events/sec
 divided by a fixed pure-CPU calibration loop's rate measured in the same
 binary on the same machine (normalized_events_per_mop). Raw events/sec is
 recorded alongside for the trajectory table in EXPERIMENTS.md.
 
-Historic baseline blocks ("baseline_pre_pr4", and the PR4 measurements as
-"baseline_pr4") are carried forward verbatim from the previous JSON (via
---carry, which --check implies): the trajectory keeps every recorded point.
-The PR5 JSON also carries the E17 reclaim table (sweep-GC vs. the cancel
-protocol) emitted by tab_scalability --perf-json.
+Historic baseline blocks ("baseline_pre_pr4", the PR4 measurements as
+"baseline_pr4", and the PR5 throughput as "baseline_pr5") are carried
+forward verbatim from the previous JSON (via --carry, which --check
+implies): the trajectory keeps every recorded point. The JSON also carries
+the E17 reclaim table emitted by tab_scalability --perf-json, and — new in
+PR6 — a "wire" section with the codec's bytes/event, bytes/msg, and
+encode/decode ns/msg measured by BM_WireBytesPerEvent + BM_CodecEncode/
+BM_CodecDecode over the shared-memory ring backend.
 """
 
 from __future__ import annotations
@@ -62,17 +66,42 @@ def run_micro(bin_dir: str) -> dict:
     if not os.path.exists(exe):
         return {}
     out = subprocess.run(
-        [exe, "--benchmark_filter=BM_SimThroughput|BM_EventQueue",
+        [exe, "--benchmark_filter="
+              "BM_SimThroughput|BM_EventQueue|BM_Codec|BM_WireBytesPerEvent",
          "--benchmark_min_time=0.05", "--benchmark_format=json"],
         check=True, capture_output=True, text=True).stdout
     data = json.loads(out)
     micro = {}
+    counters = ("bytes_per_event", "bytes_per_msg", "encode_ns_per_msg",
+                "decode_ns_per_msg", "bytes_per_second")
     for bench in data.get("benchmarks", []):
         entry = {"cpu_time_ns": bench.get("cpu_time")}
         if "items_per_second" in bench:
             entry["items_per_second"] = bench["items_per_second"]
+        for key in counters:
+            if key in bench:
+                entry[key] = bench[key]
         micro[bench["name"]] = entry
     return micro
+
+
+def wire_section(micro: dict) -> dict:
+    """Distil the PR6 wire numbers: bytes/event from the shm-backend run,
+    serialization ns/msg from the codec micro benches (ns/msg = 1e9 /
+    messages-per-second over the representative traffic mix)."""
+    wire = {}
+    whole = micro.get("BM_WireBytesPerEvent")
+    if whole:
+        for key in ("bytes_per_event", "bytes_per_msg", "encode_ns_per_msg",
+                    "decode_ns_per_msg"):
+            if key in whole:
+                wire[key] = round(whole[key], 3)
+    for name, field in (("BM_CodecEncode", "codec_encode_ns_per_msg"),
+                        ("BM_CodecDecode", "codec_decode_ns_per_msg")):
+        bench = micro.get(name, {})
+        if bench.get("items_per_second"):
+            wire[field] = round(1e9 / bench["items_per_second"], 3)
+    return wire
 
 
 def check(fresh: dict, baseline_path: str, threshold: float) -> int:
@@ -107,7 +136,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", default="build/release",
                         help="CMake binary dir holding bench/ executables")
-    parser.add_argument("--out", default="BENCH_PR5.json",
+    parser.add_argument("--out", default="BENCH_PR6.json",
                         help="where to write the merged JSON")
     parser.add_argument("--full", action="store_true",
                         help="run the full (non --smoke) throughput sweep")
@@ -127,14 +156,25 @@ def main() -> int:
     micro = run_micro(args.bin_dir)
     if micro:
         merged["micro"] = micro
+        wire = wire_section(micro)
+        if wire:
+            merged["wire"] = wire
 
     carry_from = args.carry or args.check
     if carry_from and os.path.exists(carry_from):
         with open(carry_from, encoding="utf-8") as f:
             previous = json.load(f)
-        for block in ("baseline_pre_pr4", "baseline_pr4"):
+        for block in ("baseline_pre_pr4", "baseline_pr4", "baseline_pr5"):
             if block in previous:
                 merged[block] = previous[block]
+        # First carry from the PR5 JSON: snapshot its live measurements as
+        # the "baseline_pr5" trajectory point.
+        if "baseline_pr5" not in previous and "throughput" in previous:
+            merged["baseline_pr5"] = {
+                "workload": previous.get("workload"),
+                "calibration_mops": previous.get("calibration_mops"),
+                "throughput": previous["throughput"],
+            }
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=False)

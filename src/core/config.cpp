@@ -297,9 +297,12 @@ std::string SystemConfig::describe() const {
       out << "(p=" << store.survive_p << ")";
     }
   }
-  if (!cancellation) out << " cancel=off";
-  if (gc_interval > 0) {
-    out << (gc_oracle ? " gc-oracle=" : " gc=") << gc_interval;
+  if (!reclaim.cancellation) out << " cancel=off";
+  if (reclaim.gc_interval > 0) {
+    out << (reclaim.gc_oracle ? " gc-oracle=" : " gc=") << reclaim.gc_interval;
+  }
+  if (transport.backend != net::TransportKind::kInProcess) {
+    out << " transport=" << net::to_string(transport.backend);
   }
   out << " seed=" << seed;
   return out.str();

@@ -140,21 +140,11 @@ struct ReplicationConfig {
   }
 };
 
-struct SystemConfig {
-  std::uint32_t processors = 8;
-  net::TopologyKind topology = net::TopologyKind::kMesh2D;
-  net::LatencyModel latency;
-
-  SchedulerConfig scheduler;
-  RecoveryConfig recovery;
-  ReplicationConfig replication;
-  StoreConfig store;
-
-  /// Liveness probing period (ticks); 0 disables. Needed so failures of
-  /// quiescent processors are detected (§1's "identified as faulty by other
-  /// processors").
-  std::int64_t heartbeat_interval = 2000;
-
+/// Duplicate-task reclamation: the cancel protocol and its legacy
+/// sweep/oracle companion. Grouped because the three knobs describe one
+/// subsystem — how duplicate live tasks left behind by recovery get
+/// reclaimed, and how that reclamation is validated.
+struct ReclaimConfig {
   /// First-class task-cancellation protocol. Recovery can leave *duplicate*
   /// live tasks — a reissue raced the original (undetected rejoin, pre-link
   /// grace expiry, warm re-host vs. survivor reissue) and both copies now
@@ -186,6 +176,36 @@ struct SystemConfig {
   /// salvaging policy — they are §4.1 salvage material, unreachable by any
   /// message until their results flow.
   bool gc_oracle = false;
+};
+
+/// Which substrate moves envelopes (net/transport.h). kInProcess is the
+/// zero-copy deterministic oracle; kShmRing round-trips every message
+/// through the wire codec (same seeded results, real bytes); kTcp runs one
+/// OS process per rank and is driven by tools/splice_noded, not by
+/// Simulation::run.
+struct TransportConfig {
+  net::TransportKind backend = net::TransportKind::kInProcess;
+  /// kShmRing: per-destination ring capacity in bytes (overflow spills to a
+  /// heap queue, counted in WireStats::ring_spills).
+  std::uint32_t shm_ring_bytes = 1u << 20;
+};
+
+struct SystemConfig {
+  std::uint32_t processors = 8;
+  net::TopologyKind topology = net::TopologyKind::kMesh2D;
+  net::LatencyModel latency;
+
+  SchedulerConfig scheduler;
+  RecoveryConfig recovery;
+  ReplicationConfig replication;
+  StoreConfig store;
+  ReclaimConfig reclaim;
+  TransportConfig transport;
+
+  /// Liveness probing period (ticks); 0 disables. Needed so failures of
+  /// quiescent processors are detected (§1's "identified as faulty by other
+  /// processors").
+  std::int64_t heartbeat_interval = 2000;
 
   /// §4.3.1 super-root: checkpoints the root program so the system survives
   /// failure of the root's host.

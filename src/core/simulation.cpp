@@ -18,9 +18,23 @@ RunResult Simulation::run() {
   ran_ = true;
 
   sim_ = std::make_unique<sim::Simulator>();
+  std::unique_ptr<net::Transport> transport;  // null = in-process default
+  switch (config_.transport.backend) {
+    case net::TransportKind::kInProcess:
+      break;
+    case net::TransportKind::kShmRing:
+      transport = net::make_shm_ring_transport(*sim_, config_.processors,
+                                               config_.transport.shm_ring_bytes);
+      break;
+    case net::TransportKind::kTcp:
+      // TCP spans OS processes; a single-process Simulation cannot host it.
+      throw std::invalid_argument(
+          "Simulation::run cannot drive the tcp transport; use the "
+          "splice_noded multi-process driver");
+  }
   network_ = std::make_unique<net::Network>(
       *sim_, net::Topology(config_.topology, config_.processors),
-      config_.latency);
+      config_.latency, std::move(transport));
   runtime_ = std::make_unique<runtime::Runtime>(*sim_, *network_, config_,
                                                 program_);
   runtime_->set_warm_rejoin(fault_plan_.rejoin.enabled &&

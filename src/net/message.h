@@ -122,4 +122,66 @@ static_assert(std::is_nothrow_move_constructible_v<Envelope>);
 static_assert(std::is_nothrow_move_assignable_v<Envelope>);
 static_assert(!std::is_copy_constructible_v<Envelope>);
 
+/// The variant index of the payload alternative each kind carries
+/// (monostate for the pure-signal kinds). This is the single kind→payload
+/// table shared by the wire codec (encode/decode), the dispatch assert in
+/// Processor::handle, and the round-trip tests — a new MsgKind that is not
+/// added here fails the static_assert below, and a new payload alternative
+/// without a kind fails the codec's exhaustive visit.
+[[nodiscard]] constexpr std::size_t payload_index_of(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kTaskPacket:      return 1;
+    case MsgKind::kSpawnAck:        return 2;
+    case MsgKind::kForwardResult:   return 3;
+    case MsgKind::kFetchData:       return 0;
+    case MsgKind::kDataReply:       return 0;
+    case MsgKind::kErrorDetection:  return 4;
+    case MsgKind::kDeliveryFailure: return 12;
+    case MsgKind::kHeartbeat:       return 5;
+    case MsgKind::kLoadUpdate:      return 7;
+    case MsgKind::kCheckpointXfer:  return 0;
+    case MsgKind::kRejoinNotice:    return 6;
+    case MsgKind::kStateRequest:    return 10;
+    case MsgKind::kStateChunk:      return 11;
+    case MsgKind::kCancel:          return 9;
+    case MsgKind::kControl:         return 8;
+  }
+  return 0;
+}
+
+// Pin the table to the variant layout: renumbering Payload without
+// updating payload_index_of is a compile error, not a wire corruption.
+static_assert(std::variant_size_v<Payload> == 13);
+static_assert(std::is_same_v<std::variant_alternative_t<1, Payload>,
+                             runtime::TaskPacket>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, Payload>,
+                             runtime::AckMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, Payload>,
+                             runtime::ResultMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<4, Payload>,
+                             runtime::ErrorMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<5, Payload>,
+                             runtime::HeartbeatMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<6, Payload>,
+                             runtime::RejoinMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<7, Payload>,
+                             runtime::LoadMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<8, Payload>,
+                             runtime::ControlMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<9, Payload>,
+                             runtime::CancelMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<10, Payload>,
+                             store::StateRequestMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<11, Payload>,
+                             store::StateChunkMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<12, Payload>,
+                             EnvelopeBox>);
+
+/// Does the envelope's payload alternative match its declared kind?
+/// (Debug-assert guard at the dispatch and encode boundaries.)
+[[nodiscard]] inline bool payload_consistent(MsgKind kind,
+                                             const Payload& payload) noexcept {
+  return payload.index() == payload_index_of(kind);
+}
+
 }  // namespace splice::net

@@ -9,32 +9,22 @@
 namespace splice::net {
 
 Network::Network(sim::Simulator& simulator, Topology topology,
-                 LatencyModel latency)
+                 LatencyModel latency, std::unique_ptr<Transport> transport)
     : sim_(simulator),
       topology_(std::move(topology)),
       latency_(latency),
+      transport_(transport ? std::move(transport)
+                           : make_in_process_transport(simulator)),
       receivers_(topology_.size()),
-      alive_(topology_.size(), true) {}
+      alive_(topology_.size(), true) {
+  transport_->set_deliver(
+      [this](Envelope&& envelope) { deliver(std::move(envelope)); });
+  transport_->set_unreachable(
+      [this](Envelope&& envelope) { bounce(std::move(envelope)); });
+}
 
 void Network::set_receiver(ProcId p, Receiver receiver) {
   receivers_.at(p) = std::move(receiver);
-}
-
-std::uint32_t Network::pool_acquire(Envelope&& envelope) {
-  if (inflight_free_.empty()) {
-    inflight_.push_back(std::move(envelope));
-    return static_cast<std::uint32_t>(inflight_.size() - 1);
-  }
-  const std::uint32_t slot = inflight_free_.back();
-  inflight_free_.pop_back();
-  inflight_[slot] = std::move(envelope);
-  return slot;
-}
-
-Envelope Network::pool_release(std::uint32_t slot) noexcept {
-  Envelope env = std::move(inflight_[slot]);
-  inflight_free_.push_back(slot);
-  return env;
 }
 
 void Network::send(Envelope envelope) {
@@ -55,31 +45,29 @@ void Network::send(Envelope envelope) {
   stats_.total_hop_units +=
       static_cast<std::uint64_t>(hops) * envelope.size_units;
   const sim::SimTime delay = latency_.latency(hops, envelope.size_units);
-  const std::uint32_t slot = pool_acquire(std::move(envelope));
-  sim_.after(delay, [this, slot] { deliver_from_pool(slot); });
+  transport_->submit(std::move(envelope), delay);
 }
 
-void Network::deliver_from_pool(std::uint32_t slot) {
-  Envelope& envelope = inflight_[slot];
+void Network::deliver(Envelope&& envelope) {
   if (!alive_[envelope.to]) {
-    Envelope dead = pool_release(slot);
-    bounce(std::move(dead));
+    // A bounce notice whose addressee has since died notifies nobody; a
+    // regular message to a dead destination is lost and bounces to its
+    // sender.
+    if (envelope.kind != MsgKind::kDeliveryFailure) bounce(std::move(envelope));
     return;
   }
   ++stats_.delivered[static_cast<std::size_t>(envelope.kind)];
   Receiver& receiver = receivers_[envelope.to];
   if (!receiver) {
+    // Synthetic notices tolerate a missing receiver (the addressee may be
+    // mid-teardown); real protocol traffic does not.
+    if (envelope.kind == MsgKind::kDeliveryFailure) return;
     throw std::logic_error("no receiver installed for processor " +
                            std::to_string(envelope.to));
   }
-  // Dispatch straight out of the pool slot. Safe against nested sends from
-  // inside the receiver: the pool is a deque (growth never relocates this
-  // slot) and the slot joins the free list only after the receiver returns
-  // (so it cannot be reused mid-dispatch). Receivers still should consume
-  // the payload promptly — the moved-from envelope is theirs only for the
-  // duration of the call.
+  // The envelope is the receiver's only for the duration of the call —
+  // transports may recycle the backing storage once dispatch returns.
   receiver(std::move(envelope));
-  inflight_free_.push_back(slot);
 }
 
 void Network::bounce(Envelope envelope) {
@@ -94,16 +82,11 @@ void Network::bounce(Envelope envelope) {
   notice.from = envelope.to;  // nominally "from" the dead node
   notice.to = sender;
   notice.size_units = 1;
+  notice.sent_at = sim_.now();
   notice.payload = EnvelopeBox(std::move(envelope));
   ++stats_.failure_notices;
-  const std::uint32_t slot = pool_acquire(std::move(notice));
-  sim_.after(sim::SimTime(latency_.failure_timeout), [this, slot] {
-    Envelope n = pool_release(slot);
-    if (!alive_[n.to]) return;
-    ++stats_.delivered[static_cast<std::size_t>(n.kind)];
-    Receiver& receiver = receivers_[n.to];
-    if (receiver) receiver(std::move(n));
-  });
+  transport_->submit(std::move(notice),
+                     sim::SimTime(latency_.failure_timeout));
 }
 
 void Network::kill(ProcId p) {

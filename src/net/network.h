@@ -1,4 +1,4 @@
-// The simulated interconnection network.
+// The interconnection network: protocol semantics over a pluggable substrate.
 //
 // Semantics match §1 of the paper:
 //  * best-effort delivery: a message to a live processor arrives after a
@@ -10,15 +10,23 @@
 //  * a processor that dies transmits nothing thereafter, but messages it
 //    sent before dying are still delivered (they left the node while it was
 //    healthy).
+//
+// The mechanism that actually moves envelopes is a Transport
+// (net/transport.h): the pooled in-process mailbox, shared-memory rings, or
+// TCP sockets. The Network owns the latency model, liveness map, per-kind
+// stats, and the bounce protocol; the transport owns bytes and timing of
+// the hand-back. Every backend funnels into the same deliver() sink, so
+// protocol behaviour is identical across substrates.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/message.h"
 #include "net/topology.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 
 namespace splice::net {
@@ -73,7 +81,10 @@ class Network {
   /// loop (no intermediate copy of the ~300-byte payload variant).
   using Receiver = std::function<void(Envelope&&)>;
 
-  Network(sim::Simulator& simulator, Topology topology, LatencyModel latency);
+  /// A null transport selects the in-process backend (the common case for
+  /// simulation and tests).
+  Network(sim::Simulator& simulator, Topology topology, LatencyModel latency,
+          std::unique_ptr<Transport> transport = nullptr);
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] ProcId size() const noexcept { return topology_.size(); }
@@ -105,29 +116,32 @@ class Network {
     return latency_;
   }
 
- private:
-  void deliver_from_pool(std::uint32_t slot);
-  void bounce(Envelope envelope);
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const Transport& transport() const noexcept {
+    return *transport_;
+  }
+  /// True when ranks span multiple OS processes (TCP backend).
+  [[nodiscard]] bool distributed() const noexcept {
+    return transport_->distributed();
+  }
+  /// Serialization counters from the transport (all zero for in-process).
+  [[nodiscard]] const WireStats& wire() const noexcept {
+    return transport_->wire();
+  }
+  /// Drain externally-arrived frames (socket backends); see Transport::poll.
+  std::size_t poll() { return transport_->poll(); }
 
-  /// In-flight envelopes park in a recycled pool while their delivery event
-  /// waits in the queue. Delivery callbacks then capture only {this, slot}
-  /// — 16 bytes, comfortably inside EventFn's inline buffer — so a send is
-  /// allocation-free end to end (pool slots and their payload variants are
-  /// reused across messages). A deque, deliberately: growth never relocates
-  /// existing slots, so the reference deliver_from_pool dispatches through
-  /// stays valid even when a receiver's nested send grows the pool. A
-  /// slot returns to the free list only after its receiver finishes, so
-  /// nested sends cannot reuse it mid-dispatch either.
-  std::uint32_t pool_acquire(Envelope&& envelope);
-  Envelope pool_release(std::uint32_t slot) noexcept;
+ private:
+  /// The single delivery sink every transport funnels into.
+  void deliver(Envelope&& envelope);
+  void bounce(Envelope envelope);
 
   sim::Simulator& sim_;
   Topology topology_;
   LatencyModel latency_;
+  std::unique_ptr<Transport> transport_;
   std::vector<Receiver> receivers_;
   std::vector<bool> alive_;
-  std::deque<Envelope> inflight_;
-  std::vector<std::uint32_t> inflight_free_;
   NetworkStats stats_;
 };
 

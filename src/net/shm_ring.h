@@ -1,0 +1,154 @@
+// Single-producer single-consumer byte ring in shared memory.
+//
+// The backing pages come from mmap(MAP_SHARED | MAP_ANONYMOUS): the region
+// is inheritable across fork() and its layout is position-independent (the
+// control block lives at offset 0, data follows), so the same ring works
+// between OS processes; in-simulator use simply keeps producer and consumer
+// in one process. Indices are monotonically increasing byte counts
+// (head = consumed, tail = produced) with acquire/release ordering — the
+// classic SPSC contract: the producer only writes tail, the consumer only
+// writes head.
+//
+// Records are [u32 length][u64 sequence][length bytes], byte-wrapped at the
+// capacity boundary. The sequence number is the delivery-ordering handle:
+// the simulator-driven consumer pops records until it finds the one its
+// delivery event names, parking any that arrived ahead of their event.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define SPLICE_SHM_RING_MMAP 1
+#else
+#include <cstdlib>
+#define SPLICE_SHM_RING_MMAP 0
+#endif
+
+#include <atomic>
+#include <new>
+
+namespace splice::net {
+
+class ShmRing {
+ public:
+  struct Record {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  explicit ShmRing(std::uint32_t capacity_bytes)
+      : capacity_(capacity_bytes < kMinCapacity ? kMinCapacity
+                                                : capacity_bytes) {
+    const std::size_t total = sizeof(Control) + capacity_;
+#if SPLICE_SHM_RING_MMAP
+    void* mem = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc();
+#else
+    void* mem = std::calloc(1, total);
+    if (mem == nullptr) throw std::bad_alloc();
+#endif
+    region_ = mem;
+    region_bytes_ = total;
+    ctrl_ = ::new (mem) Control();
+    data_ = static_cast<std::uint8_t*>(mem) + sizeof(Control);
+  }
+
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  ~ShmRing() {
+#if SPLICE_SHM_RING_MMAP
+    ::munmap(region_, region_bytes_);
+#else
+    std::free(region_);
+#endif
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Bytes a record of body length `n` occupies in the ring.
+  [[nodiscard]] static constexpr std::uint64_t record_bytes(
+      std::uint32_t n) noexcept {
+    return kRecordHeader + n;
+  }
+
+  /// Producer side. Returns false (ring unchanged) when the record does
+  /// not fit in the free space.
+  bool push(std::uint64_t seq, const std::uint8_t* bytes, std::uint32_t len) {
+    const std::uint64_t head = ctrl_->head.load(std::memory_order_acquire);
+    const std::uint64_t tail = ctrl_->tail.load(std::memory_order_relaxed);
+    const std::uint64_t need = record_bytes(len);
+    if (need > capacity_ - (tail - head)) return false;
+    std::uint8_t header[kRecordHeader];
+    std::memcpy(header, &len, sizeof(len));
+    std::memcpy(header + sizeof(len), &seq, sizeof(seq));
+    write_at(tail, header, kRecordHeader);
+    write_at(tail + kRecordHeader, bytes, len);
+    ctrl_->tail.store(tail + need, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool pop(Record* out) {
+    const std::uint64_t tail = ctrl_->tail.load(std::memory_order_acquire);
+    const std::uint64_t head = ctrl_->head.load(std::memory_order_relaxed);
+    if (head == tail) return false;
+    std::uint8_t header[kRecordHeader];
+    read_at(head, header, kRecordHeader);
+    std::uint32_t len = 0;
+    std::memcpy(&len, header, sizeof(len));
+    std::memcpy(&out->seq, header + sizeof(len), sizeof(out->seq));
+    out->bytes.resize(len);
+    read_at(head + kRecordHeader, out->bytes.data(), len);
+    ctrl_->head.store(head + record_bytes(len), std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return ctrl_->head.load(std::memory_order_acquire) ==
+           ctrl_->tail.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept {
+    return ctrl_->tail.load(std::memory_order_acquire) -
+           ctrl_->head.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::uint32_t kRecordHeader =
+      sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  static constexpr std::uint32_t kMinCapacity = 256;
+
+  struct Control {
+    std::atomic<std::uint64_t> head{0};  // consumed bytes (consumer-owned)
+    std::atomic<std::uint64_t> tail{0};  // produced bytes (producer-owned)
+  };
+
+  void write_at(std::uint64_t pos, const std::uint8_t* src, std::uint64_t n) {
+    const std::uint64_t off = pos % capacity_;
+    const std::uint64_t first = std::min<std::uint64_t>(n, capacity_ - off);
+    std::memcpy(data_ + off, src, first);
+    if (first < n) std::memcpy(data_, src + first, n - first);
+  }
+
+  void read_at(std::uint64_t pos, std::uint8_t* dst, std::uint64_t n) const {
+    const std::uint64_t off = pos % capacity_;
+    const std::uint64_t first = std::min<std::uint64_t>(n, capacity_ - off);
+    std::memcpy(dst, data_ + off, first);
+    if (first < n) std::memcpy(dst + first, data_, n - first);
+  }
+
+  std::uint32_t capacity_;
+  void* region_ = nullptr;
+  std::size_t region_bytes_ = 0;
+  Control* ctrl_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+};
+
+}  // namespace splice::net

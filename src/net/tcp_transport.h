@@ -1,0 +1,45 @@
+// TCP socket backend: one OS process per rank.
+//
+// Each rank listens on its own port and lazily dials a unidirectional
+// outgoing connection to each peer on first send (incoming connections,
+// identified by an 8-byte hello, are used only for reading — no dial-race
+// arbitration needed). Frames are the codec's length-prefixed envelopes.
+//
+// Failure semantics map onto the paper's §1 model:
+//  * a write failure (ECONNRESET / EPIPE / refused redial) means the
+//    destination process is gone — the transport hands the undelivered
+//    envelope to the unreachable callback and the Network synthesizes the
+//    kDeliveryFailure bounce after the usual timeout, feeding the existing
+//    detection/recovery machinery with zero protocol changes;
+//  * a read-side EOF just closes the link (fail-silent peer);
+//  * a killed rank that restarts is re-dialed transparently on the next
+//    send, so a warm rejoiner's kRejoinNotice/kStateRequest traffic flows
+//    as soon as its listener is back.
+//
+// Local (same-rank) submits bypass the sockets and ride the simulator
+// event queue like the in-process backend; the driver paces simulated time
+// against the wall clock and calls poll() between event batches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace splice::net {
+
+struct TcpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Build the socket backend for rank `self` of `peers.size()` ranks.
+/// Binds and listens on peers[self].port immediately (throws
+/// std::runtime_error on bind failure); outgoing connections are dialed
+/// lazily. Only built on POSIX platforms.
+[[nodiscard]] std::unique_ptr<Transport> make_tcp_transport(
+    sim::Simulator& sim, ProcId self, std::vector<TcpPeer> peers);
+
+}  // namespace splice::net

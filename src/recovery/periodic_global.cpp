@@ -21,6 +21,15 @@ void PeriodicGlobalPolicy::schedule_snapshot() {
 
 void PeriodicGlobalPolicy::begin_snapshot() {
   if (rt_->done()) return;
+  for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
+    if (rt_->processor(p).crashed() && !accounted_dead_.contains(p)) {
+      // A processor died and its rollback has not landed yet (kills precede
+      // detection). Committing a snapshot now would drop its slice — keep
+      // the last good snapshot and try again next interval.
+      schedule_snapshot();
+      return;
+    }
+  }
   rt_->freeze_all();
   const std::uint64_t units = rt_->total_state_units();
   snapshot_.assign(rt_->processor_count(), {});
@@ -53,7 +62,18 @@ void PeriodicGlobalPolicy::on_global_failure(runtime::Runtime& rt,
 
 void PeriodicGlobalPolicy::restore() {
   if (rt_->done()) return;
+  accounted_dead_.clear();
+  for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
+    if (rt_->processor(p).crashed()) accounted_dead_.insert(p);
+  }
   ++restores_;
+  // A new restore supersedes any slice still parked from a previous one:
+  // the fresh snapshot is the authoritative state now, and buffered
+  // results for superseded uids would only resolve slots the rescan is
+  // about to re-demand anyway (determinacy makes the recomputation
+  // equivalent).
+  parked_.clear();
+  parked_results_.clear();
   rt_->trace().add(rt_->sim().now(), net::kNoProc, "restore",
                    snapshot_valid_ ? "from last snapshot" : "from scratch");
   if (!snapshot_valid_) {
@@ -100,6 +120,10 @@ void PeriodicGlobalPolicy::restore() {
       }
       if (!rt_->processor(home).crashed()) {
         plan[home].push_back(std::move(copy));
+      } else if (rt_->warm_rejoin()) {
+        // Crash-recovery model: the node is being repaired. Park its slice
+        // so the rejoiner resumes its own work instead of scattering it.
+        parked_[home].push_back(std::move(copy));
       } else {
         const net::ProcId host = alive[rr++ % alive.size()];
         relocation_[copy.uid()] = host;
@@ -110,10 +134,83 @@ void PeriodicGlobalPolicy::restore() {
   for (net::ProcId p : alive) {
     rt_->processor(p).restore_tasks(std::move(plan[p]));
   }
+  // Bound the wait for each parked slice by the same grace the splice
+  // stack's warm deferral uses; generation-stamped so a later restore's
+  // fresh park is not clobbered by this one's timer.
+  const auto generation = restores_;
+  for (const auto& [home, tasks] : parked_) {
+    const net::ProcId h = home;
+    rt_->sim().after(sim::SimTime(rt_->config().store.warm_grace),
+                     [this, h, generation] {
+                       if (rt_->done() || generation != restores_) return;
+                       if (!parked_.contains(h)) return;  // rejoined in time
+                       redistribute_parked(h);
+                     });
+  }
   if (!root_present) {
     // The root itself was in flight when the snapshot was cut: only the
     // super-root's preevaluation checkpoint can regenerate it.
     rt_->super_root().restart_program();
+  }
+}
+
+void PeriodicGlobalPolicy::on_rejoin(runtime::Runtime& rt, net::ProcId back) {
+  accounted_dead_.erase(back);
+  const auto it = parked_.find(back);
+  if (it == parked_.end()) return;
+  std::vector<Task> tasks = std::move(it->second);
+  parked_.erase(it);
+  rt.trace().add(rt.sim().now(), back, "unpark", [&] {
+    return std::to_string(tasks.size()) + " parked tasks resumed";
+  });
+  // Each resumed task is a redistribution (and the reissue traffic it
+  // implies) the park avoided — the counter E15/E18 compare against the
+  // splice stack's transfer-avoided reissues.
+  rt.processor(back).counters().reissues_avoided += tasks.size();
+  rt.processor(back).restore_tasks(std::move(tasks));
+  const auto rit = parked_results_.find(back);
+  if (rit == parked_results_.end()) return;
+  std::vector<ResultMsg> buffered = std::move(rit->second);
+  parked_results_.erase(rit);
+  for (ResultMsg& msg : buffered) {
+    // Buffered returns target the rejoined node's own uids; the host
+    // channel redelivers them now that the addressee is back.
+    rt.host_send_result(std::move(msg));
+  }
+}
+
+void PeriodicGlobalPolicy::redistribute_parked(net::ProcId home) {
+  const auto it = parked_.find(home);
+  if (it == parked_.end()) return;
+  std::vector<Task> tasks = std::move(it->second);
+  parked_.erase(it);
+  std::vector<net::ProcId> alive;
+  for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
+    if (!rt_->processor(p).crashed()) alive.push_back(p);
+  }
+  if (alive.empty()) return;
+  rt_->trace().add(rt_->sim().now(), home, "park-expired", [&] {
+    return std::to_string(tasks.size()) + " tasks redistributed cold";
+  });
+  std::vector<std::vector<Task>> plan(rt_->processor_count());
+  std::size_t rr = 0;
+  for (Task& task : tasks) {
+    const net::ProcId host = alive[rr++ % alive.size()];
+    relocation_[task.uid()] = host;
+    plan[host].push_back(std::move(task));
+  }
+  for (net::ProcId p : alive) {
+    if (!plan[p].empty()) rt_->processor(p).adopt_tasks(std::move(plan[p]));
+  }
+  const auto rit = parked_results_.find(home);
+  if (rit == parked_results_.end()) return;
+  std::vector<ResultMsg> buffered = std::move(rit->second);
+  parked_results_.erase(rit);
+  for (ResultMsg& msg : buffered) {
+    const auto rel = relocation_.find(msg.target.uid);
+    if (rel == relocation_.end()) continue;  // slot reset; rescan re-demands
+    msg.target.proc = rel->second;
+    rt_->host_send_result(std::move(msg));
   }
 }
 
@@ -124,6 +221,13 @@ void PeriodicGlobalPolicy::on_result_undeliverable(runtime::Processor& proc,
     msg.target.proc = it->second;
     const net::ProcId to = it->second;
     proc.send_result_msg(std::move(msg), to);
+    return;
+  }
+  // Warm mode: the target may sit in a parked slice awaiting its home's
+  // repair. Hold the result for redelivery instead of discarding it.
+  const auto parked = parked_.find(msg.target.proc);
+  if (parked != parked_.end()) {
+    parked_results_[msg.target.proc].push_back(std::move(msg));
     return;
   }
   ++proc.counters().late_results_discarded;

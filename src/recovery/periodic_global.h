@@ -39,6 +39,7 @@ class PeriodicGlobalPolicy final : public RecoveryPolicy {
   void attach(runtime::Runtime& rt) override;
   void on_error_detected(runtime::Processor&, net::ProcId) override {}
   void on_global_failure(runtime::Runtime& rt, net::ProcId dead) override;
+  void on_rejoin(runtime::Runtime& rt, net::ProcId back) override;
   void on_result_undeliverable(runtime::Processor& proc,
                                runtime::ResultMsg msg) override;
   void on_ancestor_result(runtime::Processor& proc,
@@ -49,6 +50,10 @@ class PeriodicGlobalPolicy final : public RecoveryPolicy {
   void schedule_snapshot();
   void begin_snapshot();
   void restore();
+  /// Warm-mode fallback: the grace period elapsed with `home` still down —
+  /// redistribute its parked slice over the living (the cold action the
+  /// park deferred) and redirect any buffered results.
+  void redistribute_parked(net::ProcId home);
 
   core::RecoveryConfig cfg_;
   runtime::Runtime* rt_ = nullptr;
@@ -56,9 +61,28 @@ class PeriodicGlobalPolicy final : public RecoveryPolicy {
   /// Last committed snapshot: tasks per home processor.
   std::vector<std::vector<runtime::Task>> snapshot_;
   bool snapshot_valid_ = false;
+  /// Dead processors whose loss a restore has already rolled back around
+  /// (their snapshot tasks were redistributed or parked). A crashed
+  /// processor *not* in this set means a rollback is still coming — kills
+  /// precede detection by a failure-timeout, so a snapshot in that window
+  /// would commit state missing the dead node's slice and silently shrink
+  /// what the restore (and a warm park) can recover. begin_snapshot defers
+  /// until the pending rollback lands.
+  std::set<net::ProcId> accounted_dead_;
 
   /// Where restored tasks of dead processors went (uid -> new host).
   std::unordered_map<runtime::TaskUid, net::ProcId> relocation_;
+
+  /// Warm rejoin (crash-recovery model): a dead home's snapshot slice is
+  /// parked here instead of being redistributed, so the repaired node
+  /// resumes its own work — the apples-to-apples counterpart of the splice
+  /// stack's survivor-assisted warm rejoin. Results bounced off the dead
+  /// home meanwhile buffer in parked_results_ for redelivery. A slice
+  /// still parked when the store.warm_grace expires falls back to the cold
+  /// round-robin redistribution.
+  std::unordered_map<net::ProcId, std::vector<runtime::Task>> parked_;
+  std::unordered_map<net::ProcId, std::vector<runtime::ResultMsg>>
+      parked_results_;
 
   std::uint64_t snapshots_ = 0;
   std::uint64_t snapshot_units_total_ = 0;

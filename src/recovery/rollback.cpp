@@ -53,7 +53,7 @@ void RollbackPolicy::reissue_against(Processor& proc, net::ProcId dead) {
   // *other* processors are reclaimed too: the abort forwards kCancel down
   // every outstanding slot instead of letting the subtree compute to run
   // end for a result nobody can consume.
-  const bool cascade = proc.runtime().config().cancellation;
+  const bool cascade = proc.runtime().config().reclaim.cancellation;
   // (a) Abort direct orphans: their results could only flow to the dead
   //     parent ("the result of the task cannot be forwarded").
   const auto orphaned = [&](Task& task) {

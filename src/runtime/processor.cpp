@@ -73,57 +73,76 @@ Processor::Processor(Runtime& rt, net::ProcId id)
 
 void Processor::handle(Envelope&& env) {
   if (dead_) return;  // fail-silent: a dead node processes nothing
-  // `env` aliases the network's in-flight pool slot (stable for the
-  // duration of this call — the pool is a deque and the slot is freed only
-  // after handle returns). Each case still consumes the payload while
-  // evaluating its handler's *arguments* (by value / by move), so handlers
-  // own their data outright and never hold references into the pool.
-  switch (env.kind) {
-    case MsgKind::kTaskPacket:
-      accept_packet(std::get<TaskPacket>(std::move(env.payload)));
-      break;
-    case MsgKind::kSpawnAck:
-      handle_ack(std::get<AckMsg>(std::move(env.payload)));
-      break;
-    case MsgKind::kForwardResult:
-      handle_result(std::get<ResultMsg>(std::move(env.payload)));
-      break;
-    case MsgKind::kErrorDetection: {
-      const auto msg = std::get<ErrorMsg>(env.payload);
-      // A broadcast that raced a repair is stale: the accused node already
-      // revived (and announced it), so don't re-mark it dead.
-      if (!rt_.network().alive(msg.dead)) {
-        learn_dead(msg.dead, /*direct_detection=*/false);
-      }
-      break;
-    }
-    case MsgKind::kDeliveryFailure:
-      handle_delivery_failure(
-          std::move(*std::get<net::EnvelopeBox>(env.payload)));
-      break;
-    case MsgKind::kRejoinNotice:
-      learn_alive(std::get<RejoinMsg>(env.payload).who);
-      break;
-    case MsgKind::kStateRequest:
-      handle_state_request(std::get<store::StateRequestMsg>(env.payload));
-      break;
-    case MsgKind::kStateChunk:
-      handle_state_chunk(env.from,
-                         std::get<store::StateChunkMsg>(std::move(env.payload)));
-      break;
-    case MsgKind::kCancel:
-      handle_cancel(std::get<CancelMsg>(std::move(env.payload)));
-      break;
-    case MsgKind::kHeartbeat:
-    case MsgKind::kLoadUpdate:
-    case MsgKind::kCheckpointXfer:
-    case MsgKind::kFetchData:
-    case MsgKind::kDataReply:
-    case MsgKind::kControl:
-      // "if a processor receives a packet and cannot find a proper rule to
-      // handle it, the processor simply ignores the received message."
-      break;
+  assert(net::payload_consistent(env.kind, env.payload));
+  // `env` may alias transport-owned storage (stable for the duration of
+  // this call). Each overload consumes the payload by move while evaluating
+  // its handler's *arguments*, so handlers own their data outright and
+  // never hold references into that storage.
+  std::visit(
+      [&](auto&& payload) {
+        on_payload(env, std::forward<decltype(payload)>(payload));
+      },
+      std::move(env.payload));
+}
+
+void Processor::on_payload(Envelope&, std::monostate&&) {
+  // kFetchData / kDataReply / kCheckpointXfer carry no modelled payload:
+  // "if a processor receives a packet and cannot find a proper rule to
+  // handle it, the processor simply ignores the received message."
+}
+
+void Processor::on_payload(Envelope&, TaskPacket&& msg) {
+  accept_packet(std::move(msg));
+}
+
+void Processor::on_payload(Envelope&, AckMsg&& msg) {
+  handle_ack(std::move(msg));
+}
+
+void Processor::on_payload(Envelope&, ResultMsg&& msg) {
+  handle_result(std::move(msg));
+}
+
+void Processor::on_payload(Envelope&, ErrorMsg&& msg) {
+  // A broadcast that raced a repair is stale: the accused node already
+  // revived (and announced it), so don't re-mark it dead. Across OS
+  // processes there is no liveness oracle to consult — trust the reporter;
+  // a rejoin notice from the repaired node clears the verdict later.
+  if (rt_.network().distributed() || !rt_.network().alive(msg.dead)) {
+    learn_dead(msg.dead, /*direct_detection=*/false);
   }
+}
+
+void Processor::on_payload(Envelope&, HeartbeatMsg&&) {
+  // Receipt alone proves liveness; detection watches for *absence*.
+}
+
+void Processor::on_payload(Envelope&, RejoinMsg&& msg) { learn_alive(msg.who); }
+
+void Processor::on_payload(Envelope&, LoadMsg&&) {
+  // Load gossip feeds the scheduler via Runtime, not the protocol loop.
+}
+
+void Processor::on_payload(Envelope&, ControlMsg&& msg) {
+  // kShutdown ends a multi-process rank's driver loop; the other control
+  // kinds are point-to-point runtime traffic handled at their call sites.
+  if (msg.kind == ControlKind::kShutdown) rt_.request_shutdown();
+}
+
+void Processor::on_payload(Envelope&, CancelMsg&& msg) {
+  handle_cancel(std::move(msg));
+}
+
+void Processor::on_payload(Envelope&, store::StateRequestMsg&& msg) {
+  handle_state_request(std::move(msg));
+}
+
+void Processor::on_payload(Envelope& env, store::StateChunkMsg&& msg) {
+  handle_state_chunk(env.from, std::move(msg));
+}
+
+void Processor::on_payload(Envelope&, net::EnvelopeBox&& box) {
+  handle_delivery_failure(std::move(*box));
 }
 
 // ---------------------------------------------------------------------------
@@ -140,7 +159,7 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
   const std::uint32_t replica = packet.replica;
   const std::uint32_t lineage = packet.lineage;
   const lang::FuncId fn = packet.fn;
-  if (rt_.config().cancellation && lineage > 0 && !stamp.is_root() &&
+  if (rt_.config().reclaim.cancellation && lineage > 0 && !stamp.is_root() &&
       rt_.replication_for(stamp.depth()) == 1) {
     // A recovery respawn landed here. If an older instance of the same
     // (stamp, replica) *from the same parent instance* is co-resident, it
@@ -505,7 +524,7 @@ void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
   // simply no longer there to receive it). A pre-linked slot resolving
   // directly needs nothing: its single awaited original just completed,
   // and its grace respawn would have set twin_active.
-  if (rt_.config().cancellation && (msg.relayed || slot.twin_active)) {
+  if (rt_.config().reclaim.cancellation && (msg.relayed || slot.twin_active)) {
     cancel_slot_instances(task, slot);  // async sends: nothing dies here
   }
   // The child returned; its functional checkpoint is no longer needed.
@@ -546,7 +565,7 @@ void Processor::handle_ack(AckMsg msg) {
   // are reclaimed too, however late they land. (Replicated depths keep
   // every copy; see cancel_slot_instances.)
   const auto reply_cancel = [&](std::string_view why) {
-    if (!rt_.config().cancellation || msg.stamp.is_root() ||
+    if (!rt_.config().reclaim.cancellation || msg.stamp.is_root() ||
         rt_.replication_for(msg.stamp.depth()) > 1 ||
         msg.child.proc == net::kNoProc || knows_dead(msg.child.proc)) {
       return;
@@ -630,8 +649,11 @@ void Processor::handle_delivery_failure(Envelope original) {
   // in between. Marking a live node dead would stick forever — no second
   // rejoin notice will come — so only record the death while it holds.
   // Payload-level recovery below still runs either way: the original
-  // message *was* lost, whatever the destination's current state.
-  if (!rt_.network().alive(dead)) {
+  // message *was* lost, whatever the destination's current state. Across
+  // OS processes the bounce came from a real connection failure — the
+  // destination was down moments ago; record it (its rejoin notice will
+  // clear the verdict if it comes back).
+  if (rt_.network().distributed() || !rt_.network().alive(dead)) {
     learn_dead(dead, /*direct_detection=*/true);
   }
   switch (original.kind) {
@@ -692,7 +714,7 @@ void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
   // would compute a duplicate lineage. Discard travels as a message:
   // cancels go out *before* the replacement packets, so on a shared
   // destination the cancel is delivered first and can never hit the twin.
-  if (rt_.config().cancellation) cancel_slot_instances(owner, slot);
+  if (rt_.config().reclaim.cancellation) cancel_slot_instances(owner, slot);
   ++slot.respawns;
   ++counters_.tasks_respawned;
   if (as_twin) {
@@ -745,7 +767,7 @@ void Processor::send_cancel(const LevelStamp& stamp, std::uint32_t replica,
 }
 
 void Processor::cancel_slot_instances(const Task& owner, const CallSlot& slot) {
-  if (!rt_.config().cancellation) return;
+  if (!rt_.config().reclaim.cancellation) return;
   const LevelStamp& stamp = slot.retained.stamp;
   // Roots belong to the super-root; replicated depths keep every copy by
   // design (§5.3 — the redundancy IS the copies).
@@ -772,7 +794,7 @@ void Processor::cancel_slot_instances(const Task& owner, const CallSlot& slot) {
 }
 
 void Processor::handle_cancel(CancelMsg msg) {
-  if (!rt_.config().cancellation || msg.stamp.is_root()) return;
+  if (!rt_.config().reclaim.cancellation || msg.stamp.is_root()) return;
   Task* task = nullptr;
   if (msg.uid != kNoTask) {
     task = find_task(msg.uid);
@@ -1175,6 +1197,17 @@ void Processor::restore_tasks(std::vector<Task> tasks) {
   if (dead_) return;
   tasks_.clear();
   step_queue_.clear();
+  for (Task& task : tasks) {
+    const TaskUid uid = task.uid();
+    task.set_state(TaskState::kQueued);
+    tasks_.emplace(uid, std::make_unique<Task>(std::move(task)));
+    step_queue_.push_back(uid);
+  }
+  start_next_step();
+}
+
+void Processor::adopt_tasks(std::vector<Task> tasks) {
+  if (dead_) return;
   for (Task& task : tasks) {
     const TaskUid uid = task.uid();
     task.set_state(TaskState::kQueued);

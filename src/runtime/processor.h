@@ -196,6 +196,9 @@ class Processor {
   [[nodiscard]] std::vector<Task> snapshot_tasks() const;
   /// Replace all volatile state with `tasks` and requeue them.
   void restore_tasks(std::vector<Task> tasks);
+  /// Add `tasks` to the live set without disturbing resident work (warm-
+  /// rejoin fallback: a parked slice redistributed over running survivors).
+  void adopt_tasks(std::vector<Task> tasks);
   [[nodiscard]] std::uint64_t state_units() const;
 
   // ---- end-of-run accounting ----------------------------------------------
@@ -206,6 +209,26 @@ class Processor {
   void start_heartbeats();
 
  private:
+  // ---- message dispatch ---------------------------------------------------
+  // handle() std::visits the closed payload variant over this overload set.
+  // There is deliberately no catch-all template: adding a variant
+  // alternative refuses to compile until a handler exists here, so the wire
+  // codec (net/codec.cpp) and the dispatcher stay exhaustive at the same
+  // single point — the variant in net/message.h.
+  void on_payload(net::Envelope& env, std::monostate&&);
+  void on_payload(net::Envelope& env, TaskPacket&& msg);
+  void on_payload(net::Envelope& env, AckMsg&& msg);
+  void on_payload(net::Envelope& env, ResultMsg&& msg);
+  void on_payload(net::Envelope& env, ErrorMsg&& msg);
+  void on_payload(net::Envelope& env, HeartbeatMsg&& msg);
+  void on_payload(net::Envelope& env, RejoinMsg&& msg);
+  void on_payload(net::Envelope& env, LoadMsg&& msg);
+  void on_payload(net::Envelope& env, ControlMsg&& msg);
+  void on_payload(net::Envelope& env, CancelMsg&& msg);
+  void on_payload(net::Envelope& env, store::StateRequestMsg&& msg);
+  void on_payload(net::Envelope& env, store::StateChunkMsg&& msg);
+  void on_payload(net::Envelope& env, net::EnvelopeBox&& box);
+
   void start_next_step();
   void finish_scan(TaskUid uid, ScanOutcome& outcome);
   void spawn_child(Task& owner, SpawnRequest request);

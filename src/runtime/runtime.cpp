@@ -18,6 +18,7 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
       config_(config),
       program_(program),
       trace_(config.collect_trace),
+      hosts_super_root_(network.transport().local(0)),
       detection_noted_(config.processors, false) {
   scheduler_ = sched::make_scheduler(config_.scheduler);
   policy_ = recovery::make_policy(config_.recovery);
@@ -74,16 +75,25 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
 Runtime::~Runtime() = default;
 
 void Runtime::start() {
-  TaskPacket root;
-  root.stamp = LevelStamp::root();
-  root.fn = program_.entry();
-  root.args = TaskPacket::Args(program_.entry_args().begin(),
-                               program_.entry_args().end());
-  root.call_site = lang::kNoExpr;
-  root.ancestors.push_back(super_root_->ref());
-  super_root_->start(std::move(root));
+  // Multi-process group: only the OS process hosting rank 0 owns the
+  // super-root (and therefore injects the root program); every process
+  // arms heartbeats for the ranks it actually hosts. Under a
+  // single-process transport every rank is local, so this is the same
+  // full bring-up as always.
+  if (hosts_super_root_) {
+    TaskPacket root;
+    root.stamp = LevelStamp::root();
+    root.fn = program_.entry();
+    root.args = TaskPacket::Args(program_.entry_args().begin(),
+                                 program_.entry_args().end());
+    root.call_site = lang::kNoExpr;
+    root.ancestors.push_back(super_root_->ref());
+    super_root_->start(std::move(root));
+  }
 
-  for (auto& proc : procs_) proc->start_heartbeats();
+  for (auto& proc : procs_) {
+    if (network_.transport().local(proc->id())) proc->start_heartbeats();
+  }
   schedule_scheduler_tick();
   schedule_gc_tick();
 }
@@ -93,7 +103,11 @@ net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
       replication_for(0) > 1) {
     packet.zone = static_cast<std::int32_t>(packet.replica);
   }
-  const net::ProcId dest = scheduler_->choose(0, packet);
+  // The host channel is a direct call into the destination processor; in a
+  // multi-process group that is only possible on a rank this process hosts,
+  // so the root is pinned to rank 0 (whose process is the one injecting).
+  const net::ProcId dest =
+      network_.distributed() ? 0 : scheduler_->choose(0, packet);
   if (dest == net::kNoProc) return net::kNoProc;
   ++host_messages_;
   trace_.add(sim_.now(), net::kNoProc, "inject-root", [&] {
@@ -157,7 +171,7 @@ void Runtime::note_detection(net::ProcId dead) {
   if (dead >= detection_noted_.size() || detection_noted_[dead]) return;
   detection_noted_[dead] = true;
   if (first_detection_ticks_ < 0) first_detection_ticks_ = sim_.now().ticks();
-  super_root_->on_processor_dead(dead);
+  if (hosts_super_root_) super_root_->on_processor_dead(dead);
   policy_->on_global_failure(*this, dead);
 }
 
@@ -181,7 +195,7 @@ void Runtime::on_revive(net::ProcId back) {
     // notices are suppressed once the node is alive again), but the
     // volatile state is gone all the same — fire the global once-per-death
     // hooks the detection path would have fired.
-    super_root_->on_processor_dead(back);
+    if (hosts_super_root_) super_root_->on_processor_dead(back);
     policy_->on_global_failure(*this, back);
   }
   policy_->on_rejoin(*this, back);
@@ -237,8 +251,11 @@ void Runtime::schedule_scheduler_tick() {
 }
 
 void Runtime::schedule_gc_tick() {
-  if (config_.gc_interval <= 0) return;
-  sim_.after(sim::SimTime(config_.gc_interval), [this] {
+  if (config_.reclaim.gc_interval <= 0) return;
+  // The sweep reads global simulator state; a multi-process group has no
+  // omniscient observer (that is rather the point).
+  if (network_.distributed()) return;
+  sim_.after(sim::SimTime(config_.reclaim.gc_interval), [this] {
     if (done_) return;
     gc_sweep();
     schedule_gc_tick();
@@ -378,7 +395,7 @@ std::vector<Runtime::GcVictim> Runtime::collect_gc_victims() {
 
 void Runtime::gc_sweep() {
   std::vector<GcVictim> victims = collect_gc_victims();
-  if (config_.gc_oracle) {
+  if (config_.reclaim.gc_oracle) {
     gc_oracle_check(victims);
     return;
   }

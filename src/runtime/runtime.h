@@ -65,6 +65,19 @@ class Runtime {
   }
 
   [[nodiscard]] TaskUid next_uid() noexcept { return uid_counter_++; }
+
+  // ---- multi-process group (distributed transports) ------------------------
+  /// Does this OS process own the super-root / host channel? True for every
+  /// single-process transport; true only on rank 0's process over TCP.
+  [[nodiscard]] bool hosts_super_root() const noexcept {
+    return hosts_super_root_;
+  }
+  /// A kShutdown control message arrived (multi-process group teardown).
+  /// The driver loop polls this to exit.
+  void request_shutdown() noexcept { shutdown_requested_ = true; }
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_requested_;
+  }
   /// The next uid that will be allocated (nothing consumed). Processors
   /// snapshot this at revive time as their incarnation's uid watermark.
   [[nodiscard]] TaskUid current_uid() const noexcept { return uid_counter_; }
@@ -158,6 +171,8 @@ class Runtime {
 
   TaskUid uid_counter_ = checkpoint::SuperRoot::kSuperRootUid + 1;
   bool done_ = false;
+  bool hosts_super_root_ = true;
+  bool shutdown_requested_ = false;
   bool warm_rejoin_ = false;
   sim::SimTime completion_time_;
   std::int64_t first_detection_ticks_ = -1;
@@ -168,7 +183,7 @@ class Runtime {
   std::function<void(const std::string&)> trigger_sink_;
 
   void schedule_scheduler_tick();
-  /// Orphan GC (config.gc_interval): periodically reclaim — or, in oracle
+  /// Orphan GC (config.reclaim.gc_interval): periodically reclaim — or, in oracle
   /// mode, merely identify — duplicate live tasks left behind by racing
   /// recovery actions. See gc_sweep().
   void schedule_gc_tick();

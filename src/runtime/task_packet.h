@@ -185,6 +185,7 @@ enum class ControlKind : std::uint8_t {
   kStartRoot,        // super-root injects the root task
   kFreeze,           // periodic-global baseline: stop-the-world begin
   kUnfreeze,         // periodic-global baseline: resume
+  kShutdown,         // multi-process driver: root broadcasts group teardown
 };
 
 struct ControlMsg {

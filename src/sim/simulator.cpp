@@ -25,6 +25,11 @@ bool Simulator::run_until(SimTime deadline) {
   return true;
 }
 
+void Simulator::advance_to(SimTime t) noexcept {
+  if (!queue_.empty() && queue_.next_time() < t) t = queue_.next_time();
+  if (t > now_) now_ = t;
+}
+
 std::uint64_t Simulator::run_steps(std::uint64_t max_events) {
   std::uint64_t ran = 0;
   while (ran < max_events && !queue_.empty()) {

@@ -35,6 +35,13 @@ class Simulator {
   /// Run at most `max_events` events; returns events actually run.
   std::uint64_t run_steps(std::uint64_t max_events);
 
+  /// Advance the clock to `t` without running anything, clamped so it never
+  /// jumps past the next pending event. Used by real-time drivers (TCP
+  /// multi-process mode) to pace simulated time against the wall clock
+  /// between poll() rounds: run_until(deadline) leaves now() at the last
+  /// event executed, not at the deadline.
+  void advance_to(SimTime t) noexcept;
+
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;

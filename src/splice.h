@@ -25,10 +25,13 @@
 #include "lang/interpreter.h"
 #include "lang/program.h"
 #include "lang/programs.h"
+#include "net/codec.h"
 #include "net/fault_injector.h"
 #include "net/fault_plan.h"
 #include "net/network.h"
+#include "net/tcp_transport.h"
 #include "net/topology.h"
+#include "net/transport.h"
 #include "recovery/policy.h"
 #include "recovery/replicated.h"
 #include "runtime/runtime.h"

@@ -42,9 +42,9 @@ SystemConfig cancel_config(std::uint64_t seed) {
   cfg.scheduler.kind = core::SchedulerKind::kRandom;
   cfg.recovery.kind = core::RecoveryKind::kSplice;
   cfg.heartbeat_interval = 500;
-  cfg.cancellation = true;
-  cfg.gc_interval = 400;  // oracle cadence, not a sweep
-  cfg.gc_oracle = true;
+  cfg.reclaim.cancellation = true;
+  cfg.reclaim.gc_interval = 400;  // oracle cadence, not a sweep
+  cfg.reclaim.gc_oracle = true;
   cfg.seed = seed;
   return cfg;
 }
@@ -199,9 +199,9 @@ TEST(CancelProtocol, ProtocolReclaimDoesNotIncreaseTotalWork) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     SystemConfig cfg_on = prelink_race_config(seed);
     SystemConfig cfg_off = prelink_race_config(seed);
-    cfg_off.cancellation = false;
-    cfg_off.gc_interval = 0;  // nothing reclaims
-    cfg_off.gc_oracle = false;
+    cfg_off.reclaim.cancellation = false;
+    cfg_off.reclaim.gc_interval = 0;  // nothing reclaims
+    cfg_off.reclaim.gc_oracle = false;
     const std::int64_t makespan =
         core::Simulation::fault_free_makespan(cfg_off, program);
     net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));

@@ -32,8 +32,8 @@ core::SystemConfig gc_config(std::uint64_t seed, std::int64_t gc_interval) {
   cfg.store.model = store::Persistency::kLocal;
   cfg.store.warm_grace = 40000;
   cfg.store.prelink_grace = 1;  // expire immediately: guaranteed respawn race
-  cfg.gc_interval = gc_interval;
-  cfg.cancellation = false;  // the sweep alone reclaims here
+  cfg.reclaim.gc_interval = gc_interval;
+  cfg.reclaim.cancellation = false;  // the sweep alone reclaims here
   cfg.seed = seed;
   return cfg;
 }

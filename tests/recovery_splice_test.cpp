@@ -66,7 +66,7 @@ TEST(Splice, SalvageReducesRedoneWorkVersusRollback) {
   // (work splice deliberately lets run for salvage), which breaks the
   // busy-ticks theorem this test encodes.
   SystemConfig splice_cfg = splice_config(8, 5);
-  splice_cfg.cancellation = false;
+  splice_cfg.reclaim.cancellation = false;
   SystemConfig rollback_cfg = splice_cfg;
   rollback_cfg.recovery.kind = RecoveryKind::kRollback;
   const auto program = lang::programs::tree_sum(6, 2, 700, 30);

@@ -238,5 +238,55 @@ TEST(WarmRejoin, GraceExpiryFallsBackToColdReissue) {
   EXPECT_GT(r.counters.tasks_respawned, 0U);
 }
 
+TEST(WarmRejoin, PeriodicGlobalWarmUnparksForTheRejoiner) {
+  // The baseline comparison partner for E15/E18: under crash-recovery the
+  // periodic-global scheme now parks the dead node's snapshot slice for
+  // its repaired self instead of scattering it round-robin — so warm-vs-
+  // cold comparisons measure the same recovery model on both stacks.
+  const auto program = lang::programs::tree_sum(5, 3, 300, 40);
+  core::SystemConfig cfg = base_config(core::RecoveryKind::kPeriodicGlobal,
+                                       store::Persistency::kLocal);
+  cfg.collect_trace = true;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  // A snapshot must exist before the kill, and the repair must beat the
+  // park grace, or there is nothing to hand back to the rejoiner.
+  cfg.recovery.checkpoint_interval = makespan / 8;
+  cfg.store.warm_grace = makespan;
+  net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(makespan / 8), net::RejoinMode::kWarm);
+  core::Simulation sim(cfg, program);
+  sim.set_fault_plan(plan);
+  const core::RunResult r = sim.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_EQ(r.nodes_revived, 1U);
+  EXPECT_GE(r.counters.restores, 1U);
+  EXPECT_TRUE(sim.trace().contains("unpark", "parked tasks resumed"));
+  EXPECT_GT(r.counters.reissues_avoided, 0U);
+}
+
+TEST(WarmRejoin, PeriodicGlobalParkExpiryRedistributesCold) {
+  // Repair far beyond the grace: the parked slice must not wedge the run —
+  // the timer expires and the survivors adopt the tasks round-robin, same
+  // fallback shape as the splice stack's grace-expired cold reissue.
+  const auto program = lang::programs::tree_sum(4, 3, 250, 40);
+  core::SystemConfig cfg = base_config(core::RecoveryKind::kPeriodicGlobal,
+                                       store::Persistency::kLocal);
+  cfg.collect_trace = true;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  cfg.recovery.checkpoint_interval = makespan / 8;
+  cfg.store.warm_grace = 1500;
+  net::FaultPlan plan = net::FaultPlan::single(3, sim::SimTime(makespan / 2));
+  plan.with_rejoin(sim::SimTime(makespan * 4), net::RejoinMode::kWarm);
+  core::Simulation sim(cfg, program);
+  sim.set_fault_plan(plan);
+  const core::RunResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.answer_correct);
+  EXPECT_TRUE(sim.trace().contains("park-expired", "redistributed cold"));
+}
+
 }  // namespace
 }  // namespace splice
