@@ -1,32 +1,33 @@
 #!/usr/bin/env python3
-"""Emit and check the repo's recorded perf trajectory (BENCH_PR6.json).
+"""Emit and check the repo's recorded perf trajectory (BENCH_PR7.json).
 
 Emit: runs the E16 throughput section of tab_scalability (and, when present,
 the BM_SimThroughput gate plus the wire-codec benches in micro_structures),
 then writes one merged JSON:
 
-    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR6.json
+    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR7.json
 
 Check: compares a freshly emitted JSON against the trajectory checked into
 the repo and fails (exit 1) if events/sec regressed by more than the
 threshold at any machine size:
 
     python3 scripts/bench_json.py --bin-dir build/release \
-        --out /tmp/fresh.json --check BENCH_PR6.json
+        --out /tmp/fresh.json --check BENCH_PR7.json
 
 Machines differ, so the guard compares *normalized* throughput: events/sec
 divided by a fixed pure-CPU calibration loop's rate measured in the same
 binary on the same machine (normalized_events_per_mop). Raw events/sec is
 recorded alongside for the trajectory table in EXPERIMENTS.md.
 
-Historic baseline blocks ("baseline_pre_pr4", the PR4 measurements as
-"baseline_pr4", and the PR5 throughput as "baseline_pr5") are carried
-forward verbatim from the previous JSON (via --carry, which --check
-implies): the trajectory keeps every recorded point. The JSON also carries
-the E17 reclaim table emitted by tab_scalability --perf-json, and — new in
-PR6 — a "wire" section with the codec's bytes/event, bytes/msg, and
-encode/decode ns/msg measured by BM_WireBytesPerEvent + BM_CodecEncode/
-BM_CodecDecode over the shared-memory ring backend.
+Historic baseline blocks ("baseline_pre_pr4", then one "baseline_prN" per
+recorded PR) are carried forward verbatim from the previous JSON (via
+--carry, which --check implies): the trajectory keeps every recorded point.
+The JSON also carries the E17 reclaim table, the E19 link-chaos table
+(goodput + reclaim latency under partition-heal and gray-failure churn)
+emitted by tab_scalability --perf-json, and a "wire" section with the
+codec's bytes/event, bytes/msg, and encode/decode ns/msg measured by
+BM_WireBytesPerEvent + BM_CodecEncode/BM_CodecDecode over the
+shared-memory ring backend.
 """
 
 from __future__ import annotations
@@ -136,7 +137,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", default="build/release",
                         help="CMake binary dir holding bench/ executables")
-    parser.add_argument("--out", default="BENCH_PR6.json",
+    parser.add_argument("--out", default="BENCH_PR7.json",
                         help="where to write the merged JSON")
     parser.add_argument("--full", action="store_true",
                         help="run the full (non --smoke) throughput sweep")
@@ -164,13 +165,14 @@ def main() -> int:
     if carry_from and os.path.exists(carry_from):
         with open(carry_from, encoding="utf-8") as f:
             previous = json.load(f)
-        for block in ("baseline_pre_pr4", "baseline_pr4", "baseline_pr5"):
+        for block in ("baseline_pre_pr4", "baseline_pr4", "baseline_pr5",
+                      "baseline_pr6"):
             if block in previous:
                 merged[block] = previous[block]
-        # First carry from the PR5 JSON: snapshot its live measurements as
-        # the "baseline_pr5" trajectory point.
-        if "baseline_pr5" not in previous and "throughput" in previous:
-            merged["baseline_pr5"] = {
+        # First carry from the PR6 JSON: snapshot its live measurements as
+        # the "baseline_pr6" trajectory point.
+        if "baseline_pr6" not in previous and "throughput" in previous:
+            merged["baseline_pr6"] = {
                 "workload": previous.get("workload"),
                 "calibration_mops": previous.get("calibration_mops"),
                 "throughput": previous["throughput"],

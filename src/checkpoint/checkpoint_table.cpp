@@ -63,6 +63,7 @@ RecordOutcome CheckpointTable::record(net::ProcId dest,
     if (record.packet.stamp.is_ancestor_of(existing.packet.stamp)) {
       on_erase(existing);
       index_remove(dest, existing.packet.stamp);
+      ++evicted_;
       return true;
     }
     return false;
@@ -82,6 +83,7 @@ std::vector<CheckpointRecord> CheckpointTable::take(net::ProcId dead) {
   for (const CheckpointRecord& record : out) {
     on_erase(record);
     index_remove(dead, record.packet.stamp);
+    ++taken_;
   }
   if (listener_ != nullptr && !out.empty()) listener_->on_take(dead);
   return out;
@@ -142,6 +144,7 @@ bool CheckpointTable::contains(net::ProcId dest,
 }
 
 void CheckpointTable::clear() {
+  cleared_ += total_records_;
   for (Stripe& stripe : stripes_) {
     for (auto& entry : stripe.entries) entry.clear();
     stripe.by_stamp.clear();

@@ -132,6 +132,14 @@ class CheckpointTable {
   }
   [[nodiscard]] std::uint64_t subsumed() const noexcept { return subsumed_; }
   [[nodiscard]] std::uint64_t released() const noexcept { return released_; }
+  /// Lifetime removal counters besides release: records claimed by take()
+  /// (reissue obligation on a crash), evicted to keep the antichain in
+  /// record(), and dropped wholesale by clear(). Together with released()
+  /// and the resident total_records() they account for every records_made()
+  /// — the conservation equation the RecoveryOracle checks.
+  [[nodiscard]] std::uint64_t taken() const noexcept { return taken_; }
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
+  [[nodiscard]] std::uint64_t cleared() const noexcept { return cleared_; }
   [[nodiscard]] net::ProcId self() const noexcept { return self_; }
 
  private:
@@ -170,6 +178,9 @@ class CheckpointTable {
   std::uint64_t records_made_ = 0;
   std::uint64_t subsumed_ = 0;
   std::uint64_t released_ = 0;
+  std::uint64_t taken_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t cleared_ = 0;
 };
 
 }  // namespace splice::checkpoint

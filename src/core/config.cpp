@@ -75,6 +75,58 @@ std::pair<std::string_view, sim::SimTime> split_at_time(
                                                clause))};
 }
 
+/// Parse a parenthesised region sub-body: rect(R0,C0,RxC), arc(S+L),
+/// cube(MASK/VALUE), hood(P,rK) — the same shapes the top-level regional
+/// kill verbs take, usable where a clause needs a region as an operand
+/// (partition sides).
+net::RegionSpec parse_region(std::string_view body, std::string_view clause) {
+  const std::size_t open = body.find('(');
+  if (open == std::string_view::npos || body.empty() || body.back() != ')') {
+    bad_clause(clause, "expected 'rect(...)', 'arc(...)', 'cube(...)' or "
+                       "'hood(...)'");
+  }
+  const std::string_view kind = trim(body.substr(0, open));
+  const std::string_view inner =
+      trim(body.substr(open + 1, body.size() - open - 2));
+  if (kind == "rect") {
+    const auto parts = split(inner, ',');
+    if (parts.size() != 3) bad_clause(clause, "expected 'rect(R0,C0,RxC)'");
+    const std::size_t x = parts[2].find('x');
+    if (x == std::string_view::npos) bad_clause(clause, "missing 'RxC'");
+    return net::RegionSpec::grid_rect(
+        parse_int<std::uint32_t>(parts[0], clause),
+        parse_int<std::uint32_t>(parts[1], clause),
+        parse_int<std::uint32_t>(trim(parts[2].substr(0, x)), clause),
+        parse_int<std::uint32_t>(trim(parts[2].substr(x + 1)), clause));
+  }
+  if (kind == "arc") {
+    const std::size_t plus = inner.find('+');
+    if (plus == std::string_view::npos) bad_clause(clause, "missing 'S+L'");
+    return net::RegionSpec::ring_arc(
+        parse_int<net::ProcId>(trim(inner.substr(0, plus)), clause),
+        parse_int<std::uint32_t>(trim(inner.substr(plus + 1)), clause));
+  }
+  if (kind == "cube") {
+    const std::size_t slash = inner.find('/');
+    if (slash == std::string_view::npos) {
+      bad_clause(clause, "missing 'MASK/VALUE'");
+    }
+    return net::RegionSpec::subcube(
+        parse_int<net::ProcId>(trim(inner.substr(0, slash)), clause),
+        parse_int<net::ProcId>(trim(inner.substr(slash + 1)), clause));
+  }
+  if (kind == "hood") {
+    const auto parts = split(inner, ',');
+    if (parts.size() != 2 || parts[1].size() < 2 || parts[1][0] != 'r') {
+      bad_clause(clause, "expected 'hood(P,rK)'");
+    }
+    return net::RegionSpec::neighborhood(
+        parse_int<net::ProcId>(parts[0], clause),
+        parse_int<std::uint32_t>(trim(parts[1].substr(1)), clause));
+  }
+  bad_clause(clause, "unknown region shape '" + std::string(kind) + "'");
+}
+
 }  // namespace
 
 net::FaultPlan parse_fault_plan(std::string_view spec) {
@@ -235,6 +287,110 @@ net::FaultPlan parse_fault_plan(std::string_view spec) {
       }
       plan.with_rejoin(
           sim::SimTime(parse_int<std::int64_t>(parts[0], clause)), mode);
+    } else if (verb == "partition") {
+      // partition:REGION@T[,heal=H|healmean=M] — cut REGION off from the
+      // rest of the machine at T; heal after H ticks (deterministic) or an
+      // exponential delay of mean M drawn from the plan seed.
+      const std::size_t close = args.find(')');
+      if (close == std::string_view::npos) {
+        bad_clause(clause, "expected 'region(...)@T[,heal=H|healmean=M]'");
+      }
+      net::PartitionSpec cut;
+      cut.side = parse_region(trim(args.substr(0, close + 1)), clause);
+      std::string_view rest = trim(args.substr(close + 1));
+      if (rest.empty() || rest.front() != '@') {
+        bad_clause(clause, "missing '@time'");
+      }
+      rest.remove_prefix(1);
+      const auto parts = split(rest, ',');
+      if (parts.empty()) bad_clause(clause, "missing '@time'");
+      cut.at = sim::SimTime(parse_int<std::int64_t>(parts[0], clause));
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::size_t eq = parts[i].find('=');
+        if (eq == std::string_view::npos) bad_clause(clause, "expected k=v");
+        const std::string_view key = trim(parts[i].substr(0, eq));
+        const std::string_view value = trim(parts[i].substr(eq + 1));
+        if (key == "heal") {
+          cut.heal_after =
+              sim::SimTime(parse_int<std::int64_t>(value, clause));
+        } else if (key == "healmean") {
+          cut.heal_mean = parse_double(value, clause);
+        } else {
+          bad_clause(clause,
+                     "unknown partition key '" + std::string(key) + "'");
+        }
+      }
+      plan.partitions.push_back(std::move(cut));
+    } else if (verb == "link") {
+      // link:A-B@T[,drop=p][,dup=p][,reorder=p][,delay=D][,jitter=J]
+      //          [,until=T] — per-link quality; 'A>B' directed, '*' any.
+      const auto parts = split(args, ',');
+      if (parts.empty()) bad_clause(clause, "expected 'A-B@T,...'");
+      const auto [ends, start] = split_at_time(parts[0], clause);
+      net::LinkQuality q;
+      q.start = start;
+      std::size_t sep = ends.find('>');
+      if (sep != std::string_view::npos) {
+        q.symmetric = false;
+      } else {
+        sep = ends.find('-');
+      }
+      if (sep == std::string_view::npos) {
+        bad_clause(clause, "expected 'A-B' or 'A>B' endpoints");
+      }
+      const auto parse_end = [&clause](std::string_view token) {
+        return token == "*" ? net::kNoProc
+                            : parse_int<net::ProcId>(token, clause);
+      };
+      q.src = parse_end(trim(ends.substr(0, sep)));
+      q.dst = parse_end(trim(ends.substr(sep + 1)));
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::size_t eq = parts[i].find('=');
+        if (eq == std::string_view::npos) bad_clause(clause, "expected k=v");
+        const std::string_view key = trim(parts[i].substr(0, eq));
+        const std::string_view value = trim(parts[i].substr(eq + 1));
+        if (key == "drop") {
+          q.drop_p = parse_double(value, clause);
+        } else if (key == "dup") {
+          q.dup_p = parse_double(value, clause);
+        } else if (key == "reorder") {
+          q.reorder_p = parse_double(value, clause);
+        } else if (key == "delay") {
+          q.delay = parse_int<std::int64_t>(value, clause);
+        } else if (key == "jitter") {
+          q.jitter = parse_int<std::int64_t>(value, clause);
+        } else if (key == "until") {
+          q.stop = sim::SimTime(parse_int<std::int64_t>(value, clause));
+        } else {
+          bad_clause(clause, "unknown link key '" + std::string(key) + "'");
+        }
+      }
+      plan.links.push_back(q);
+    } else if (verb == "gray") {
+      // gray:P@T[,drop=p][,slow=F][,until=T] — node P alive but sick:
+      // payload traffic starves while heartbeats trickle through.
+      const auto parts = split(args, ',');
+      if (parts.empty()) bad_clause(clause, "expected 'P@T,...'");
+      const auto [who, start] = split_at_time(parts[0], clause);
+      net::GraySpec g;
+      g.node = parse_int<net::ProcId>(who, clause);
+      g.start = start;
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::size_t eq = parts[i].find('=');
+        if (eq == std::string_view::npos) bad_clause(clause, "expected k=v");
+        const std::string_view key = trim(parts[i].substr(0, eq));
+        const std::string_view value = trim(parts[i].substr(eq + 1));
+        if (key == "drop") {
+          g.payload_drop_p = parse_double(value, clause);
+        } else if (key == "slow") {
+          g.slow_factor = parse_int<std::int64_t>(value, clause);
+        } else if (key == "until") {
+          g.stop = sim::SimTime(parse_int<std::int64_t>(value, clause));
+        } else {
+          bad_clause(clause, "unknown gray key '" + std::string(key) + "'");
+        }
+      }
+      plan.grays.push_back(g);
     } else if (verb == "seed") {
       plan.with_seed(parse_int<std::uint64_t>(args, clause));
     } else {

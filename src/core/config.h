@@ -51,7 +51,21 @@ enum class RecoveryKind : std::uint8_t {
 ///                                  durable-log replay when the host
 ///                                  SystemConfig's StoreConfig persists
 ///                                  (model != none); cold (default) = blank
-///   seed:S                         RNG stream for cascade/poisson draws
+///   partition:REGION@T[,heal=H|healmean=M]
+///                                  cut REGION (rect(R0,C0,RxC), arc(S+L),
+///                                  cube(MASK/VALUE), hood(P,rK)) off from
+///                                  the rest at T; heal after H ticks, or an
+///                                  exponential delay of mean M drawn from
+///                                  the plan seed; neither = never heals
+///   link:A-B@T[,drop=p][,dup=p][,reorder=p][,delay=D][,jitter=J][,until=T]
+///                                  per-link quality between A and B from T
+///                                  ('A>B' = directed, '*' = any endpoint)
+///   gray:P@T[,drop=p][,slow=F][,until=T]
+///                                  gray failure: P stays alive and its
+///                                  control traffic (heartbeats, notices)
+///                                  flows, but payload traffic drops with
+///                                  probability p and everything slows F×
+///   seed:S                         RNG stream for cascade/poisson/link draws
 ///
 /// Example: "rect:0,0,2x2@5000;cascade:7@9000,p=0.8,hops=2;rejoin:4000,warm".
 /// Regions resolve against the concrete Topology when the injector arms.

@@ -8,6 +8,7 @@ void Counters::merge(const Counters& other) noexcept {
   tasks_created += other.tasks_created;
   tasks_completed += other.tasks_completed;
   tasks_aborted += other.tasks_aborted;
+  tasks_lost_to_crash += other.tasks_lost_to_crash;
   scans += other.scans;
   tasks_respawned += other.tasks_respawned;
   twins_created += other.twins_created;
@@ -20,11 +21,18 @@ void Counters::merge(const Counters& other) noexcept {
   cancels_sent += other.cancels_sent;
   tasks_cancelled += other.tasks_cancelled;
   cancels_ignored += other.cancels_ignored;
+  cancel_retries += other.cancel_retries;
+  bounce_retransmits += other.bounce_retransmits;
+  wire_dups_discarded += other.wire_dups_discarded;
   gc_oracle_orphans += other.gc_oracle_orphans;
   reclaim_latency_ticks += other.reclaim_latency_ticks;
   checkpoint_records += other.checkpoint_records;
   checkpoint_subsumed += other.checkpoint_subsumed;
   checkpoint_released += other.checkpoint_released;
+  checkpoint_taken += other.checkpoint_taken;
+  checkpoint_evicted += other.checkpoint_evicted;
+  checkpoint_cleared += other.checkpoint_cleared;
+  checkpoint_resident += other.checkpoint_resident;
   checkpoint_peak_entries += other.checkpoint_peak_entries;
   checkpoint_peak_units += other.checkpoint_peak_units;
   snapshots_taken += other.snapshots_taken;

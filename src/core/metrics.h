@@ -15,6 +15,10 @@ struct Counters {
   std::uint64_t tasks_created = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_aborted = 0;
+  /// Live resident tasks destroyed by the crash of their host. Together
+  /// with completed/aborted/stranded these account for every accepted task
+  /// (the RecoveryOracle's conservation equation).
+  std::uint64_t tasks_lost_to_crash = 0;
   std::uint64_t scans = 0;
 
   // Recovery activity.
@@ -31,6 +35,9 @@ struct Counters {
   std::uint64_t cancels_sent = 0;          // kCancel messages issued
   std::uint64_t tasks_cancelled = 0;       // live duplicates aborted by cancel
   std::uint64_t cancels_ignored = 0;       // no live addressee (already done)
+  std::uint64_t cancel_retries = 0;        // kCancel re-sent after a bounce
+  std::uint64_t bounce_retransmits = 0;    // other protocol kinds re-sent
+  std::uint64_t wire_dups_discarded = 0;   // duplicate task packets deduped
   std::uint64_t gc_oracle_orphans = 0;     // duplicates the oracle saw leak
   /// Sum over reclaimed duplicates of (reclaim time - task creation time);
   /// divide by tasks_cancelled + orphans_gced for the E17 mean reclaim
@@ -42,6 +49,10 @@ struct Counters {
   std::uint64_t checkpoint_records = 0;
   std::uint64_t checkpoint_subsumed = 0;   // level-stamp dedup hits (§3.2)
   std::uint64_t checkpoint_released = 0;
+  std::uint64_t checkpoint_taken = 0;      // removed by take() on a crash
+  std::uint64_t checkpoint_evicted = 0;    // antichain eviction in record()
+  std::uint64_t checkpoint_cleared = 0;    // dropped by clear() (node nuked)
+  std::uint64_t checkpoint_resident = 0;   // still held when the run ended
   std::uint64_t checkpoint_peak_entries = 0;
   std::uint64_t checkpoint_peak_units = 0;
 

@@ -43,6 +43,9 @@ RunResult Simulation::run() {
       *sim_, *network_, fault_plan_,
       [this](net::ProcId dead) { runtime_->on_kill(dead); },
       [this](net::ProcId back) { runtime_->on_revive(back); });
+  injector_->set_on_heal([this](const std::vector<net::ProcId>& side) {
+    runtime_->on_partition_heal(side);
+  });
   if (!fault_plan_.triggered.empty()) {
     runtime_->set_trigger_sink(
         [this](const std::string& name) { injector_->fire_trigger(name); });

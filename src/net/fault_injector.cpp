@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -11,10 +12,11 @@
 namespace splice::net {
 
 namespace {
-// Stream tags keep cascade and Poisson draws independent of each other and
-// of plan-seed reuse elsewhere in the simulator.
+// Stream tags keep cascade, Poisson, and partition-heal draws independent
+// of each other and of plan-seed reuse elsewhere in the simulator.
 constexpr std::uint64_t kCascadeStream = 0xCA5CADE000000000ULL;
 constexpr std::uint64_t kPoissonStream = 0x9015500000000000ULL;
+constexpr std::uint64_t kHealStream = 0x4EA1000000000000ULL;
 
 // Plans arrive machine-independent (often from the scenario DSL); the
 // machine size is only known here. Reject out-of-range targets before they
@@ -98,10 +100,55 @@ void FaultInjector::expand_plan() {
   }
 }
 
+void FaultInjector::arm_link_faults() {
+  if (!plan_.has_link_faults()) return;
+  const Topology& topology = network_.topology();
+  for (const LinkQuality& q : plan_.links) {
+    if (q.src != kNoProc) check_target(q.src, topology.size(), "link src");
+    if (q.dst != kNoProc) check_target(q.dst, topology.size(), "link dst");
+  }
+  for (const GraySpec& g : plan_.grays) {
+    check_target(g.node, topology.size(), "gray node");
+  }
+
+  auto model = std::make_unique<LinkFaultModel>(plan_.seed, topology.size());
+  for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+    const PartitionSpec& spec = plan_.partitions[i];
+    ArmedPartition armed;
+    armed.side = spec.side.resolve(topology);
+    armed.start = spec.at;
+    if (spec.heal_mean > 0.0) {
+      // Probabilistic heal: the delay is drawn here, once, from the plan
+      // seed — the armed window is as deterministic as a scheduled one.
+      util::Xoshiro256 rng(util::hash_combine(plan_.seed, kHealStream + i));
+      armed.heal = spec.at + sim::SimTime(std::max<std::int64_t>(
+                                 1, std::llround(rng.next_exponential(
+                                        spec.heal_mean))));
+    } else if (spec.heal_after.ticks() > 0) {
+      armed.heal = spec.at + spec.heal_after;
+    } else {
+      armed.heal = sim::SimTime::max();
+    }
+    model->add_partition(armed.side, armed.start, armed.heal);
+    if (armed.heal != sim::SimTime::max()) {
+      sim_.at(armed.heal, [this, side = armed.side] {
+        SPLICE_INFO() << "fault: partition around " << side.size()
+                      << " nodes healed at t=" << sim_.now().ticks();
+        if (on_heal_) on_heal_(side);
+      });
+    }
+    partitions_.push_back(std::move(armed));
+  }
+  for (const LinkQuality& q : plan_.links) model->add_link(q);
+  for (const GraySpec& g : plan_.grays) model->add_gray(g);
+  network_.set_link_faults(std::move(model));
+}
+
 void FaultInjector::arm() {
   if (armed_) return;
   armed_ = true;
   expand_plan();
+  arm_link_faults();
   for (const TimedFault& fault : schedule_) {
     sim_.at(fault.when, [this, target = fault.target] { kill_now(target); });
   }

@@ -7,7 +7,11 @@
 // plan every kill also schedules a revive of the same node after the repair
 // delay, and the runtime reinitialises it blank (crash-recovery model).
 //
-// All faults are fail-silent whole-processor crashes, matching the paper.
+// Crash faults are fail-silent whole-processor crashes, matching the paper.
+// Link-level entries (partitions, per-link quality, gray failures) are
+// armed into a LinkFaultModel installed on the network; partition heals —
+// scheduled or drawn from the plan seed — fire the on_heal callback so the
+// runtime can reconcile the mutual suspicion the cut created.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +52,12 @@ class FaultInjector {
   /// reinitialises it. No-op when the node is already alive.
   void revive_now(ProcId target);
 
+  /// Called when a partition heals, with the (ascending) members of the
+  /// side that was cut off. Set before arm().
+  void set_on_heal(std::function<void(const std::vector<ProcId>&)> on_heal) {
+    on_heal_ = std::move(on_heal);
+  }
+
   [[nodiscard]] std::uint32_t kills_executed() const noexcept {
     return kills_;
   }
@@ -65,17 +75,31 @@ class FaultInjector {
   [[nodiscard]] const std::vector<TimedFault>& armed_schedule() const noexcept {
     return schedule_;
   }
+  /// The partition windows arm() resolved: (side members, start, heal
+  /// time). Heal is SimTime::max() for a cut that never heals.
+  struct ArmedPartition {
+    std::vector<ProcId> side;
+    sim::SimTime start;
+    sim::SimTime heal;
+  };
+  [[nodiscard]] const std::vector<ArmedPartition>& armed_partitions()
+      const noexcept {
+    return partitions_;
+  }
 
  private:
   void expand_plan();
+  void arm_link_faults();
 
   sim::Simulator& sim_;
   Network& network_;
   FaultPlan plan_;
   std::function<void(ProcId)> on_kill_;
   std::function<void(ProcId)> on_revive_;
+  std::function<void(const std::vector<ProcId>&)> on_heal_;
   std::vector<bool> triggered_done_;
   std::vector<TimedFault> schedule_;
+  std::vector<ArmedPartition> partitions_;
   bool armed_ = false;
   std::uint32_t kills_ = 0;
   std::uint32_t revives_ = 0;

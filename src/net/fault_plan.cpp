@@ -47,6 +47,10 @@ FaultPlan& FaultPlan::merge(const FaultPlan& other) {
                   other.cascades.end());
   recurring.insert(recurring.end(), other.recurring.begin(),
                    other.recurring.end());
+  partitions.insert(partitions.end(), other.partitions.begin(),
+                    other.partitions.end());
+  links.insert(links.end(), other.links.begin(), other.links.end());
+  grays.insert(grays.end(), other.grays.begin(), other.grays.end());
   if (other.rejoin.enabled) rejoin = other.rejoin;
   return *this;
 }
@@ -86,12 +90,47 @@ std::string FaultPlan::describe() const {
     if (!f.candidates.empty()) out << " over " << f.candidates.size();
     sep = "; ";
   }
+  for (const PartitionSpec& f : partitions) {
+    out << sep << "partition " << f.side.describe() << "@" << f.at.ticks();
+    if (f.heal_mean > 0.0) {
+      out << " heal~" << f.heal_mean;
+    } else if (f.heal_after.ticks() > 0) {
+      out << " heal+" << f.heal_after.ticks();
+    }
+    sep = "; ";
+  }
+  for (const LinkQuality& f : links) {
+    out << sep << "link ";
+    if (f.src == kNoProc) {
+      out << "*";
+    } else {
+      out << "P" << f.src;
+    }
+    out << (f.symmetric ? "-" : ">");
+    if (f.dst == kNoProc) {
+      out << "*";
+    } else {
+      out << "P" << f.dst;
+    }
+    if (f.drop_p > 0) out << " drop=" << f.drop_p;
+    if (f.dup_p > 0) out << " dup=" << f.dup_p;
+    if (f.reorder_p > 0) out << " reorder=" << f.reorder_p;
+    if (f.delay > 0) out << " delay=" << f.delay;
+    if (f.jitter > 0) out << " jitter=" << f.jitter;
+    sep = "; ";
+  }
+  for (const GraySpec& f : grays) {
+    out << sep << "gray P" << f.node << "@" << f.start.ticks() << " drop="
+        << f.payload_drop_p << " slow=" << f.slow_factor << "x";
+    sep = "; ";
+  }
   if (rejoin.enabled) {
     out << sep << "rejoin+" << rejoin.delay.ticks();
     if (rejoin.mode == RejoinMode::kWarm) out << "(warm)";
     sep = "; ";
   }
-  if (*sep != '\0' && (!cascades.empty() || !recurring.empty())) {
+  if (*sep != '\0' && (!cascades.empty() || !recurring.empty() ||
+                       has_link_faults())) {
     out << "; seed=" << seed;
   }
   out << "}";

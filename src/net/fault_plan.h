@@ -20,11 +20,23 @@
 //  * rejoin             every crashed node is repaired after a fixed repair
 //                       delay and revives blank (cold) or warm — replaying
 //                       its durable checkpoint log and catching up from
-//                       survivors (crash-recovery model, store/ subsystem).
+//                       survivors (crash-recovery model, store/ subsystem);
+//  * partitions         a topology-shaped side is cut off from the rest of
+//                       the machine for a window (scheduled or exponential
+//                       heal); cross-cut traffic bounces like traffic to a
+//                       dead node — "the unreachable node is considered
+//                       faulty" (§1);
+//  * link quality       per-link drop/duplicate/reorder probabilities plus
+//                       fixed delay and jitter, applied send-side so every
+//                       transport backend sees identical perturbations;
+//  * gray failures      a node that stays alive — never detected dead —
+//                       but whose payload traffic starves while control
+//                       traffic (heartbeats, notices) trickles through slow.
 //
 // Every stochastic choice flows through util::rng seeded from `seed`, so a
 // (plan, topology) pair expands to a bit-identical kill schedule on every
-// run. All faults remain fail-silent whole-processor crashes.
+// run; link-level perturbations are a pure function of (seed, directed
+// link, per-link sequence number) — see net/link_faults.h.
 #pragma once
 
 #include <cstdint>
@@ -141,25 +153,82 @@ struct RejoinSpec {
   RejoinMode mode = RejoinMode::kCold;
 };
 
+/// Network partition: the processors of `side` are cut off from the rest of
+/// the machine from `at` until the cut heals. Cross-cut traffic is lost and
+/// bounces to its sender after the failure timeout (the §1 "unreachable
+/// node is considered faulty" rule, applied per observer); intra-side
+/// traffic is untouched. The heal is scheduled (`heal_after` ticks) or
+/// probabilistic (`heal_mean` > 0: the delay is drawn from an exponential
+/// with that mean when the injector arms — still a pure function of the
+/// plan seed). With neither set, the cut never heals.
+struct PartitionSpec {
+  RegionSpec side;
+  sim::SimTime at;
+  sim::SimTime heal_after;   // > 0: deterministic heal delay
+  double heal_mean = 0.0;    // > 0: exponential heal delay (mean ticks)
+};
+
+/// Per-link quality degradation, applied send-side to every message whose
+/// (src, dst) matches — kNoProc is a wildcard endpoint, and `symmetric`
+/// also matches the reverse direction. Dropped messages are lost in transit
+/// and bounce to the sender after the failure timeout (the destination is
+/// alive, so no false crash detection); duplicates deliver twice; reorder
+/// holds a message back long enough for later traffic to overtake it.
+struct LinkQuality {
+  ProcId src = kNoProc;  // kNoProc: any sender
+  ProcId dst = kNoProc;  // kNoProc: any destination
+  bool symmetric = true;
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double reorder_p = 0.0;
+  std::int64_t delay = 0;   // fixed extra latency per matching message
+  std::int64_t jitter = 0;  // plus uniform extra in [0, jitter]
+  sim::SimTime start;       // active window
+  sim::SimTime stop = sim::SimTime::max();
+};
+
+/// Gray failure: `node` stays alive — heartbeats and notices keep arriving,
+/// so failure detection must NOT fire — but every payload-class message to
+/// or from it is dropped with `payload_drop_p` and the survivors (payload
+/// and control alike) are slowed by `slow_factor`x the nominal latency.
+struct GraySpec {
+  ProcId node = kNoProc;
+  sim::SimTime start;
+  sim::SimTime stop = sim::SimTime::max();
+  double payload_drop_p = 0.5;
+  std::int64_t slow_factor = 4;
+};
+
 struct FaultPlan {
   std::vector<TimedFault> timed;
   std::vector<TriggeredFault> triggered;
   std::vector<RegionalFault> regional;
   std::vector<CascadeFault> cascades;
   std::vector<RecurringFault> recurring;
+  std::vector<PartitionSpec> partitions;
+  std::vector<LinkQuality> links;
+  std::vector<GraySpec> grays;
   RejoinSpec rejoin;
-  /// Seed for the RNG streams driving cascades and recurring faults.
+  /// Seed for the RNG streams driving cascades, recurring faults, partition
+  /// heals, and every link-level perturbation draw.
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool empty() const noexcept {
     return timed.empty() && triggered.empty() && regional.empty() &&
-           cascades.empty() && recurring.empty();
+           cascades.empty() && recurring.empty() && partitions.empty() &&
+           links.empty() && grays.empty();
   }
   /// Number of plan entries (a regional/cascade/recurring entry counts once
-  /// however many kills it expands to).
+  /// however many kills it expands to; link-level entries count once each).
   [[nodiscard]] std::size_t fault_count() const noexcept {
     return timed.size() + triggered.size() + regional.size() +
-           cascades.size() + recurring.size();
+           cascades.size() + recurring.size() + partitions.size() +
+           links.size() + grays.size();
+  }
+  /// True when the plan carries message/link-level faults (the injector
+  /// then installs a LinkFaultModel into the network).
+  [[nodiscard]] bool has_link_faults() const noexcept {
+    return !partitions.empty() || !links.empty() || !grays.empty();
   }
 
   // ---- factories ----------------------------------------------------------
@@ -188,6 +257,23 @@ struct FaultPlan {
   [[nodiscard]] static FaultPlan poisson(RecurringFault arrivals) {
     FaultPlan plan;
     plan.recurring.push_back(std::move(arrivals));
+    return plan;
+  }
+  /// Partition `side` off at `at`; heal after `heal_after` ticks (0: never).
+  [[nodiscard]] static FaultPlan partition(RegionSpec side, sim::SimTime at,
+                                           sim::SimTime heal_after = {}) {
+    FaultPlan plan;
+    plan.partitions.push_back({side, at, heal_after, 0.0});
+    return plan;
+  }
+  [[nodiscard]] static FaultPlan link(LinkQuality quality) {
+    FaultPlan plan;
+    plan.links.push_back(quality);
+    return plan;
+  }
+  [[nodiscard]] static FaultPlan gray(GraySpec spec) {
+    FaultPlan plan;
+    plan.grays.push_back(spec);
     return plan;
   }
 

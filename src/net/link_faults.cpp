@@ -1,0 +1,120 @@
+#include "net/link_faults.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace splice::net {
+
+namespace {
+// Keeps link-fault draws independent of the cascade/Poisson streams that
+// share the plan seed (net/fault_injector.cpp).
+constexpr std::uint64_t kLinkStream = 0x117CFA0170000000ULL;
+}  // namespace
+
+LinkFaultModel::LinkFaultModel(std::uint64_t seed, ProcId processors)
+    : seed_(seed),
+      procs_(processors),
+      seq_(static_cast<std::size_t>(processors) * processors, 0) {}
+
+void LinkFaultModel::add_partition(const std::vector<ProcId>& side,
+                                   sim::SimTime start, sim::SimTime end) {
+  ArmedPartition armed;
+  armed.side.assign(procs_, false);
+  for (const ProcId p : side) {
+    assert(p < procs_);
+    armed.side[p] = true;
+  }
+  armed.start = start;
+  armed.end = end;
+  partitions_.push_back(std::move(armed));
+}
+
+void LinkFaultModel::add_link(const LinkQuality& quality) {
+  links_.push_back(quality);
+  if (quality.dup_p > 0.0) may_duplicate_ = true;
+}
+
+void LinkFaultModel::add_gray(const GraySpec& spec) {
+  assert(spec.node < procs_);
+  grays_.push_back(spec);
+}
+
+bool LinkFaultModel::reachable(ProcId a, ProcId b, sim::SimTime now) const {
+  if (a == b) return true;
+  for (const ArmedPartition& cut : partitions_) {
+    if (now >= cut.start && now < cut.end && cut.side[a] != cut.side[b]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LinkFaultModel::Verdict LinkFaultModel::shape(MsgKind kind, ProcId from,
+                                              ProcId to, sim::SimTime now,
+                                              sim::SimTime nominal) {
+  Verdict verdict;
+  const std::size_t link =
+      static_cast<std::size_t>(from) * procs_ + to;
+  const std::uint64_t seq = seq_[link]++;
+
+  if (!reachable(from, to, now)) {
+    verdict.cut = true;
+    return verdict;  // the cut decides; no draws are spent on a lost link
+  }
+
+  // One generator per (seed, link, seq); draws below happen in a fixed
+  // order regardless of outcome, so the verdict is a pure function of the
+  // triple and nothing else.
+  util::Xoshiro256 rng(util::hash_combine(
+      seed_, util::hash_combine(kLinkStream + link, seq)));
+
+  std::int64_t extra = 0;
+  for (const LinkQuality& q : links_) {
+    if (now < q.start || now >= q.stop) continue;
+    const bool forward = (q.src == kNoProc || q.src == from) &&
+                         (q.dst == kNoProc || q.dst == to);
+    const bool reverse = q.symmetric && (q.src == kNoProc || q.src == to) &&
+                         (q.dst == kNoProc || q.dst == from);
+    if (!forward && !reverse) continue;
+    if (q.drop_p > 0.0 && rng.next_bool(q.drop_p)) verdict.drop = true;
+    if (q.dup_p > 0.0 && rng.next_bool(q.dup_p)) verdict.duplicate = true;
+    if (q.reorder_p > 0.0 && rng.next_bool(q.reorder_p)) {
+      verdict.reordered = true;
+      // Hold back 1-3 nominal latencies: enough for traffic sent after
+      // this message to arrive before it.
+      extra += nominal.ticks() *
+               (1 + static_cast<std::int64_t>(rng.next_below(3)));
+    }
+    extra += q.delay;
+    if (q.jitter > 0) {
+      extra += static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(q.jitter) + 1));
+    }
+  }
+
+  for (const GraySpec& g : grays_) {
+    if (now < g.start || now >= g.stop) continue;
+    if (g.node != from && g.node != to) continue;
+    if (!is_control_kind(kind) && g.payload_drop_p > 0.0 &&
+        rng.next_bool(g.payload_drop_p)) {
+      verdict.gray_drop = true;
+    }
+    // Survivors crawl: control traffic keeps proving the node alive while
+    // everything it carries arrives late.
+    extra += nominal.ticks() * (g.slow_factor - 1);
+  }
+
+  if (verdict.duplicate) {
+    // The clone trails the original by its own offset (drawn last, after
+    // every spec's draws, to keep the order fixed).
+    verdict.dup_extra =
+        sim::SimTime(1 + static_cast<std::int64_t>(
+                             rng.next_below(static_cast<std::uint64_t>(
+                                 nominal.ticks() > 0 ? nominal.ticks() : 1))));
+  }
+  verdict.extra = sim::SimTime(extra);
+  return verdict;
+}
+
+}  // namespace splice::net

@@ -1,0 +1,113 @@
+// Link-level chaos: the armed form of a FaultPlan's partition / link-quality
+// / gray-failure entries, consulted by Network::send for every message.
+//
+// Determinism contract: every perturbation verdict is a pure function of
+// (plan seed, directed link, per-link sequence number). The sequence number
+// counts the messages shaped on that directed link, so two runs of the same
+// seeded configuration draw identical verdicts message for message — and
+// because shaping happens in Network::send (before the transport sees the
+// envelope), the in-process, shared-memory, and TCP backends all perturb
+// identically. TCP gets its faults simulated send-side by construction.
+//
+// Verdict semantics:
+//  * cut        — an active partition separates src and dst: the message is
+//                 undeliverable and bounces (the §1 timeout surfaces it to
+//                 the sender, which treats the peer as faulty);
+//  * drop       — lost in transit on a lossy link. The §1 coding/timeout
+//                 machinery still notices (the sender gets a bounce), but
+//                 the destination is alive, so the protocol retransmits at
+//                 the payload level without declaring anyone dead;
+//  * gray_drop  — same loss, caused by a gray node starving payload
+//                 traffic. Control-class messages (heartbeats, error /
+//                 rejoin / delivery notices) are exempt, so a gray node is
+//                 never detected dead — the defining property of a gray
+//                 failure;
+//  * duplicate  — the message is delivered twice (clone trails the
+//                 original by its own jittered delay);
+//  * extra      — added latency: fixed link delay + uniform jitter +
+//                 reorder hold-back (a reordered message waits 1–3 nominal
+//                 latencies, so later traffic overtakes it) + gray slowdown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fault_plan.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace splice::net {
+
+/// Control-class kinds keep flowing (slowed, never gray-dropped) through a
+/// gray node: they are what makes it *look* alive while its work starves.
+[[nodiscard]] constexpr bool is_control_kind(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kHeartbeat:
+    case MsgKind::kErrorDetection:
+    case MsgKind::kRejoinNotice:
+    case MsgKind::kDeliveryFailure:
+    case MsgKind::kControl:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class LinkFaultModel {
+ public:
+  /// A partition armed against a concrete machine: membership mask plus the
+  /// [start, end) window the cut is active.
+  struct ArmedPartition {
+    std::vector<bool> side;
+    sim::SimTime start;
+    sim::SimTime end;
+  };
+
+  struct Verdict {
+    bool cut = false;
+    bool drop = false;
+    bool gray_drop = false;
+    bool duplicate = false;
+    bool reordered = false;
+    sim::SimTime extra{0};      // added to the nominal delivery delay
+    sim::SimTime dup_extra{0};  // the clone's additional offset
+  };
+
+  LinkFaultModel(std::uint64_t seed, ProcId processors);
+
+  /// `side` as resolved against the topology (ascending, duplicate-free).
+  void add_partition(const std::vector<ProcId>& side, sim::SimTime start,
+                     sim::SimTime end);
+  void add_link(const LinkQuality& quality);
+  void add_gray(const GraySpec& spec);
+
+  /// Decide the fate of one message on the directed link (from, to) at
+  /// `now`, given its unperturbed delivery delay. Advances the link's
+  /// sequence counter; all draws come from a generator seeded by
+  /// (seed, link, seq) in a fixed order, so the verdict stream replays
+  /// bit-identically per seed.
+  Verdict shape(MsgKind kind, ProcId from, ProcId to, sim::SimTime now,
+                sim::SimTime nominal);
+
+  /// False while an active partition separates a and b.
+  [[nodiscard]] bool reachable(ProcId a, ProcId b, sim::SimTime now) const;
+
+  /// Any spec with dup_p > 0 (receivers then dedup co-resident wire twins).
+  [[nodiscard]] bool may_duplicate() const noexcept { return may_duplicate_; }
+
+  [[nodiscard]] const std::vector<ArmedPartition>& partitions() const noexcept {
+    return partitions_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  ProcId procs_;
+  std::vector<ArmedPartition> partitions_;
+  std::vector<LinkQuality> links_;
+  std::vector<GraySpec> grays_;
+  std::vector<std::uint64_t> seq_;  // per directed link (from * procs + to)
+  bool may_duplicate_ = false;
+};
+
+}  // namespace splice::net

@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
+#include <variant>
 
 #include "util/logging.h"
 
@@ -19,8 +21,10 @@ Network::Network(sim::Simulator& simulator, Topology topology,
       alive_(topology_.size(), true) {
   transport_->set_deliver(
       [this](Envelope&& envelope) { deliver(std::move(envelope)); });
-  transport_->set_unreachable(
-      [this](Envelope&& envelope) { bounce(std::move(envelope)); });
+  transport_->set_unreachable([this](Envelope&& envelope) {
+    ++stats_.dropped_dead_dest;
+    bounce(std::move(envelope));
+  });
 }
 
 void Network::set_receiver(ProcId p, Receiver receiver) {
@@ -44,8 +48,66 @@ void Network::send(Envelope envelope) {
   const std::uint32_t hops = topology_.hops(envelope.from, envelope.to);
   stats_.total_hop_units +=
       static_cast<std::uint64_t>(hops) * envelope.size_units;
-  const sim::SimTime delay = latency_.latency(hops, envelope.size_units);
+  sim::SimTime delay = latency_.latency(hops, envelope.size_units);
+
+  // Link-fault shaping, send-side so every transport backend perturbs
+  // identically. Loopback never touches a link; bounce notices model the
+  // sender's own timeout, not a wire transit.
+  if (link_faults_ != nullptr && envelope.from != envelope.to &&
+      envelope.kind != MsgKind::kDeliveryFailure) {
+    const LinkFaultModel::Verdict verdict = link_faults_->shape(
+        envelope.kind, envelope.from, envelope.to, sim_.now(), delay);
+    if (verdict.cut) {
+      // Crossing an active partition: undeliverable, and the sender's
+      // timeout legitimately concludes the peer is faulty (§1).
+      ++stats_.partition_cut;
+      bounce(std::move(envelope));
+      return;
+    }
+    if (verdict.drop || verdict.gray_drop) {
+      // Lost in transit to a live destination. The bounce is the modelled
+      // timeout; handle_delivery_failure sees the peer alive and reachable,
+      // so recovery retransmits at the payload level without any false
+      // crash detection.
+      ++(verdict.gray_drop ? stats_.gray_dropped : stats_.link_dropped);
+      bounce(std::move(envelope));
+      return;
+    }
+    if (verdict.reordered) ++stats_.link_reordered;
+    if (verdict.extra.ticks() > 0) {
+      stats_.link_delay_ticks +=
+          static_cast<std::uint64_t>(verdict.extra.ticks());
+      delay = delay + verdict.extra;
+    }
+    if (verdict.duplicate) {
+      ++stats_.link_duplicated;
+      transport_->submit(clone_envelope(envelope),
+                         delay + verdict.dup_extra);
+    }
+  }
   transport_->submit(std::move(envelope), delay);
+}
+
+Envelope Network::clone_envelope(const Envelope& envelope) {
+  Envelope clone;
+  clone.kind = envelope.kind;
+  clone.from = envelope.from;
+  clone.to = envelope.to;
+  clone.size_units = envelope.size_units;
+  clone.sent_at = envelope.sent_at;
+  std::visit(
+      [&clone](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, EnvelopeBox>) {
+          // kDeliveryFailure is exempt from shaping, so a box never gets
+          // here.
+          assert(false && "cannot duplicate a bounce notice");
+        } else {
+          clone.payload = payload;
+        }
+      },
+      envelope.payload);
+  return clone;
 }
 
 void Network::deliver(Envelope&& envelope) {
@@ -53,7 +115,10 @@ void Network::deliver(Envelope&& envelope) {
     // A bounce notice whose addressee has since died notifies nobody; a
     // regular message to a dead destination is lost and bounces to its
     // sender.
-    if (envelope.kind != MsgKind::kDeliveryFailure) bounce(std::move(envelope));
+    if (envelope.kind != MsgKind::kDeliveryFailure) {
+      ++stats_.dropped_dead_dest;
+      bounce(std::move(envelope));
+    }
     return;
   }
   ++stats_.delivered[static_cast<std::size_t>(envelope.kind)];
@@ -71,10 +136,10 @@ void Network::deliver(Envelope&& envelope) {
 }
 
 void Network::bounce(Envelope envelope) {
-  ++stats_.dropped_dead_dest;
   // Sender learns of unreachability after the failure timeout (§1: coding /
   // timeout mechanisms). The dead envelope rides along as payload so the
-  // protocol layer can tell *what* failed to arrive.
+  // protocol layer can tell *what* failed to arrive. Callers count the
+  // cause (dead destination, partition cut, lossy link) before calling.
   const ProcId sender = envelope.from;
   if (!alive_[sender]) return;  // nobody left to notify
   Envelope notice;

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/link_faults.h"
 #include "net/message.h"
 #include "net/topology.h"
 #include "net/transport.h"
@@ -62,6 +63,14 @@ struct NetworkStats {
   std::uint64_t revives = 0;
   std::uint64_t total_units = 0;
   std::uint64_t total_hop_units = 0;  // size * hops, a bandwidth proxy
+
+  // Link-fault layer (all zero without an armed LinkFaultModel).
+  std::uint64_t partition_cut = 0;    // messages lost crossing an active cut
+  std::uint64_t link_dropped = 0;     // lossy-link losses (dest alive)
+  std::uint64_t gray_dropped = 0;     // payload starved by a gray node
+  std::uint64_t link_duplicated = 0;  // messages delivered twice
+  std::uint64_t link_reordered = 0;   // messages held back to be overtaken
+  std::uint64_t link_delay_ticks = 0;  // sum of injected extra latency
 
   [[nodiscard]] std::uint64_t total_sent() const noexcept {
     std::uint64_t n = 0;
@@ -111,6 +120,22 @@ class Network {
   [[nodiscard]] bool alive(ProcId p) const { return alive_.at(p); }
   [[nodiscard]] std::uint32_t alive_count() const noexcept;
 
+  /// Install the armed link-fault layer (FaultInjector::arm). Every
+  /// subsequent send is shaped by it; a null model restores clean links.
+  void set_link_faults(std::unique_ptr<LinkFaultModel> model) noexcept {
+    link_faults_ = std::move(model);
+  }
+  [[nodiscard]] const LinkFaultModel* link_faults() const noexcept {
+    return link_faults_.get();
+  }
+  /// False while an active partition separates a and b (true on clean
+  /// networks). Protocol layers use this the way they use alive(): as the
+  /// modelled outcome of the §1 timeout probe, not as hidden knowledge.
+  [[nodiscard]] bool reachable(ProcId a, ProcId b) const {
+    return link_faults_ == nullptr ||
+           link_faults_->reachable(a, b, sim_.now());
+  }
+
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const LatencyModel& latency_model() const noexcept {
     return latency_;
@@ -135,11 +160,16 @@ class Network {
   /// The single delivery sink every transport funnels into.
   void deliver(Envelope&& envelope);
   void bounce(Envelope envelope);
+  /// Field-by-field copy for duplicate delivery (the payload variant is not
+  /// copy-assignable as a whole because EnvelopeBox is move-only; shaped
+  /// traffic never carries one).
+  [[nodiscard]] static Envelope clone_envelope(const Envelope& envelope);
 
   sim::Simulator& sim_;
   Topology topology_;
   LatencyModel latency_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<LinkFaultModel> link_faults_;
   std::vector<Receiver> receivers_;
   std::vector<bool> alive_;
   NetworkStats stats_;

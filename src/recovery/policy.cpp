@@ -23,6 +23,13 @@ void RecoveryPolicy::on_spawn_undeliverable(Processor& proc,
   if (owner == nullptr) return;
   CallSlot* slot = owner->find_slot(packet.call_site);
   if (slot == nullptr || slot->resolved() || !slot->spawned) return;
+  if (packet.lineage < slot->retained.lineage) {
+    // Late bounce of a superseded spawn generation: the slot was respawned
+    // after this packet left (a death-path reissue, or an earlier bounce)
+    // and the current generation is unaffected. Reacting would cancel a
+    // healthy copy and churn out yet another lineage.
+    return;
+  }
   // With replication, respawn only when the surviving (or still-possible)
   // incarnations can no longer reach quorum.
   const std::uint32_t quorum =

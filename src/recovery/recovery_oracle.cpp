@@ -1,0 +1,80 @@
+#include "recovery/recovery_oracle.h"
+
+#include <sstream>
+
+namespace splice::recovery {
+
+std::string OracleReport::to_string() const {
+  if (violations.empty()) return "ok";
+  std::ostringstream out;
+  for (const OracleViolation& v : violations) {
+    out << v.invariant << ": " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+OracleReport RecoveryOracle::check(const core::RunResult& result,
+                                   const Expect& expect) {
+  OracleReport report;
+  const core::Counters& c = result.counters;
+  const auto fail = [&report](std::string invariant, std::string detail) {
+    report.violations.push_back(
+        OracleViolation{std::move(invariant), std::move(detail)});
+  };
+
+  if (expect.completion && !result.completed) {
+    fail("completion", "run did not complete (makespan=" +
+                           std::to_string(result.makespan_ticks) + ")");
+  }
+  if (result.completed && result.answer_checked && !result.answer_correct) {
+    fail("determinacy", "surviving answer " + result.answer.to_string() +
+                            " differs from the reference interpreter's");
+  }
+  if (expect.no_detection && result.detection_ticks >= 0) {
+    fail("no-detection",
+         "failure detection fired at t=" +
+             std::to_string(result.detection_ticks) +
+             " though every node stayed alive (gray, not dead)");
+  }
+  if (c.gc_oracle_orphans > 0) {
+    fail("task-leak", std::to_string(c.gc_oracle_orphans) +
+                          " duplicate lineage(s) outlived the cancel "
+                          "protocol");
+  }
+
+  // Task conservation. Snapshot restores (periodic-global) re-materialise
+  // tasks without re-accepting them, so the ledger cannot balance there.
+  if (c.restores == 0) {
+    const std::uint64_t accounted = c.tasks_completed + c.tasks_aborted +
+                                    c.tasks_lost_to_crash +
+                                    result.stranded_tasks;
+    if (c.tasks_created != accounted) {
+      fail("task-conservation",
+           "created=" + std::to_string(c.tasks_created) +
+               " != completed=" + std::to_string(c.tasks_completed) +
+               " + aborted=" + std::to_string(c.tasks_aborted) +
+               " + lost_to_crash=" + std::to_string(c.tasks_lost_to_crash) +
+               " + stranded=" + std::to_string(result.stranded_tasks) +
+               " (= " + std::to_string(accounted) + ")");
+    }
+  }
+
+  // Checkpoint conservation: one exit per record.
+  const std::uint64_t ckpt_accounted =
+      c.checkpoint_released + c.checkpoint_taken + c.checkpoint_evicted +
+      c.checkpoint_cleared + c.checkpoint_resident;
+  if (c.checkpoint_records != ckpt_accounted) {
+    fail("checkpoint-conservation",
+         "records=" + std::to_string(c.checkpoint_records) +
+             " != released=" + std::to_string(c.checkpoint_released) +
+             " + taken=" + std::to_string(c.checkpoint_taken) +
+             " + evicted=" + std::to_string(c.checkpoint_evicted) +
+             " + cleared=" + std::to_string(c.checkpoint_cleared) +
+             " + resident=" + std::to_string(c.checkpoint_resident) + " (= " +
+             std::to_string(ckpt_accounted) + ")");
+  }
+
+  return report;
+}
+
+}  // namespace splice::recovery

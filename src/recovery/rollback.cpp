@@ -24,6 +24,25 @@ bool all_destinations_dead(Processor& proc, const CallSlot& slot) {
   return true;
 }
 
+/// Rollback-specific recoverability: deaths are learned one at a time, and
+/// the doomed sweep can run between learning a destination dead and
+/// discharging the reissue obligation against it. A checkpoint still
+/// retained against any destination means the slot is recoverable — the
+/// pending reissue_against(that destination) will regrow the child — so
+/// the owning task must not be doomed out from under it. (The eager-splice
+/// variant must NOT use this: splice never takes records, so a record's
+/// presence there says nothing about a pending reissue.)
+bool slot_still_checkpointed(Processor& proc, const CallSlot& slot) {
+  for (std::size_t i = 0; i < slot.sent_to.size(); ++i) {
+    net::ProcId where = slot.sent_to[i];
+    if (i < slot.child_procs.size() && slot.child_procs[i] != net::kNoProc) {
+      where = slot.child_procs[i];
+    }
+    if (proc.table().contains(where, slot.retained.stamp)) return true;
+  }
+  return false;
+}
+
 std::pair<Task*, CallSlot*> resolve_record_owner(
     Processor& proc, checkpoint::CheckpointRecord& record) {
   Task* owner = proc.find_task(record.owner);
@@ -89,7 +108,8 @@ void RollbackPolicy::reissue_against(Processor& proc, net::ProcId dead) {
   //     destinations and are skipped.)
   const auto doomed = [&](Task& task) {
     for (const auto& slot : task.slots()) {
-      if (slot.outstanding() && all_destinations_dead(proc, slot)) {
+      if (slot.outstanding() && all_destinations_dead(proc, slot) &&
+          !slot_still_checkpointed(proc, slot)) {
         return true;
       }
     }

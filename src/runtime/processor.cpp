@@ -151,6 +151,21 @@ void Processor::on_payload(Envelope&, net::EnvelopeBox&& box) {
 
 TaskUid Processor::accept_packet(TaskPacket packet) {
   if (dead_) return kNoTask;
+  if (const net::LinkFaultModel* faults = rt_.network().link_faults();
+      faults != nullptr && faults->may_duplicate() && !packet.stamp.is_root()) {
+    // Links may deliver twice. A co-resident live task with identical
+    // (stamp, replica, parent, lineage) can only be the earlier delivery of
+    // the same wire message — every respawn bumps lineage, so a legitimate
+    // replacement never matches. Drop the copy before it executes (and
+    // before it counts as created: it is not a new task, it is the same
+    // send arriving again).
+    if (Task* first = find_task_by_stamp_replica(
+            packet.stamp, packet.replica, packet.parent(), sim::SimTime::max());
+        first != nullptr && first->packet().lineage == packet.lineage) {
+      ++counters_.wire_dups_discarded;
+      return kNoTask;
+    }
+  }
   ++counters_.tasks_created;
   const TaskUid uid = rt_.next_uid();
   const LevelStamp stamp = packet.stamp;
@@ -652,26 +667,103 @@ void Processor::handle_delivery_failure(Envelope original) {
   // message *was* lost, whatever the destination's current state. Across
   // OS processes the bounce came from a real connection failure — the
   // destination was down moments ago; record it (its rejoin notice will
-  // clear the verdict if it comes back).
-  if (rt_.network().distributed() || !rt_.network().alive(dead)) {
+  // clear the verdict if it comes back). An unreachable destination — the
+  // far side of an active partition — is §1's "considered faulty" case:
+  // detection fires exactly as for a crash. A loss to a destination both
+  // alive and reachable (lossy or gray link) triggers no detection at all;
+  // only the payload-level recovery below runs.
+  if (rt_.network().distributed() || !rt_.network().alive(dead) ||
+      !rt_.network().reachable(id_, dead)) {
     learn_dead(dead, /*direct_detection=*/true);
   }
+  // Payload loss to a destination both alive and reachable is a wire
+  // accident, not a death: the addressee still wants the message, so the
+  // right recovery is to send it again. Respawning the child (spawn) or
+  // escalating the result to an ancestor (salvage) are *death* recoveries —
+  // escalating a result past a live, waiting parent would park it as
+  // salvage nobody ever claims.
+  const bool wire_loss = !rt_.network().distributed() &&
+                         rt_.network().alive(dead) &&
+                         rt_.network().reachable(id_, dead);
   switch (original.kind) {
     case MsgKind::kTaskPacket:
-      rt_.policy().on_spawn_undeliverable(
-          *this, std::get<TaskPacket>(original.payload));
+      if (wire_loss) {
+        retransmit_after_backoff(std::move(original));
+      } else {
+        rt_.policy().on_spawn_undeliverable(
+            *this, std::get<TaskPacket>(original.payload));
+      }
       break;
     case MsgKind::kForwardResult:
-      rt_.policy().on_result_undeliverable(
-          *this, std::get<ResultMsg>(std::move(original.payload)));
+      if (wire_loss) {
+        retransmit_after_backoff(std::move(original));
+      } else {
+        rt_.policy().on_result_undeliverable(
+            *this, std::get<ResultMsg>(std::move(original.payload)));
+      }
       break;
     case MsgKind::kStateRequest:
-      // The peer died before it could stream anything; stop waiting on it.
-      note_transfer_peer_done(original.to);
+      if (!rt_.network().distributed() && rt_.network().alive(dead)) {
+        // Lost on a lossy/gray link, not to a crash: ask again.
+        retransmit_after_backoff(std::move(original));
+      } else {
+        // The peer died before it could stream anything; stop waiting.
+        note_transfer_peer_done(dead);
+      }
+      break;
+    case MsgKind::kSpawnAck:
+    case MsgKind::kFetchData:
+    case MsgKind::kDataReply:
+    case MsgKind::kErrorDetection:
+    case MsgKind::kCheckpointXfer:
+    case MsgKind::kRejoinNotice:
+    case MsgKind::kStateChunk:
+    case MsgKind::kCancel:
+    case MsgKind::kControl:
+      // Protocol messages with no payload-level reissue path: nobody
+      // regenerates a lost ack, error broadcast, data reply, state chunk,
+      // or cancel, so a loss on a lossy/gray link would quietly break
+      // liveness (a waiting parent, an unhonoured reissue obligation, a
+      // duplicate computing to run end). Retry after a backoff while the
+      // destination stays alive — each retry is another independent draw,
+      // so delivery is eventually certain; receivers are idempotent (stale
+      // broadcasts, chunks, and cancels are guarded at the handler).
+      // In-process backends only: across OS processes the bounce means the
+      // peer really went down, and a retry would just bounce again.
+      if (!rt_.network().distributed() && rt_.network().alive(dead)) {
+        retransmit_after_backoff(std::move(original));
+      }
       break;
     default:
-      break;  // acks/heartbeats: detection above is all that matters
+      break;  // heartbeats/load gossip are periodic; the next one serves
   }
+}
+
+void Processor::retransmit_after_backoff(Envelope env) {
+  const net::ProcId dest = env.to;
+  const bool is_cancel = env.kind == MsgKind::kCancel;
+  // Register waiting cancels with the runtime so the gc oracle knows the
+  // lineage's reclaim is delayed in this pipeline, not leaked.
+  LevelStamp cancel_stamp;
+  if (is_cancel) {
+    cancel_stamp = std::get<CancelMsg>(env.payload).stamp;
+    rt_.note_cancel_backoff(cancel_stamp, +1);
+  }
+  const sim::SimTime backoff =
+      sim::SimTime(2 * rt_.network().latency_model().failure_timeout);
+  rt_.sim().after(
+      backoff, [this, env = std::move(env), dest, is_cancel, cancel_stamp,
+                life = incarnation_]() mutable {
+        if (is_cancel) rt_.note_cancel_backoff(cancel_stamp, -1);
+        if (dead_ || life != incarnation_ || rt_.done()) return;
+        if (!rt_.network().alive(dest)) return;  // addressee died meanwhile
+        if (is_cancel) {
+          ++counters_.cancel_retries;
+        } else {
+          ++counters_.bounce_retransmits;
+        }
+        rt_.network().send(std::move(env));
+      });
 }
 
 void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
@@ -785,8 +877,13 @@ void Processor::cancel_slot_instances(const Task& owner, const CallSlot& slot) {
                        slot.child_uids[r] != kNoTask;
     const net::ProcId where = acked ? slot.child_procs[r] : slot.sent_to[r];
     if (where == net::kNoProc || where >= rt_.network().size() ||
-        knows_dead(where)) {
-      continue;  // nothing lives there to reclaim
+        (knows_dead(where) && !rt_.network().alive(where))) {
+      // Really dead: nothing lives there to reclaim. A destination this
+      // node merely *believes* dead may have rejoined undetected (repair,
+      // healed partition) with the instance still resident — the cancel
+      // must go out or that copy leaks; to a truly dead node it only
+      // bounces.
+      continue;
     }
     send_cancel(stamp, static_cast<std::uint32_t>(r),
                 acked ? slot.child_uids[r] : kNoTask, spawner, where);
@@ -946,6 +1043,11 @@ void Processor::respawn_from_record(checkpoint::CheckpointRecord record,
 
 void Processor::nuke() {
   dead_ = true;
+  // Everything resident is live work (completed/aborted tasks are erased
+  // eagerly); it dies with the node. Counted so the RecoveryOracle can
+  // balance the task-conservation equation — counters_ itself survives the
+  // crash, it describes the run, not the incarnation.
+  counters_.tasks_lost_to_crash += tasks_.size();
   tasks_.clear();
   step_queue_.clear();
   executing_ = false;
@@ -1018,7 +1120,25 @@ void Processor::revive() {
     }
     // Nobody left to stream from: catch-up is trivially complete (the
     // pre-link sweep and result flushing must still be armed).
-    if (awaiting_transfer_.empty()) complete_catch_up();
+    if (awaiting_transfer_.empty()) {
+      complete_catch_up();
+    } else {
+      // Liveness guard on the stream itself: a final chunk lost to a lossy
+      // or gray link would hold catch-up open forever (the peer is alive,
+      // so no death notification ever closes it). After the warm grace —
+      // the same horizon at which survivors give up deferring and reissue
+      // cold — stop waiting; the pre-link sweep respawns whatever a
+      // missing chunk should have carried.
+      rt_.sim().after(sim::SimTime(rt_.config().store.warm_grace),
+                      [this, life = incarnation_] {
+                        if (life != incarnation_ || dead_ || rt_.done() ||
+                            awaiting_transfer_.empty()) {
+                          return;
+                        }
+                        awaiting_transfer_.clear();
+                        complete_catch_up();
+                      });
+    }
   }
   start_heartbeats();
 }

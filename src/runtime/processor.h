@@ -262,6 +262,10 @@ class Processor {
   void handle_result(ResultMsg msg);
   void handle_ack(AckMsg msg);
   void handle_delivery_failure(net::Envelope original);
+  /// Re-send a bounced protocol message after a backoff while its
+  /// destination stays alive — the liveness net for lossy/gray links, for
+  /// message kinds that have no payload-level reissue path of their own.
+  void retransmit_after_backoff(net::Envelope env);
   void do_heartbeat();
   void resume_after_fill(Task& task);
 

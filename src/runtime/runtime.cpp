@@ -35,6 +35,14 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
   env.topology = &network_.topology();
   env.program = &program_;
   env.alive = [this](net::ProcId p) { return network_.alive(p); };
+  // A processor never spawns toward a peer it has itself declared dead:
+  // its reissue obligation against that peer is already discharged, so a
+  // checkpoint recorded there afterwards would never be taken — the slot
+  // would be unrecoverable. (Partitions make this reachable: the far side
+  // is globally alive yet locally suspected.)
+  env.suspected = [this](net::ProcId origin, net::ProcId p) {
+    return origin < procs_.size() && procs_[origin]->knows_dead(p);
+  };
   env.queue_length = [this](net::ProcId p) {
     return procs_[p]->queue_length();
   };
@@ -201,6 +209,31 @@ void Runtime::on_revive(net::ProcId back) {
   policy_->on_rejoin(*this, back);
 }
 
+void Runtime::on_partition_heal(const std::vector<net::ProcId>& side) {
+  if (done_) return;
+  std::vector<bool> in_side(procs_.size(), false);
+  for (net::ProcId p : side) {
+    if (p < procs_.size()) in_side[p] = true;
+  }
+  for (net::ProcId q = 0; q < procs_.size(); ++q) {
+    if (!network_.alive(q)) continue;
+    bool suspected = false;
+    for (net::ProcId p = 0; p < procs_.size(); ++p) {
+      // Only cross-cut suspicion is the cut's doing; same-side verdicts
+      // (and verdicts about genuinely dead nodes) stand.
+      if (p == q || in_side[p] == in_side[q] || procs_[p]->crashed()) continue;
+      if (!procs_[p]->knows_dead(q)) continue;
+      suspected = true;
+      procs_[p]->learn_alive(q);
+    }
+    if (suspected && q < detection_noted_.size()) {
+      // The false detection consumed the once-per-death bookkeeping; re-arm
+      // it so a real future death of q is detected and handled again.
+      detection_noted_[q] = false;
+    }
+  }
+}
+
 bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
   if (!warm_rejoin_) return false;
   // Observers with no stake in the dead node (every live processor hears
@@ -263,6 +296,14 @@ void Runtime::schedule_gc_tick() {
 }
 
 std::vector<Runtime::GcVictim> Runtime::collect_gc_victims() {
+  // Replication deliberately stacks copies of whole subtrees: replicas of a
+  // parent each spawn their own children, and those children share (stamp,
+  // replica) keys across lanes even though every lane is wanted. The
+  // (stamp, replica) grouping below cannot tell such by-design lanes from
+  // protocol leaks, and replica lanes are reclaimed by the quorum/cancel
+  // machinery anyway — so the sweep (and the oracle built on it) stands
+  // down entirely when replication is on.
+  if (config_.replication.enabled()) return {};
   // Recovery can race the machine into hosting the same (stamp, replica)
   // twice: a reissue fired while the original survived (undetected rejoin,
   // pre-link grace expiry, warm re-host vs. survivor fallback). Results of
@@ -382,7 +423,7 @@ std::vector<Runtime::GcVictim> Runtime::collect_gc_victims() {
     if (keep == nullptr) continue;
     for (const Copy& copy : copies) {
       if (&copy != keep) {
-        victims.push_back(GcVictim{copy.proc, copy.uid, copy.parent});
+        victims.push_back(GcVictim{copy.proc, copy.uid, copy.parent, stamp});
       }
     }
   }
@@ -425,6 +466,19 @@ void Runtime::gc_oracle_check(const std::vector<GcVictim>& victims) {
   std::vector<std::pair<net::ProcId, TaskUid>> sightings;
   const bool salvaging = policy_->salvages_orphans();
   for (const GcVictim& victim : victims) {
+    // An active cut between the victim and its parent stalls every cancel
+    // in flight; the duplicate is unreclaimable until links permit, so
+    // persisting across ticks is not (yet) a protocol leak.
+    if (victim.parent.proc != net::kNoProc &&
+        victim.parent.proc < procs_.size() &&
+        !network_.reachable(victim.parent.proc, victim.proc)) {
+      continue;
+    }
+    // A lossy link can drop the cancel itself; the sender retries after a
+    // backoff of two failure timeouts — several oracle cadences. While a
+    // cancel for this lineage waits out that backoff, the reclaim is
+    // delayed in the protocol's own pipeline, not leaked.
+    if (cancel_backoff_pending(victim.stamp)) continue;
     if (salvaging) {
       const TaskRef parent = victim.parent;
       const bool parent_live =
@@ -446,6 +500,25 @@ void Runtime::gc_oracle_check(const std::vector<GcVictim>& victims) {
     }
   }
   oracle_prev_sightings_ = std::move(sightings);
+}
+
+void Runtime::note_cancel_backoff(const LevelStamp& stamp, int delta) {
+  if (delta > 0) {
+    cancels_in_backoff_[stamp] += static_cast<std::uint32_t>(delta);
+    return;
+  }
+  const auto it = cancels_in_backoff_.find(stamp);
+  if (it == cancels_in_backoff_.end()) return;
+  const auto dec = static_cast<std::uint32_t>(-delta);
+  if (it->second <= dec) {
+    cancels_in_backoff_.erase(it);
+  } else {
+    it->second -= dec;
+  }
+}
+
+bool Runtime::cancel_backoff_pending(const LevelStamp& stamp) const {
+  return cancels_in_backoff_.contains(stamp);
 }
 
 void Runtime::freeze_all() {
@@ -495,6 +568,10 @@ core::RunResult Runtime::collect(sim::SimTime end_time,
     result.counters.checkpoint_records += table.records_made();
     result.counters.checkpoint_subsumed += table.subsumed();
     result.counters.checkpoint_released += table.released();
+    result.counters.checkpoint_taken += table.taken();
+    result.counters.checkpoint_evicted += table.evicted();
+    result.counters.checkpoint_cleared += table.cleared();
+    result.counters.checkpoint_resident += table.total_records();
     result.counters.checkpoint_peak_entries += table.peak_records();
     result.counters.checkpoint_peak_units += table.peak_units();
     const auto& durable = proc->durable_store();

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -112,6 +113,13 @@ class Runtime {
   /// super-root notification, global policy hooks).
   void note_detection(net::ProcId dead);
 
+  /// A kCancel for `stamp` bounced off a lossy link and is waiting out its
+  /// retransmission backoff (+1), or the backoff fired (-1). While any
+  /// cancel for a stamp is in this pipeline, the gc oracle must not call
+  /// its victim a protocol leak — the reclaim is delayed, not lost.
+  void note_cancel_backoff(const LevelStamp& stamp, int delta);
+  [[nodiscard]] bool cancel_backoff_pending(const LevelStamp& stamp) const;
+
   /// FaultInjector callback: destroy the node's volatile state.
   void on_kill(net::ProcId dead);
 
@@ -119,6 +127,15 @@ class Runtime {
   /// the processor, re-arms failure detection for it, and lets the recovery
   /// policy react.
   void on_revive(net::ProcId back);
+
+  /// FaultInjector on_heal callback: a partition around `side` healed.
+  /// While the cut stood, every cross-cut send bounced and both halves
+  /// declared the other dead (§1: unreachable is faulty) — a verdict no
+  /// rejoin notice will ever clear, because the "dead" nodes never died.
+  /// Reconcile the mutual suspicion: every survivor that believes a live
+  /// node across the healed cut is dead relearns it alive, exactly as a
+  /// rejoin notice would have taught it.
+  void on_partition_heal(const std::vector<net::ProcId>& side);
 
   // ---- fault triggers ------------------------------------------------------
   void set_trigger_sink(std::function<void(const std::string&)> sink) {
@@ -151,6 +168,9 @@ class Runtime {
     TaskUid uid = kNoTask;
     /// The victim's own parent ref (ancestors[0] of its packet).
     TaskRef parent;
+    /// The duplicated stamp — lets the oracle match pending cancel
+    /// retransmissions (which address lineages by stamp) to sightings.
+    LevelStamp stamp;
 
     [[nodiscard]] auto key() const noexcept {
       return std::pair<net::ProcId, TaskUid>{proc, uid};
@@ -200,6 +220,8 @@ class Runtime {
   /// Oracle memory: victims sighted at the previous tick.
   std::vector<std::pair<net::ProcId, TaskUid>> oracle_prev_sightings_;
   std::uint64_t gc_oracle_orphans_ = 0;
+  std::unordered_map<LevelStamp, std::uint32_t, LevelStamp::Hash>
+      cancels_in_backoff_;
 };
 
 }  // namespace splice::runtime

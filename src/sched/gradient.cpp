@@ -65,7 +65,7 @@ net::ProcId GradientScheduler::choose(net::ProcId origin,
   const net::ProcId n = proc_count();
   if (proximity_.size() != n || last_refresh_.ticks() < 0) refresh_now();
 
-  if (ok(origin, packet)) {
+  if (ok(origin, origin, packet)) {
     // A lightly loaded node keeps its own spawn: no suction beats local.
     if (load_of(origin) <= idle_threshold_) return origin;
     // Push one hop down the gradient. Ties break uniformly at random so
@@ -75,7 +75,7 @@ net::ProcId GradientScheduler::choose(net::ProcId origin,
         proximity_[origin] == 0 ? kFarAway : proximity_[origin];
     std::uint32_t ties = 1;
     for (net::ProcId q : env_.topology->neighbors(origin)) {
-      if (!ok(q, packet)) continue;
+      if (!ok(origin, q, packet)) continue;
       if (proximity_[q] < best_prox) {
         best_prox = proximity_[q];
         best = q;
@@ -93,7 +93,7 @@ net::ProcId GradientScheduler::choose(net::ProcId origin,
   net::ProcId best = net::kNoProc;
   std::uint32_t best_load = UINT32_MAX;
   for (net::ProcId p = 0; p < n; ++p) {
-    if (!ok(p, packet)) continue;
+    if (!ok(origin, p, packet)) continue;
     const std::uint32_t l = load_of(p);
     if (l < best_load) {
       best_load = l;
@@ -102,7 +102,7 @@ net::ProcId GradientScheduler::choose(net::ProcId origin,
   }
   if (best != net::kNoProc) return best;
   for (net::ProcId p = 0; p < n; ++p) {
-    if (alive(p)) return p;
+    if (alive(origin, p)) return p;
   }
   return net::kNoProc;
 }

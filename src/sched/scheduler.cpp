@@ -30,37 +30,37 @@ void RandomScheduler::attach(const SchedulerEnv& env) {
   rng_ = util::Xoshiro256(util::hash_combine(env.seed, 0xA11CE));
 }
 
-net::ProcId RandomScheduler::choose(net::ProcId /*origin*/,
+net::ProcId RandomScheduler::choose(net::ProcId origin,
                                     const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
   // Rejection-sample eligible processors; bounded fallback scans (first
-  // eligible, then merely alive — the zone constraint is soft).
+  // eligible, then merely alive-from-origin — the zone constraint is soft).
   for (int attempt = 0; attempt < 64; ++attempt) {
     const auto p = static_cast<net::ProcId>(rng_.next_below(n));
-    if (ok(p, packet)) return p;
+    if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
-    if (ok(p, packet)) return p;
+    if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
-    if (alive(p)) return p;
+    if (alive(origin, p)) return p;
   }
   return net::kNoProc;
 }
 
-net::ProcId RoundRobinScheduler::choose(net::ProcId /*origin*/,
+net::ProcId RoundRobinScheduler::choose(net::ProcId origin,
                                         const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
   for (net::ProcId step = 0; step < n; ++step) {
     const net::ProcId p = (cursor_ + step) % n;
-    if (ok(p, packet)) {
+    if (ok(origin, p, packet)) {
       cursor_ = (p + 1) % n;
       return p;
     }
   }
   for (net::ProcId step = 0; step < n; ++step) {
     const net::ProcId p = (cursor_ + step) % n;
-    if (alive(p)) {
+    if (alive(origin, p)) {
       cursor_ = (p + 1) % n;
       return p;
     }
@@ -75,13 +75,15 @@ void LocalFirstScheduler::attach(const SchedulerEnv& env) {
 
 net::ProcId LocalFirstScheduler::choose(net::ProcId origin,
                                         const runtime::TaskPacket& packet) {
-  if (ok(origin, packet) && load_of(origin) < threshold_) return origin;
+  if (ok(origin, origin, packet) && load_of(origin) < threshold_) {
+    return origin;
+  }
   // Push to the least-loaded eligible neighbour.
   net::ProcId best = net::kNoProc;
   std::uint32_t best_load = UINT32_MAX;
   if (env_.topology != nullptr && origin < proc_count()) {
     for (net::ProcId q : env_.topology->neighbors(origin)) {
-      if (!ok(q, packet)) continue;
+      if (!ok(origin, q, packet)) continue;
       const std::uint32_t l = load_of(q);
       if (l < best_load) {
         best_load = l;
@@ -90,22 +92,22 @@ net::ProcId LocalFirstScheduler::choose(net::ProcId origin,
     }
   }
   if (best != net::kNoProc &&
-      (best_load < threshold_ || !ok(origin, packet))) {
+      (best_load < threshold_ || !ok(origin, origin, packet))) {
     return best;
   }
-  if (ok(origin, packet)) return origin;
+  if (ok(origin, origin, packet)) return origin;
   // Constrained elsewhere (zone) or origin dead: any eligible node, then
   // any alive node.
   const net::ProcId n = proc_count();
   for (int attempt = 0; attempt < 64; ++attempt) {
     const auto p = static_cast<net::ProcId>(rng_.next_below(n));
-    if (ok(p, packet)) return p;
+    if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
-    if (ok(p, packet)) return p;
+    if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
-    if (alive(p)) return p;
+    if (alive(origin, p)) return p;
   }
   return net::kNoProc;
 }
@@ -117,7 +119,7 @@ net::ProcId NeighborScheduler::choose(net::ProcId origin,
   net::ProcId best = net::kNoProc;
   std::uint32_t best_load = UINT32_MAX;
   auto consider = [&](net::ProcId p) {
-    if (!ok(p, packet)) return;
+    if (!ok(origin, p, packet)) return;
     const std::uint32_t l = load_of(p);
     if (l < best_load) {
       best_load = l;
@@ -132,10 +134,10 @@ net::ProcId NeighborScheduler::choose(net::ProcId origin,
   // Whole neighbourhood dead/ineligible: any alive processor (the dynamic
   // allocator's escape hatch Grit provides via static recovery sites).
   for (net::ProcId p = 0; p < proc_count(); ++p) {
-    if (ok(p, packet)) return p;
+    if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < proc_count(); ++p) {
-    if (alive(p)) return p;
+    if (alive(origin, p)) return p;
   }
   return net::kNoProc;
 }
@@ -145,22 +147,22 @@ void PinnedScheduler::attach(const SchedulerEnv& env) {
   rng_ = util::Xoshiro256(util::hash_combine(env.seed, 0x919));
 }
 
-net::ProcId PinnedScheduler::choose(net::ProcId /*origin*/,
+net::ProcId PinnedScheduler::choose(net::ProcId origin,
                                     const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
   if (env_.program != nullptr) {
     const auto pin = env_.program->function(packet.fn).pinned_processor;
     if (pin >= 0 && static_cast<net::ProcId>(pin) < n &&
-        alive(static_cast<net::ProcId>(pin))) {
+        alive(origin, static_cast<net::ProcId>(pin))) {
       return static_cast<net::ProcId>(pin);
     }
   }
   for (int attempt = 0; attempt < 64; ++attempt) {
     const auto p = static_cast<net::ProcId>(rng_.next_below(n));
-    if (ok(p, packet)) return p;
+    if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
-    if (alive(p)) return p;
+    if (alive(origin, p)) return p;
   }
   return net::kNoProc;
 }

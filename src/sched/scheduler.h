@@ -32,6 +32,12 @@ struct SchedulerEnv {
   const net::Topology* topology = nullptr;
   const lang::Program* program = nullptr;
   std::function<bool(net::ProcId)> alive;
+  /// Does `origin` locally believe `p` has failed? Placement must respect
+  /// the origin's suspicion, not just global liveness: during a network
+  /// partition the far side is alive but unreachable, and spawning toward
+  /// it creates checkpoint records against a destination whose reissue
+  /// obligation has already been discharged — an unrecoverable slot.
+  std::function<bool(net::ProcId, net::ProcId)> suspected;
   std::function<std::uint32_t(net::ProcId)> queue_length;
   /// Placement constraint beyond liveness (replication zones). Optional;
   /// schedulers treat it as a soft preference: when no eligible processor
@@ -68,13 +74,22 @@ class Scheduler {
   [[nodiscard]] virtual core::SchedulerKind kind() const = 0;
 
  protected:
+  /// Global liveness only (gradient field refresh — an aggregate view).
   [[nodiscard]] bool alive(net::ProcId p) const {
     return env_.alive && env_.alive(p);
   }
-  /// Liveness + zone eligibility (soft constraint; see SchedulerEnv).
-  [[nodiscard]] bool ok(net::ProcId p, const runtime::TaskPacket& packet)
-      const {
+  /// Liveness as seen from `origin`: globally alive AND not locally
+  /// suspected by the spawning processor. Placement decisions use this
+  /// form; `origin` never suspects itself, so a live origin always has at
+  /// least one admissible destination.
+  [[nodiscard]] bool alive(net::ProcId origin, net::ProcId p) const {
     if (!alive(p)) return false;
+    return !env_.suspected || !env_.suspected(origin, p);
+  }
+  /// Origin-view liveness + zone eligibility (soft; see SchedulerEnv).
+  [[nodiscard]] bool ok(net::ProcId origin, net::ProcId p,
+                        const runtime::TaskPacket& packet) const {
+    if (!alive(origin, p)) return false;
     return !env_.eligible || env_.eligible(p, packet);
   }
   [[nodiscard]] std::uint32_t load_of(net::ProcId p) const {

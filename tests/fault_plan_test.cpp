@@ -5,11 +5,14 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/config.h"
 #include "net/fault_injector.h"
 #include "net/fault_plan.h"
+#include "net/link_faults.h"
 #include "net/network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
@@ -367,6 +370,138 @@ TEST(ParseFaultPlan, FullScenarioRoundTrip) {
   EXPECT_TRUE(plan.rejoin.enabled);
   EXPECT_EQ(plan.rejoin.delay, sim::SimTime(4000));
   EXPECT_EQ(plan.seed, 42U);
+}
+
+TEST(ParseFaultPlan, LinkLevelClausesRoundTrip) {
+  const net::FaultPlan plan = core::parse_fault_plan(
+      "partition:rect(2,0,2x4)@2000,heal=5000; "
+      "partition:arc(1+3)@100,healmean=2500; "
+      "link:0-3@100,drop=0.1,dup=0.05,reorder=0.2,delay=30,jitter=10,"
+      "until=9000; "
+      "link:2>*@0,drop=0.5; "
+      "gray:5@1000,drop=0.7,slow=6,until=8000; seed:9");
+  ASSERT_EQ(plan.partitions.size(), 2U);
+  EXPECT_EQ(plan.partitions[0].side.kind, RegionSpec::Kind::kGridRect);
+  EXPECT_EQ(plan.partitions[0].at, sim::SimTime(2000));
+  EXPECT_EQ(plan.partitions[0].heal_after, sim::SimTime(5000));
+  EXPECT_DOUBLE_EQ(plan.partitions[0].heal_mean, 0.0);
+  EXPECT_EQ(plan.partitions[1].side.kind, RegionSpec::Kind::kRingArc);
+  EXPECT_EQ(plan.partitions[1].heal_after, sim::SimTime(0));
+  EXPECT_DOUBLE_EQ(plan.partitions[1].heal_mean, 2500.0);
+
+  ASSERT_EQ(plan.links.size(), 2U);
+  EXPECT_EQ(plan.links[0].src, 0U);
+  EXPECT_EQ(plan.links[0].dst, 3U);
+  EXPECT_TRUE(plan.links[0].symmetric);
+  EXPECT_DOUBLE_EQ(plan.links[0].drop_p, 0.1);
+  EXPECT_DOUBLE_EQ(plan.links[0].dup_p, 0.05);
+  EXPECT_DOUBLE_EQ(plan.links[0].reorder_p, 0.2);
+  EXPECT_EQ(plan.links[0].delay, 30);
+  EXPECT_EQ(plan.links[0].jitter, 10);
+  EXPECT_EQ(plan.links[0].start, sim::SimTime(100));
+  EXPECT_EQ(plan.links[0].stop, sim::SimTime(9000));
+  EXPECT_EQ(plan.links[1].src, 2U);
+  EXPECT_EQ(plan.links[1].dst, kNoProc);  // '*' wildcard destination
+  EXPECT_FALSE(plan.links[1].symmetric);  // '>' directed
+  EXPECT_EQ(plan.links[1].stop, sim::SimTime::max());
+
+  ASSERT_EQ(plan.grays.size(), 1U);
+  EXPECT_EQ(plan.grays[0].node, 5U);
+  EXPECT_EQ(plan.grays[0].start, sim::SimTime(1000));
+  EXPECT_DOUBLE_EQ(plan.grays[0].payload_drop_p, 0.7);
+  EXPECT_EQ(plan.grays[0].slow_factor, 6);
+  EXPECT_EQ(plan.grays[0].stop, sim::SimTime(8000));
+
+  EXPECT_TRUE(plan.has_link_faults());
+  EXPECT_EQ(plan.seed, 9U);
+
+  // describe() names every clause (and the seed, since link faults draw).
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("partition rect(2,0 2x4)@2000 heal+5000"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("heal~2500"), std::string::npos) << text;
+  EXPECT_NE(text.find("link P0-P3"), std::string::npos) << text;
+  EXPECT_NE(text.find("link P2>*"), std::string::npos) << text;
+  EXPECT_NE(text.find("gray P5@1000"), std::string::npos) << text;
+  EXPECT_NE(text.find("seed=9"), std::string::npos) << text;
+}
+
+TEST(ParseFaultPlan, RejectsMalformedLinkLevelClauses) {
+  EXPECT_THROW(static_cast<void>(
+                   core::parse_fault_plan("partition:rect(2,0,2x4)")),
+               std::invalid_argument);  // no '@time'
+  EXPECT_THROW(static_cast<void>(
+                   core::parse_fault_plan("partition:blob(1)@5")),
+               std::invalid_argument);  // unknown region shape
+  EXPECT_THROW(static_cast<void>(
+                   core::parse_fault_plan("partition:rect(2,0,2x4)@5,x=1")),
+               std::invalid_argument);  // unknown key
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("link:0+3@5")),
+               std::invalid_argument);  // bad endpoint separator
+  EXPECT_THROW(static_cast<void>(
+                   core::parse_fault_plan("link:0-3@5,bogus=1")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_fault_plan("gray:x@5")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   core::parse_fault_plan("gray:5@5,speed=2")),
+               std::invalid_argument);
+}
+
+TEST(FaultInjector, ArmsPartitionWindowsDeterministically) {
+  auto windows_for = [](std::uint64_t seed) {
+    net::FaultPlan plan;
+    PartitionSpec scheduled;
+    scheduled.side = RegionSpec::grid_rect(1, 1, 2, 2);
+    scheduled.at = sim::SimTime(400);
+    scheduled.heal_after = sim::SimTime(900);
+    plan.partitions.push_back(scheduled);
+    PartitionSpec drawn;
+    drawn.side = RegionSpec::grid_rect(0, 0, 1, 4);
+    drawn.at = sim::SimTime(100);
+    drawn.heal_mean = 2000.0;
+    plan.partitions.push_back(drawn);
+    plan.with_seed(seed);
+    InjectorFixture f(TopologyKind::kMesh2D, 16, std::move(plan));
+    f.injector.arm();
+    std::vector<std::tuple<std::vector<ProcId>, std::int64_t, std::int64_t>>
+        out;
+    for (const auto& p : f.injector.armed_partitions()) {
+      out.push_back({p.side, p.start.ticks(), p.heal.ticks()});
+    }
+    return out;
+  };
+  const auto a = windows_for(5);
+  const auto b = windows_for(5);
+  const auto c = windows_for(6);
+  EXPECT_EQ(a, b);  // the exponential heal draw replays per seed
+  ASSERT_EQ(a.size(), 2U);
+  // The scheduled window is exact regardless of seed.
+  EXPECT_EQ(std::get<0>(a[0]), (std::vector<ProcId>{5, 6, 9, 10}));
+  EXPECT_EQ(std::get<1>(a[0]), 400);
+  EXPECT_EQ(std::get<2>(a[0]), 1300);
+  // The drawn heal lands after the cut and differs across seeds.
+  EXPECT_GT(std::get<2>(a[1]), 100);
+  EXPECT_NE(std::get<2>(a[1]), std::get<2>(c[1]));
+}
+
+TEST(FaultInjector, NeverHealingPartitionArmsAnOpenWindow) {
+  net::FaultPlan plan = net::FaultPlan::partition(
+      RegionSpec::grid_rect(0, 0, 2, 2), sim::SimTime(250));
+  InjectorFixture f(TopologyKind::kMesh2D, 16, std::move(plan));
+  f.injector.arm();
+  ASSERT_EQ(f.injector.armed_partitions().size(), 1U);
+  EXPECT_EQ(f.injector.armed_partitions()[0].heal, sim::SimTime::max());
+  // The armed model severs cross-cut pairs from the window's open onward
+  // — forever, since no heal is scheduled.
+  const net::LinkFaultModel* model = f.net.link_faults();
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->reachable(0, 15, sim::SimTime(100)));
+  EXPECT_FALSE(model->reachable(0, 15, sim::SimTime(300)));
+  EXPECT_FALSE(model->reachable(0, 15, sim::SimTime(1000000)));
+  EXPECT_TRUE(model->reachable(0, 1, sim::SimTime(300)));  // same side
+  EXPECT_TRUE(f.net.alive(0));  // partitioned, not dead
 }
 
 TEST(ParseFaultPlan, EmptySpecYieldsEmptyPlan) {

@@ -71,6 +71,14 @@ void expect_identical(const core::RunResult& a, const core::RunResult& b) {
   EXPECT_EQ(a.net.failure_notices, b.net.failure_notices);
   EXPECT_EQ(a.net.total_units, b.net.total_units);
   EXPECT_EQ(a.net.total_hop_units, b.net.total_hop_units);
+
+  // Link-fault layer: every perturbation draw must land identically.
+  EXPECT_EQ(a.net.partition_cut, b.net.partition_cut);
+  EXPECT_EQ(a.net.link_dropped, b.net.link_dropped);
+  EXPECT_EQ(a.net.gray_dropped, b.net.gray_dropped);
+  EXPECT_EQ(a.net.link_duplicated, b.net.link_duplicated);
+  EXPECT_EQ(a.net.link_reordered, b.net.link_reordered);
+  EXPECT_EQ(a.net.link_delay_ticks, b.net.link_delay_ticks);
 }
 
 TEST(TransportAB, ShmRingMatchesInProcessFaultFree) {
@@ -99,6 +107,35 @@ TEST(TransportAB, ShmRingMatchesInProcessUnderFaults) {
                                       program, seed, plan);
     ASSERT_TRUE(inproc.completed);
     EXPECT_EQ(inproc.faults_injected, 1u);
+    expect_identical(inproc, shm);
+  }
+}
+
+TEST(TransportAB, ShmRingMatchesInProcessUnderLinkFaults) {
+  // Link-level chaos is shaped send-side, before the transport sees the
+  // envelope — so drops, duplicates, reorder hold-backs, and jittered
+  // delays must replay bit-identically whether the bytes then cross a
+  // pooled mailbox or the serialized SPSC ring.
+  net::LinkQuality q;
+  q.drop_p = 0.1;
+  q.dup_p = 0.1;
+  q.reorder_p = 0.15;
+  q.jitter = 25;
+  net::GraySpec g;
+  g.node = 6;
+  g.start = sim::SimTime(1000);
+  net::FaultPlan plan = net::FaultPlan::link(q);
+  plan.merge(net::FaultPlan::gray(g));
+  const lang::Program program = lang::programs::fib(12, 40);
+  for (const std::uint64_t seed : {1u, 9u}) {
+    plan.with_seed(seed);
+    const auto inproc = run_with_backend(net::TransportKind::kInProcess,
+                                         1u << 20, program, seed, plan);
+    const auto shm = run_with_backend(net::TransportKind::kShmRing, 1u << 20,
+                                      program, seed, plan);
+    ASSERT_TRUE(inproc.completed) << inproc.summary();
+    EXPECT_GT(inproc.net.link_dropped + inproc.net.gray_dropped, 0u);
+    EXPECT_GT(inproc.net.link_duplicated, 0u);
     expect_identical(inproc, shm);
   }
 }
