@@ -227,7 +227,7 @@ std::vector<net::Envelope> sample_wire_mix() {
 
 // Serialization cost per message: items/sec over the representative mix is
 // messages/sec (ns/msg = 1e9 / items_per_second); bytes/sec reflects the
-// encoded density. bench_json.py records both into BENCH_PR7.json.
+// encoded density. bench_json.py records both into BENCH_PR8.json.
 void BM_CodecEncode(benchmark::State& state) {
   const std::vector<net::Envelope> mix = sample_wire_mix();
   std::vector<std::uint8_t> buf;
@@ -273,7 +273,7 @@ BENCHMARK(BM_CodecDecode);
 // End-to-end wire density: a full seeded run over the shared-memory ring
 // backend (every protocol message serialized through the codec) reporting
 // encoded bytes per simulated event and per message, plus the measured
-// encode/decode ns per message. These counters land in BENCH_PR7.json.
+// encode/decode ns per message. These counters land in BENCH_PR8.json.
 void BM_WireBytesPerEvent(benchmark::State& state) {
   const lang::Program program = lang::programs::tree_sum(8, 2, 60, 10);
   core::SystemConfig cfg;
@@ -314,7 +314,7 @@ void BM_WireBytesPerEvent(benchmark::State& state) {
 BENCHMARK(BM_WireBytesPerEvent)->Unit(benchmark::kMillisecond);
 
 // Whole-simulator throughput gate (bench_json.py records items/sec =
-// simulated events/sec into BENCH_PR7.json alongside the tab_scalability
+// simulated events/sec into BENCH_PR8.json alongside the tab_scalability
 // sweep).
 void BM_SimThroughput(benchmark::State& state) {
   const auto procs = static_cast<std::uint32_t>(state.range(0));

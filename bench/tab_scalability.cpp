@@ -3,6 +3,10 @@
 // E17 — duplicate reclaim: omniscient sweep-GC vs. the cancel protocol.
 // E19 — goodput + reclaim latency under link-level chaos (partition-and-heal
 //       and gray-failure churn) at 128/256 processors.
+// E20 — flight-recorder cost + the recovery story as a time series: E19's
+//       partition-heal at 128 processors with the recorder on, reported as
+//       per-window goodput and latency quantiles, plus the recorder's
+//       throughput overhead (off vs. on) on the E16 workload.
 //
 // The paper positions applicative systems as "promising candidates for
 // achieving high performance computing through aggregation of processors"
@@ -14,7 +18,7 @@
 // clock throughput of the simulator itself — events/sec, heap allocations
 // per event (global counting allocator in this binary), and peak RSS — at
 // 32/64/128/256 processors. `--perf-json PATH` dumps table 3 as JSON;
-// scripts/bench_json.py wraps it into BENCH_PR7.json and enforces the
+// scripts/bench_json.py wraps it into BENCH_PR8.json and enforces the
 // regression guard.
 #include <sys/resource.h>
 
@@ -505,6 +509,112 @@ int main(int argc, char** argv) {
   }
   bench::emit(chaos, opt);
 
+  // ---- E20: the recovery story as a time series ---------------------------
+  // One seeded partition-heal run at 128 processors with the flight
+  // recorder on: the per-window series shows goodput dipping when the cut
+  // opens, reissue work landing, and the post-heal cancel wave — the HEAL
+  // framing (goodput *during* recovery) instead of a recovery-latency
+  // scalar. Quantiles are spawn→complete latency within each window.
+  const std::uint32_t e20_procs = 128;
+  const lang::Program e20_program = reclaim_program_for(e20_procs);
+  core::SystemConfig e20_cfg =
+      config_for(e20_procs, net::TopologyKind::kTorus2D, 7);
+  e20_cfg.reclaim.cancellation = true;
+  e20_cfg.reclaim.gc_interval = 0;
+  e20_cfg.obs.recorder = true;
+  const std::int64_t e20_makespan =
+      core::Simulation::fault_free_makespan(e20_cfg, e20_program);
+  net::FaultPlan e20_plan = net::FaultPlan::partition(
+      net::RegionSpec::neighborhood(static_cast<net::ProcId>(e20_procs - 1),
+                                    2),
+      sim::SimTime(e20_makespan / 4), sim::SimTime(e20_makespan / 3));
+  e20_plan.with_seed(7 * 31 + 7);
+  core::Simulation e20_sim(e20_cfg, e20_program);
+  e20_sim.set_fault_plan(e20_plan);
+  const core::RunResult e20_result = e20_sim.run();
+  if (!e20_result.completed || !e20_result.answer_correct) {
+    std::fprintf(stderr, "E20 partition-heal run failed\n");
+    return 1;
+  }
+  const std::vector<obs::TimePoint> e20_series =
+      e20_sim.recorder().metrics().series();
+  const obs::LogHistogram& e20_lat = e20_sim.recorder().metrics().latency();
+
+  util::Table e20({"window start", "spawned", "completed", "queue depth",
+                   "in flight", "ckpt resident", "p50", "p99", "p999"});
+  e20.set_title(
+      "E20 partition-heal at 128 procs, recorder on — per-window goodput "
+      "and spawn->complete latency quantiles (cut at makespan/4, heal "
+      "+makespan/3)");
+  // The table strides to ~16 rows; the perf JSON carries every window.
+  const std::size_t stride = std::max<std::size_t>(1, e20_series.size() / 16);
+  for (std::size_t i = 0; i < e20_series.size(); i += stride) {
+    const obs::TimePoint& w = e20_series[i];
+    e20.add_row({util::Table::num(static_cast<std::uint64_t>(w.window_start)),
+                 util::Table::num(w.spawned), util::Table::num(w.completed),
+                 util::Table::num(w.queue_depth),
+                 util::Table::num(w.in_flight),
+                 util::Table::num(w.checkpoint_residency),
+                 util::Table::num(w.latency_p50),
+                 util::Table::num(w.latency_p99),
+                 util::Table::num(w.latency_p999)});
+  }
+  bench::emit(e20, opt);
+  std::printf(
+      "E20 whole-run spawn->complete latency: p50=%llu p99=%llu p999=%llu "
+      "ticks over %llu completions\n\n",
+      static_cast<unsigned long long>(e20_lat.percentile(0.5)),
+      static_cast<unsigned long long>(e20_lat.percentile(0.99)),
+      static_cast<unsigned long long>(e20_lat.percentile(0.999)),
+      static_cast<unsigned long long>(e20_lat.count()));
+
+  // ---- E20b: recorder overhead on the E16 workload ------------------------
+  // Same 128-processor throughput measurement twice: recorder off (the
+  // default every other bench runs under — the 20% trajectory guard keeps
+  // this honest) and recorder on (journal + metrics, details off). The
+  // delta is the observability tax.
+  double recorder_eps[2] = {0, 0};  // [0]=off, [1]=on
+  {
+    const lang::Program ov_program = lang::programs::tree_sum(12, 2, 60, 10);
+    const int ov_reps = opt.quick ? 2 : 3;
+    for (const bool rec_on : {false, true}) {
+      core::SystemConfig cfg =
+          config_for(128, net::TopologyKind::kTorus2D, 71);
+      cfg.obs.recorder = rec_on;
+      const std::int64_t makespan =
+          core::Simulation::fault_free_makespan(cfg, ov_program);
+      const auto plan = net::FaultPlan::single(
+          static_cast<net::ProcId>(128 / 3), sim::SimTime(makespan / 2));
+      (void)core::run_once(cfg, ov_program, plan);  // warm-up
+      double best = 0;
+      for (int batch = 0; batch < 2; ++batch) {
+        std::uint64_t events = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < ov_reps; ++i) {
+          cfg.seed = 71 + static_cast<std::uint64_t>(i);
+          const core::RunResult r = core::run_once(cfg, ov_program, plan);
+          events += r.sim_events;
+          if (!r.completed || !r.answer_correct) {
+            std::fprintf(stderr, "E20 overhead run failed\n");
+            return 1;
+          }
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::max(best,
+                        static_cast<double>(events) /
+                            std::chrono::duration<double>(t1 - t0).count());
+      }
+      recorder_eps[rec_on ? 1 : 0] = best;
+    }
+    std::printf(
+        "E20 recorder overhead at 128 procs: %.0f events/sec off, %.0f "
+        "events/sec on (%.1f%% tax)\n\n",
+        recorder_eps[0], recorder_eps[1],
+        recorder_eps[0] > 0
+            ? (1.0 - recorder_eps[1] / recorder_eps[0]) * 100.0
+            : 0.0);
+  }
+
   // ---- E16: simulator throughput (the recorded perf trajectory) -----------
   // Sequential, wall-clock timed, with one mid-run fault so recovery code is
   // on the measured path. The workload (8191-task balanced tree) is sized to
@@ -630,7 +740,42 @@ int main(int argc, char** argv) {
                    r.slowdown, r.reclaimed, r.latency, r.msgs_lost,
                    r.cancel_msgs, i + 1 < e19_rows.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out,
+                 "  ],\n  \"recorder_overhead\": {\"procs\": 128, "
+                 "\"events_per_sec_off\": %.0f, \"events_per_sec_on\": %.0f, "
+                 "\"overhead_pct\": %.1f},\n",
+                 recorder_eps[0], recorder_eps[1],
+                 recorder_eps[0] > 0
+                     ? (1.0 - recorder_eps[1] / recorder_eps[0]) * 100.0
+                     : 0.0);
+    std::fprintf(out,
+                 "  \"e20_partition_heal_series\": {\"procs\": %u, "
+                 "\"makespan_ticks\": %lld, \"latency_p50\": %llu, "
+                 "\"latency_p99\": %llu, \"latency_p999\": %llu, "
+                 "\"windows\": [\n",
+                 e20_procs, static_cast<long long>(e20_result.makespan_ticks),
+                 static_cast<unsigned long long>(e20_lat.percentile(0.5)),
+                 static_cast<unsigned long long>(e20_lat.percentile(0.99)),
+                 static_cast<unsigned long long>(e20_lat.percentile(0.999)));
+    for (std::size_t i = 0; i < e20_series.size(); ++i) {
+      const obs::TimePoint& w = e20_series[i];
+      std::fprintf(out,
+                   "    {\"t\": %lld, \"spawned\": %llu, \"completed\": %llu, "
+                   "\"queue_depth\": %llu, \"in_flight\": %llu, "
+                   "\"ckpt_resident\": %llu, \"p50\": %llu, \"p99\": %llu, "
+                   "\"p999\": %llu}%s\n",
+                   static_cast<long long>(w.window_start),
+                   static_cast<unsigned long long>(w.spawned),
+                   static_cast<unsigned long long>(w.completed),
+                   static_cast<unsigned long long>(w.queue_depth),
+                   static_cast<unsigned long long>(w.in_flight),
+                   static_cast<unsigned long long>(w.checkpoint_residency),
+                   static_cast<unsigned long long>(w.latency_p50),
+                   static_cast<unsigned long long>(w.latency_p99),
+                   static_cast<unsigned long long>(w.latency_p999),
+                   i + 1 < e20_series.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]}\n}\n");
     std::fclose(out);
     std::printf("perf json written to %s\n", perf_json);
   }

@@ -1,18 +1,18 @@
 #!/usr/bin/env python3
-"""Emit and check the repo's recorded perf trajectory (BENCH_PR7.json).
+"""Emit and check the repo's recorded perf trajectory (BENCH_PR8.json).
 
 Emit: runs the E16 throughput section of tab_scalability (and, when present,
 the BM_SimThroughput gate plus the wire-codec benches in micro_structures),
 then writes one merged JSON:
 
-    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR7.json
+    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR8.json
 
 Check: compares a freshly emitted JSON against the trajectory checked into
 the repo and fails (exit 1) if events/sec regressed by more than the
 threshold at any machine size:
 
     python3 scripts/bench_json.py --bin-dir build/release \
-        --out /tmp/fresh.json --check BENCH_PR7.json
+        --out /tmp/fresh.json --check BENCH_PR8.json
 
 Machines differ, so the guard compares *normalized* throughput: events/sec
 divided by a fixed pure-CPU calibration loop's rate measured in the same
@@ -27,7 +27,9 @@ The JSON also carries the E17 reclaim table, the E19 link-chaos table
 emitted by tab_scalability --perf-json, and a "wire" section with the
 codec's bytes/event, bytes/msg, and encode/decode ns/msg measured by
 BM_WireBytesPerEvent + BM_CodecEncode/BM_CodecDecode over the
-shared-memory ring backend.
+shared-memory ring backend. PR8 adds a "recorder_overhead" section (E20):
+throughput with the flight recorder off vs. on, plus the partition-heal
+goodput/latency time series summary, emitted by tab_scalability.
 """
 
 from __future__ import annotations
@@ -137,7 +139,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", default="build/release",
                         help="CMake binary dir holding bench/ executables")
-    parser.add_argument("--out", default="BENCH_PR7.json",
+    parser.add_argument("--out", default="BENCH_PR8.json",
                         help="where to write the merged JSON")
     parser.add_argument("--full", action="store_true",
                         help="run the full (non --smoke) throughput sweep")
@@ -166,13 +168,13 @@ def main() -> int:
         with open(carry_from, encoding="utf-8") as f:
             previous = json.load(f)
         for block in ("baseline_pre_pr4", "baseline_pr4", "baseline_pr5",
-                      "baseline_pr6"):
+                      "baseline_pr6", "baseline_pr7"):
             if block in previous:
                 merged[block] = previous[block]
-        # First carry from the PR6 JSON: snapshot its live measurements as
-        # the "baseline_pr6" trajectory point.
-        if "baseline_pr6" not in previous and "throughput" in previous:
-            merged["baseline_pr6"] = {
+        # First carry from the PR7 JSON: snapshot its live measurements as
+        # the "baseline_pr7" trajectory point.
+        if "baseline_pr7" not in previous and "throughput" in previous:
+            merged["baseline_pr7"] = {
                 "workload": previous.get("workload"),
                 "calibration_mops": previous.get("calibration_mops"),
                 "throughput": previous["throughput"],

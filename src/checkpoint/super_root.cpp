@@ -32,9 +32,9 @@ void SuperRoot::on_result(ResultMsg msg) {
     if (votes_ >= env_.quorum) {
       done_ = true;
       answer_ = msg.value;
-      if (env_.trace != nullptr) {
-        env_.trace->add(sim::SimTime::zero(), net::kNoProc, "answer",
-                        msg.value.to_string());
+      if (env_.recorder != nullptr) {
+        env_.recorder->record(sim::SimTime::zero(), obs::EventKind::kAnswer,
+                              {}, [&] { return msg.value.to_string(); });
       }
     }
     return;

@@ -17,8 +17,8 @@
 #include <functional>
 #include <vector>
 
-#include "core/trace.h"
 #include "lang/value.h"
+#include "obs/journal.h"
 #include "runtime/task_packet.h"
 #include "sim/simulator.h"
 
@@ -38,7 +38,8 @@ class SuperRoot {
     std::function<void(runtime::ResultMsg)> relay;
     /// Count a stranded orphan (super-root disabled or no recovery).
     std::function<void()> on_stranded;
-    core::Trace* trace = nullptr;
+    /// Flight recorder for the "answer" milestone (null = don't journal).
+    obs::Recorder* recorder = nullptr;
     /// Votes needed before the answer is accepted (§5.3 with a replicated
     /// root; 1 otherwise).
     std::uint32_t quorum = 1;

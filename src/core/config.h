@@ -204,6 +204,20 @@ struct TransportConfig {
   std::uint32_t shm_ring_bytes = 1u << 20;
 };
 
+/// Flight recorder + time-series metrics (obs/ subsystem). Off by default:
+/// with `recorder` false every hook is a single predictable branch and the
+/// throughput benches are unaffected.
+struct ObsConfig {
+  /// Journal protocol events into the ring-buffered flight recorder.
+  bool recorder = false;
+  /// Ring capacity in events; the ring overwrites oldest and counts drops.
+  std::uint32_t journal_capacity = 1u << 16;
+  /// Metrics sampling window in ticks (event-queue depth, in-flight
+  /// envelopes, checkpoint residency, per-window goodput + latency
+  /// quantiles). 0 disables the sampling tick.
+  std::int64_t sample_interval = 1000;
+};
+
 struct SystemConfig {
   std::uint32_t processors = 8;
   net::TopologyKind topology = net::TopologyKind::kMesh2D;
@@ -215,6 +229,7 @@ struct SystemConfig {
   StoreConfig store;
   ReclaimConfig reclaim;
   TransportConfig transport;
+  ObsConfig obs;
 
   /// Liveness probing period (ticks); 0 disables. Needed so failures of
   /// quiescent processors are detected (§1's "identified as faulty by other

@@ -62,6 +62,27 @@ std::string RunResult::summary() const {
   out << " tasks=" << counters.tasks_created << " respawned="
       << counters.tasks_respawned << " salvaged="
       << counters.orphan_results_salvaged << " msgs=" << net.total_sent();
+  // Later-protocol activity, shown only when the run exercised it so the
+  // fault-free one-liner stays short.
+  if (counters.cancels_sent > 0 || counters.tasks_cancelled > 0) {
+    out << " cancels=" << counters.cancels_sent << "/"
+        << counters.tasks_cancelled;
+    if (counters.cancel_retries > 0) out << " (+retries="
+                                         << counters.cancel_retries << ")";
+  }
+  if (counters.state_packets_transferred > 0 || counters.state_chunks_sent > 0) {
+    out << " transferred=" << counters.state_packets_transferred << " in "
+        << counters.state_chunks_sent << " chunks";
+  }
+  if (counters.reissues_avoided > 0) {
+    out << " reissues_avoided=" << counters.reissues_avoided;
+  }
+  if (net.link_dropped > 0 || net.link_duplicated > 0 ||
+      net.link_reordered > 0 || net.gray_dropped > 0) {
+    out << " link_faults=" << net.link_dropped << "d/" << net.link_duplicated
+        << "D/" << net.link_reordered << "r/" << net.gray_dropped << "g";
+  }
+  if (net.partition_cut > 0) out << " cut=" << net.partition_cut;
   return out.str();
 }
 

@@ -69,6 +69,51 @@ RunResult Simulation::run() {
   }
 
   injector_->arm();
+  if (runtime_->recorder().enabled()) {
+    // Journal link-level chaos milestones at the moment they bite. The
+    // injector resolved partition windows (including seeded heal draws) at
+    // arm() time, so these schedules are deterministic per (plan, seed) and
+    // identical across transport backends.
+    obs::Recorder& rec = runtime_->recorder();
+    for (const auto& cut : injector_->armed_partitions()) {
+      const std::vector<net::ProcId> side = cut.side;
+      sim_->at(cut.start, [this, &rec, side] {
+        rec.record(sim_->now(), obs::EventKind::kPartition,
+                   {.proc = side.empty() ? net::kNoProc : side.front(),
+                    .arg = static_cast<std::uint64_t>(side.size())},
+                   [&] {
+                     std::string detail =
+                         "side of " + std::to_string(side.size()) + ":";
+                     for (net::ProcId p : side) {
+                       detail += ' ';
+                       detail += std::to_string(p);
+                     }
+                     return detail;
+                   });
+      });
+      if (cut.heal != sim::SimTime::max()) {
+        sim_->at(cut.heal, [this, &rec, side] {
+          rec.record(sim_->now(), obs::EventKind::kHeal,
+                     {.proc = side.empty() ? net::kNoProc : side.front(),
+                      .arg = static_cast<std::uint64_t>(side.size())},
+                     [&] {
+                       return "partition of " + std::to_string(side.size()) +
+                              " healed";
+                     });
+        });
+      }
+    }
+    for (const auto& gray : injector_->plan().grays) {
+      sim_->at(gray.start, [this, &rec, gray] {
+        rec.record(sim_->now(), obs::EventKind::kGray, {.proc = gray.node},
+                   [&] {
+                     return "payload drop " +
+                            std::to_string(gray.payload_drop_p) + ", slow " +
+                            std::to_string(gray.slow_factor) + "x";
+                   });
+      });
+    }
+  }
   runtime_->start();
   sim_->run_until(sim::SimTime(deadline));
 
@@ -102,6 +147,11 @@ std::int64_t Simulation::fault_free_makespan(const SystemConfig& config,
 const Trace& Simulation::trace() const {
   if (!runtime_) throw std::logic_error("trace: run() first");
   return const_cast<runtime::Runtime&>(*runtime_).trace();
+}
+
+const obs::Recorder& Simulation::recorder() const {
+  if (!runtime_) throw std::logic_error("recorder: run() first");
+  return runtime_->recorder();
 }
 
 RunResult run_once(const SystemConfig& config, const lang::Program& program,

@@ -27,6 +27,7 @@
 #include "lang/program.h"
 #include "net/fault_injector.h"
 #include "net/network.h"
+#include "obs/journal.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 
@@ -53,6 +54,8 @@ class Simulation {
 
   // ---- post-run inspection --------------------------------------------------
   [[nodiscard]] const Trace& trace() const;
+  /// The flight recorder (journal + metrics). Valid after run().
+  [[nodiscard]] const obs::Recorder& recorder() const;
   [[nodiscard]] runtime::Runtime& runtime_for_test() { return *runtime_; }
   [[nodiscard]] const lang::Program& program() const noexcept {
     return program_;

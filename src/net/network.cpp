@@ -81,10 +81,12 @@ void Network::send(Envelope envelope) {
     }
     if (verdict.duplicate) {
       ++stats_.link_duplicated;
+      ++in_flight_;
       transport_->submit(clone_envelope(envelope),
                          delay + verdict.dup_extra);
     }
   }
+  ++in_flight_;
   transport_->submit(std::move(envelope), delay);
 }
 
@@ -111,6 +113,10 @@ Envelope Network::clone_envelope(const Envelope& envelope) {
 }
 
 void Network::deliver(Envelope&& envelope) {
+  // In-flight gauge: the transport just handed the envelope back. Remote
+  // arrivals on the TCP backend were never submitted locally, so the gauge
+  // stays non-negative (saturating guard for that case).
+  if (in_flight_ > 0) --in_flight_;
   if (!alive_[envelope.to]) {
     // A bounce notice whose addressee has since died notifies nobody; a
     // regular message to a dead destination is lost and bounces to its
@@ -150,6 +156,7 @@ void Network::bounce(Envelope envelope) {
   notice.sent_at = sim_.now();
   notice.payload = EnvelopeBox(std::move(envelope));
   ++stats_.failure_notices;
+  ++in_flight_;
   transport_->submit(std::move(notice),
                      sim::SimTime(latency_.failure_timeout));
 }

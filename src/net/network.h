@@ -137,6 +137,11 @@ class Network {
   }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  /// Envelopes submitted to the transport and not yet handed to deliver()
+  /// — the in-flight gauge the flight recorder's metrics sampler reads.
+  /// (On the distributed TCP backend this counts only locally-submitted
+  /// envelopes; remote legs are invisible to this rank.)
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return in_flight_; }
   [[nodiscard]] const LatencyModel& latency_model() const noexcept {
     return latency_;
   }
@@ -173,6 +178,7 @@ class Network {
   std::vector<Receiver> receivers_;
   std::vector<bool> alive_;
   NetworkStats stats_;
+  std::uint64_t in_flight_ = 0;
 };
 
 }  // namespace splice::net

@@ -1,0 +1,91 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace splice::obs {
+
+std::string render_event(const Event& event) {
+  char head[96];
+  if (event.proc == net::kNoProc) {
+    std::snprintf(head, sizeof(head), "t=%-8lld host  %-14s",
+                  static_cast<long long>(event.ticks),
+                  std::string(to_string(event.kind)).c_str());
+  } else {
+    std::snprintf(head, sizeof(head), "t=%-8lld p%-4u %-14s",
+                  static_cast<long long>(event.ticks), event.proc,
+                  std::string(to_string(event.kind)).c_str());
+  }
+  std::string line = head;
+  if (!event.stamp.is_root()) line += " stamp=" + event.stamp.to_string();
+  if (event.uid != 0) line += " uid=" + std::to_string(event.uid);
+  if (event.peer != net::kNoProc) line += " peer=p" + std::to_string(event.peer);
+  if (event.arg != 0) line += " arg=" + std::to_string(event.arg);
+  return line;
+}
+
+std::vector<EventId> chain_of(const Journal& journal, EventId leaf) {
+  std::vector<EventId> chain;
+  EventId cursor = leaf;
+  // A cause id is always smaller than its effect's id in a well-formed
+  // journal; requiring strict descent makes cycles impossible to follow.
+  EventId floor = ~EventId{0};
+  while (cursor != kNoEvent && cursor < floor) {
+    const Event* event = journal.find(cursor);
+    if (event == nullptr) break;  // dropped by the ring
+    chain.push_back(cursor);
+    floor = cursor;
+    cursor = event->cause;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::string render_chain(const Journal& journal, EventId leaf) {
+  const std::vector<EventId> chain = chain_of(journal, leaf);
+  std::string out;
+  bool first = true;
+  for (const EventId id : chain) {
+    const Event* event = journal.find(id);
+    if (event == nullptr) continue;
+    out += first ? "  " : "  └─> ";
+    out += render_event(*event);
+    out += '\n';
+    first = false;
+  }
+  return out;
+}
+
+EventId last_event_of_task(const Journal& journal, std::uint64_t uid) {
+  if (uid == 0) return kNoEvent;
+  EventId last = kNoEvent;
+  for (const Event& event : journal.events) {
+    if (event.uid == uid) last = event.id;
+  }
+  return last;
+}
+
+EventId first_reissued(const Journal& journal) {
+  for (const Event& event : journal.events) {
+    if (event.kind == EventKind::kReissue || event.kind == EventKind::kTwin) {
+      return event.id;
+    }
+  }
+  return kNoEvent;
+}
+
+std::string explain_task(const Journal& journal, std::uint64_t uid) {
+  const EventId leaf = last_event_of_task(journal, uid);
+  if (leaf == kNoEvent) {
+    return "task uid=" + std::to_string(uid) +
+           ": no journal events (wrong uid, recorder off, or the ring "
+           "dropped its window; total recorded " +
+           std::to_string(journal.header.total_recorded) + ", dropped " +
+           std::to_string(journal.header.dropped) + ")\n";
+  }
+  std::string out = "task uid=" + std::to_string(uid) + " causal chain:\n";
+  out += render_chain(journal, leaf);
+  return out;
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,51 @@
+// Causal query engine over the flight-recorder journal.
+//
+// Answers "explain task X": starting from the task's terminal event, walk
+// the causal parent references back to the root cause (the crash, partition
+// or gray window that doomed the lineage) and render the chain — fault →
+// detection → reissue/twin → place → cancel/abort — as the paper's §4.1
+// recovery argument, instantiated on a concrete run. RecoveryOracle invokes
+// this to attach an explanation to every invariant violation; the
+// splice_trace CLI exposes it as `explain`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace splice::obs {
+
+/// Render one event as a single human-readable line:
+///   "t=1234  p3    reissue        stamp=1.2 uid=42".
+[[nodiscard]] std::string render_event(const Event& event);
+
+/// The causal chain ending at `leaf`: ids root-cause-first, leaf last.
+/// Stops at events the ring dropped (chain then starts mid-story) and
+/// defends against cycles (cause ids always point backwards, but a merged
+/// journal from a hostile dump might not).
+[[nodiscard]] std::vector<EventId> chain_of(const Journal& journal,
+                                            EventId leaf);
+
+/// Multi-line rendering of chain_of(), one "  <event>" line per link with
+/// "└─>" connectors. Empty string when leaf is unknown.
+[[nodiscard]] std::string render_chain(const Journal& journal, EventId leaf);
+
+/// The last event naming task `uid`, or kNoEvent. A task's story ends at
+/// its complete/abort/oracle-leak event; earlier events (place, checkpoint)
+/// are reached by the chain walk.
+[[nodiscard]] EventId last_event_of_task(const Journal& journal,
+                                         std::uint64_t uid);
+
+/// The first reissue-or-twin event (a recovery action implying a reclaimed
+/// duplicate somewhere), or kNoEvent. The CI smoke job explains this one.
+[[nodiscard]] EventId first_reissued(const Journal& journal);
+
+/// "explain task X" end to end: locate the task's terminal event, walk the
+/// chain, render it. Falls back to an explanatory message when the uid
+/// never appears (or the ring dropped its window).
+[[nodiscard]] std::string explain_task(const Journal& journal,
+                                       std::uint64_t uid);
+
+}  // namespace splice::obs

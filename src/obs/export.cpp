@@ -1,0 +1,186 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace splice::obs {
+
+namespace {
+
+// Track ids: processors use their own id, host-side events (super-root,
+// injector milestones) share one synthetic track past the last processor.
+std::uint32_t track_of(const Event& event, std::uint32_t host_track) {
+  return event.proc == net::kNoProc ? host_track : event.proc;
+}
+
+void write_event_args(const Event& event, std::ostream& out) {
+  out << "{\"id\":" << event.id;
+  if (event.cause != kNoEvent) out << ",\"cause\":" << event.cause;
+  if (event.uid != 0) out << ",\"uid\":" << event.uid;
+  if (!event.stamp.is_root()) {
+    out << ",\"stamp\":\"" << event.stamp.to_string() << '"';
+  }
+  if (event.peer != net::kNoProc) out << ",\"peer\":" << event.peer;
+  if (event.arg != 0) out << ",\"arg\":" << event.arg;
+  out << '}';
+}
+
+}  // namespace
+
+void write_perfetto(const Journal& journal,
+                    const std::vector<TimePoint>& series, std::ostream& out) {
+  const std::uint32_t host_track =
+      journal.header.processors != 0 ? journal.header.processors : 100000;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  // Thread-name metadata: one track per processor that actually appears.
+  std::set<std::uint32_t> tracks;
+  for (const Event& event : journal.events) {
+    tracks.insert(track_of(event, host_track));
+  }
+  for (const std::uint32_t track : tracks) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (track == host_track) {
+      out << "host";
+    } else {
+      out << "proc " << track;
+    }
+    out << "\"}}";
+  }
+
+  // Every event is a 1-tick complete slice on its processor's track;
+  // causal edges become flow arrows keyed by the effect's id. Perfetto
+  // binds flows to enclosing slices, which is why events are slices
+  // rather than instants.
+  for (const Event& event : journal.events) {
+    const std::uint32_t track = track_of(event, host_track);
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << track
+        << ",\"ts\":" << event.ticks << ",\"dur\":1,\"cat\":\""
+        << to_string(event.kind) << "\",\"name\":\"" << to_string(event.kind)
+        << "\",\"args\":";
+    write_event_args(event, out);
+    out << '}';
+    const Event* cause = journal.find(event.cause);
+    if (cause != nullptr) {
+      const std::uint32_t cause_track = track_of(*cause, host_track);
+      sep();
+      out << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << cause_track
+          << ",\"ts\":" << cause->ticks << ",\"id\":" << event.id
+          << ",\"cat\":\"causal\",\"name\":\"causal\"}";
+      sep();
+      out << "{\"ph\":\"f\",\"pid\":0,\"tid\":" << track
+          << ",\"ts\":" << event.ticks << ",\"id\":" << event.id
+          << ",\"bp\":\"e\",\"cat\":\"causal\",\"name\":\"causal\"}";
+    }
+  }
+
+  // Metrics counters: one counter track per series column.
+  for (const TimePoint& point : series) {
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << point.window_start
+        << ",\"name\":\"goodput\",\"args\":{\"completed\":" << point.completed
+        << ",\"spawned\":" << point.spawned << "}}";
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << point.window_start
+        << ",\"name\":\"depth\",\"args\":{\"queue\":" << point.queue_depth
+        << ",\"in_flight\":" << point.in_flight
+        << ",\"checkpoints\":" << point.checkpoint_residency << "}}";
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << point.window_start
+        << ",\"name\":\"latency\",\"args\":{\"p50\":" << point.latency_p50
+        << ",\"p99\":" << point.latency_p99
+        << ",\"p999\":" << point.latency_p999 << "}}";
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_series_csv(const std::vector<TimePoint>& series,
+                      std::ostream& out) {
+  out << "window_start,spawned,completed,queue_depth,in_flight,"
+         "checkpoint_residency,latency_count,latency_p50,latency_p99,"
+         "latency_p999\n";
+  for (const TimePoint& p : series) {
+    out << p.window_start << ',' << p.spawned << ',' << p.completed << ','
+        << p.queue_depth << ',' << p.in_flight << ','
+        << p.checkpoint_residency << ',' << p.latency_count << ','
+        << p.latency_p50 << ',' << p.latency_p99 << ',' << p.latency_p999
+        << '\n';
+  }
+}
+
+void write_series_json(const std::vector<TimePoint>& series,
+                       std::ostream& out) {
+  out << "[\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const TimePoint& p = series[i];
+    out << "  {\"window_start\":" << p.window_start
+        << ",\"spawned\":" << p.spawned << ",\"completed\":" << p.completed
+        << ",\"queue_depth\":" << p.queue_depth
+        << ",\"in_flight\":" << p.in_flight
+        << ",\"checkpoint_residency\":" << p.checkpoint_residency
+        << ",\"latency_count\":" << p.latency_count
+        << ",\"latency_p50\":" << p.latency_p50
+        << ",\"latency_p99\":" << p.latency_p99
+        << ",\"latency_p999\":" << p.latency_p999 << '}'
+        << (i + 1 < series.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+Journal merge(const std::vector<Journal>& journals) {
+  Journal merged;
+  struct Tagged {
+    std::size_t rank_index;
+    const Event* event;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t i = 0; i < journals.size(); ++i) {
+    const Journal& j = journals[i];
+    merged.header.total_recorded += j.header.total_recorded;
+    merged.header.dropped += j.header.dropped;
+    merged.header.processors =
+        std::max(merged.header.processors, j.header.processors);
+    for (const Event& event : j.events) all.push_back({i, &event});
+  }
+  // Deterministic timeline order: time, then rank, then rank-local id.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.event->ticks != b.event->ticks) {
+                       return a.event->ticks < b.event->ticks;
+                     }
+                     if (a.rank_index != b.rank_index) {
+                       return a.rank_index < b.rank_index;
+                     }
+                     return a.event->id < b.event->id;
+                   });
+  // Re-number consecutively and remap causal edges; a cause the source
+  // ring dropped remaps to kNoEvent.
+  std::map<std::pair<std::size_t, EventId>, EventId> new_id;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    new_id[{all[i].rank_index, all[i].event->id}] = i + 1;
+  }
+  merged.events.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    Event event = *all[i].event;
+    event.id = i + 1;
+    if (event.cause != kNoEvent) {
+      auto it = new_id.find({all[i].rank_index, event.cause});
+      event.cause = it == new_id.end() ? kNoEvent : it->second;
+    }
+    merged.events.push_back(std::move(event));
+  }
+  return merged;
+}
+
+}  // namespace splice::obs

@@ -1,0 +1,262 @@
+// The recovery flight recorder: a typed, binary, ring-buffered journal of
+// protocol events.
+//
+// The paper's recovery argument (§4.1) is about *causal* chains — spawn →
+// checkpoint → crash → detect → reissue → cancel — and this journal is that
+// argument made inspectable: every recovery-relevant protocol action is one
+// fixed-shape Event carrying sim-time, processor, level stamp, task uid and
+// a causal parent reference (the event that made this one happen). The
+// string Trace the figure walkthroughs read is a thin rendering view over
+// these typed events (Runtime::trace() materialises it on demand); the
+// causal query engine (obs/causal.h), the Perfetto exporter (obs/export.h)
+// and the splice_trace CLI all read the same journal.
+//
+// Cost discipline — identical to core::Trace's lazy-thunk contract:
+//  * recorder off (the default, and every throughput bench): record() is a
+//    single predictable branch, detail thunks are never evaluated, no
+//    allocation, no stamp copy;
+//  * recorder on: one ring-slot write per event (the ring overwrites the
+//    oldest entry once full and counts the drop), detail strings are built
+//    only when trace rendering is additionally enabled (collect_trace).
+//
+// Determinism: the journal is a pure function of (config, program, fault
+// plan, seed) — the same run journals byte-identical event streams on the
+// in-process and shm-ring transports (tests/obs_test.cpp A/Bs the
+// serialized bytes, the same discipline transport_test.cpp applies to
+// counters). Causal linking uses only keyed lookups, never container
+// iteration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+#include "obs/metrics.h"
+#include "runtime/level_stamp.h"
+#include "sim/time.h"
+
+namespace splice::obs {
+
+/// Monotone 1-based journal event id; 0 = "no event" (absent cause).
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// The event taxonomy. One entry per protocol action worth explaining; the
+/// string names (to_string) match the historical core::Trace kinds exactly,
+/// so the rendered view stays assertion-compatible.
+enum class EventKind : std::uint8_t {
+  // Task lifecycle.
+  kPlace = 0,     // packet accepted, task resident ("place")
+  kSpawn,         // DEMAND_IT sent a child packet ("spawn")
+  kCheckpoint,    // functional checkpoint recorded ("checkpoint")
+  kComplete,      // task reduced to a value ("complete")
+  kAbort,         // task reclaimed/aborted ("abort")
+  // Faults and detection.
+  kCrash,         // processor failed, fail-silent ("crash")
+  kDetect,        // observer learned a peer is dead ("detect")
+  kRevive,        // fault injector repaired a node ("revive")
+  kRejoin,        // the repaired node reinitialised itself ("rejoin")
+  kPeerRejoin,    // observer learned a peer is back ("peer-rejoin")
+  // Recovery actions.
+  kReissue,       // checkpoint reissued ("reissue")
+  kTwin,          // splice step-parent spawned ("twin")
+  kRelay,         // grandparent relayed an orphan result ("relay")
+  kSalvage,       // relayed orphan result consumed ("salvage")
+  kAckOfCorpse,   // ack addressed a gone parent instance ("ack-of-corpse")
+  kCancel,        // kCancel issued against a duplicate ("cancel")
+  kStranded,      // orphan result with no ancestor left ("stranded")
+  kDefer,         // warm rejoin deferred a reissue ("defer")
+  kGraceExpired,  // warm grace ran out, cold reissue ("grace-expired")
+  kOracleLeak,    // gc oracle saw a duplicate outlive cancel ("oracle-leak")
+  // Warm-rejoin state transfer (store subsystem).
+  kStateChunk,    // survivor streamed a state chunk ("state-chunk")
+  kTransferIn,    // packet re-hosted from a chunk ("transfer-in")
+  kPreLink,       // re-hosted slot awaits a surviving orphan ("pre-link")
+  kCatchUp,       // state transfer complete ("catch-up")
+  // Link-level chaos (armed fault plan, scheduled alongside the injector).
+  kPartition,     // a cut came up ("partition")
+  kHeal,          // the cut healed ("heal")
+  kGray,          // a gray failure window opened ("gray")
+  // Host channel / run milestones.
+  kInjectRoot,    // super-root injected the root program ("inject-root")
+  kDone,          // the answer reached the super-root ("done")
+  kAnswer,        // super-root accepted the answer value ("answer")
+  // Periodic-global baseline.
+  kSnapshot,      // coordinated global snapshot ("snapshot")
+  kRestore,       // global restore after a failure ("restore")
+  kUnpark,        // parked subtree resumed on rejoin ("unpark")
+  kParkExpired,   // park grace ran out ("park-expired")
+  kCount
+};
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kCount);
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+/// One journal entry. Fixed shape; every field is optional except (ticks,
+/// kind) — absent processors are net::kNoProc, absent uids are 0, an empty
+/// stamp means "not stamp-addressed", cause 0 means "root cause / unknown".
+struct Event {
+  EventId id = kNoEvent;
+  std::int64_t ticks = 0;
+  EventKind kind = EventKind::kPlace;
+  net::ProcId proc = net::kNoProc;  // the acting processor
+  net::ProcId peer = net::kNoProc;  // the other party (dest, dead node, ...)
+  std::uint64_t uid = 0;            // task uid when the event names one
+  EventId cause = kNoEvent;         // causal parent event
+  runtime::LevelStamp stamp;        // lineage identity (§3.1)
+  std::uint64_t arg = 0;            // kind-specific scalar (latency, count)
+};
+
+/// Journal dump header (what serialize() writes before the events).
+struct JournalHeader {
+  std::uint32_t version = 1;
+  std::uint32_t rank = 0;        // multi-process rank; 0 single-process
+  std::uint32_t processors = 0;  // machine size of the run
+  std::uint64_t total_recorded = 0;  // includes events the ring dropped
+  std::uint64_t dropped = 0;         // overwritten-oldest count
+};
+
+/// A deserialized (or snapshotted) journal: header + events in id order.
+struct Journal {
+  JournalHeader header;
+  std::vector<Event> events;
+
+  /// Index of an event by id, or nullptr when the ring dropped it.
+  [[nodiscard]] const Event* find(EventId id) const;
+};
+
+/// The serialized journal's magic prefix ("SPLJ").
+inline constexpr char kJournalMagic[4] = {'S', 'P', 'L', 'J'};
+
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Journal& journal);
+/// Throws std::runtime_error on a malformed dump.
+[[nodiscard]] Journal deserialize(const std::uint8_t* data, std::size_t size);
+
+class Recorder {
+ public:
+  /// Optional fields of a record() call, aggregate-initialisable at the
+  /// hook sites: {.proc = id_, .uid = uid, .stamp = &stamp}.
+  struct Fields {
+    net::ProcId proc = net::kNoProc;
+    net::ProcId peer = net::kNoProc;
+    std::uint64_t uid = 0;
+    const runtime::LevelStamp* stamp = nullptr;
+    EventId cause = kNoEvent;  // explicit cause; 0 = infer from the linker
+    std::uint64_t arg = 0;
+  };
+
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// `capacity` bounds the ring (entries); `keep_details` additionally
+  /// stores the rendered detail string of every event for the Trace view.
+  void configure(bool enabled, std::uint32_t capacity, bool keep_details);
+  void set_rank(std::uint32_t rank) noexcept { header_rank_ = rank; }
+  void set_processors(std::uint32_t n) noexcept { header_procs_ = n; }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] bool keeps_details() const noexcept { return keep_details_; }
+
+  /// Record a typed event. Returns its id (kNoEvent when disabled).
+  EventId record(sim::SimTime t, EventKind kind, const Fields& fields) {
+    if (!enabled_) return kNoEvent;
+    return record_slow(t, kind, fields, nullptr);
+  }
+
+  /// Hot-path overload: the detail thunk is evaluated only when details are
+  /// kept (collect_trace), exactly like core::Trace's lazy add().
+  template <typename DetailFn>
+    requires std::is_invocable_r_v<std::string, DetailFn>
+  EventId record(sim::SimTime t, EventKind kind, const Fields& fields,
+                 DetailFn&& detail_fn) {
+    if (!enabled_) return kNoEvent;
+    if (!keep_details_) return record_slow(t, kind, fields, nullptr);
+    std::string detail = std::forward<DetailFn>(detail_fn)();
+    return record_slow(t, kind, fields, &detail);
+  }
+
+  /// Ring + drop introspection (unit tests; stats lines).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return next_id_ - 1;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Visit retained events oldest-first. Fn: void(const Event&, const
+  /// std::string& detail) — detail is empty unless keeps_details().
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    static const std::string kNoDetail;
+    const std::size_t n = slots_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at = (head_ + i) % n;
+      fn(slots_[at], details_.empty() ? kNoDetail : details_[at]);
+    }
+  }
+
+  /// Copy the retained window out as a Journal (id order).
+  [[nodiscard]] Journal snapshot() const;
+
+  /// The time-series metrics registry riding along with the journal.
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  EventId record_slow(sim::SimTime t, EventKind kind, const Fields& fields,
+                      std::string* detail);
+  /// Deterministic causal inference: keyed lookups against the maps below,
+  /// maintained as events stream in. Returns kNoEvent when nothing links.
+  [[nodiscard]] EventId infer_cause(EventKind kind, const Fields& fields) const;
+  void note_links(const Event& event);
+  /// place event of a live uid (kNoEvent once completed/aborted).
+  [[nodiscard]] EventId placed_at(std::uint64_t uid) const;
+
+  bool enabled_ = false;
+  bool keep_details_ = false;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t header_rank_ = 0;
+  std::uint32_t header_procs_ = 0;
+  // The ring proper. Detail strings live in a parallel vector that is only
+  // populated under keep_details_, so the common recorder-on configuration
+  // writes a fixed-size Event per record and nothing else.
+  std::vector<Event> slots_;
+  std::vector<std::string> details_;
+  std::size_t head_ = 0;  // index of the oldest retained slot once full
+  EventId next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  Metrics metrics_;
+
+  // Causal-linker memory (lookup only; iteration order never observed).
+  std::unordered_map<net::ProcId, EventId> fault_of_;     // crash per proc
+  std::unordered_map<net::ProcId, EventId> detect_of_;    // last detect OF p
+  std::unordered_map<net::ProcId, EventId> detect_by_;    // last detect BY p
+  std::unordered_map<net::ProcId, EventId> rejoin_of_;    // rejoin per proc
+  // Uids are allocated from one global counter (Runtime::next_uid), so the
+  // live-uid -> place link is a dense array, not a hash map — placement and
+  // completion are the two hottest record kinds.
+  std::vector<EventId> place_of_;
+  // Stamp-addressed links, keyed by the stamp's FNV fingerprint rather than
+  // a full stamp copy: one spawn insert per task makes this the recorder's
+  // hottest map, and the fingerprint (deterministic, process-independent)
+  // spares the 48-byte key copy and digit-wise compares. A fingerprint
+  // collision could mislink one cause edge — linker metadata, never
+  // protocol state — at ~2^-64 odds per pair.
+  std::unordered_map<std::uint64_t, EventId>
+      reissue_of_;  // last reissue/twin/spawn per stamp
+  std::unordered_map<std::uint64_t, EventId>
+      cancel_of_;   // last cancel per stamp
+  std::unordered_map<std::uint64_t, EventId>
+      relay_of_;    // last relay per stamp
+  EventId last_fault_ = kNoEvent;      // most recent crash/partition/gray
+  EventId last_partition_ = kNoEvent;  // most recent partition (heal cause)
+};
+
+}  // namespace splice::obs

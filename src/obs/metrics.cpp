@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace splice::obs {
+
+std::size_t LogHistogram::bucket_of(std::uint64_t value) noexcept {
+  // Values below 2^kSubBits map to their own buckets (octave 0); above
+  // that, the octave is the extra bit width and the sub-bucket the next
+  // kSubBits bits below the leading one.
+  if (value < (std::uint64_t{1} << kSubBits)) {
+    return static_cast<std::size_t>(value);
+  }
+  const unsigned width = 64u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned octave = width - kSubBits;
+  const unsigned sub = static_cast<unsigned>(
+      (value >> (width - 1 - kSubBits)) & ((1u << kSubBits) - 1));
+  return (static_cast<std::size_t>(octave) << kSubBits) | sub;
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::size_t index) noexcept {
+  const std::size_t octave = index >> kSubBits;
+  const std::uint64_t sub = index & ((std::size_t{1} << kSubBits) - 1);
+  if (octave == 0) return sub;
+  // Reconstruct the largest value mapping to (octave, sub): leading one at
+  // bit (octave + kSubBits - 1), sub-bucket bits below it, rest ones.
+  const unsigned width = static_cast<unsigned>(octave) + kSubBits;
+  const std::uint64_t base =
+      (std::uint64_t{1} << (width - 1)) | (sub << (width - 1 - kSubBits));
+  const std::uint64_t slack = (std::uint64_t{1} << (width - 1 - kSubBits)) - 1;
+  return base + slack;
+}
+
+void LogHistogram::add(std::uint64_t value) noexcept {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  if (value > max_) max_ = value;
+}
+
+std::uint64_t LogHistogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile observation (1-based, ceil convention).
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank || (seen == rank && rank == count_)) {
+      const std::uint64_t upper = bucket_upper(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::clear() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Metrics::sample(std::int64_t now, std::uint64_t queue_depth,
+                     std::uint64_t in_flight,
+                     std::uint64_t checkpoint_residency) {
+  TimePoint point;
+  point.window_start = window_start_;
+  point.spawned = window_spawned_;
+  point.completed = window_completed_;
+  point.queue_depth = queue_depth;
+  point.in_flight = in_flight;
+  point.checkpoint_residency = checkpoint_residency;
+  point.latency_count = window_latency_.count();
+  point.latency_p50 = window_latency_.percentile(0.50);
+  point.latency_p99 = window_latency_.percentile(0.99);
+  point.latency_p999 = window_latency_.percentile(0.999);
+  series_.push_back(point);
+
+  window_start_ = now;
+  window_spawned_ = 0;
+  window_completed_ = 0;
+  window_latency_.clear();
+}
+
+void Metrics::clear() {
+  series_.clear();
+  window_start_ = 0;
+  window_spawned_ = 0;
+  window_completed_ = 0;
+  window_latency_.clear();
+  run_latency_.clear();
+}
+
+}  // namespace splice::obs

@@ -40,8 +40,9 @@ void PeriodicGlobalPolicy::begin_snapshot() {
   snapshot_valid_ = true;
   ++snapshots_;
   snapshot_units_total_ += units;
-  rt_->trace().add(rt_->sim().now(), net::kNoProc, "snapshot",
-                   [&] { return std::to_string(units) + " units"; });
+  rt_->recorder().record(rt_->sim().now(), obs::EventKind::kSnapshot,
+                         {.arg = units},
+                         [&] { return std::to_string(units) + " units"; });
   // "Virtually stop all computational operations while ... checkpointing
   // takes place": frozen for a state-size-dependent window.
   const auto freeze =
@@ -74,8 +75,10 @@ void PeriodicGlobalPolicy::restore() {
   // equivalent).
   parked_.clear();
   parked_results_.clear();
-  rt_->trace().add(rt_->sim().now(), net::kNoProc, "restore",
-                   snapshot_valid_ ? "from last snapshot" : "from scratch");
+  rt_->recorder().record(rt_->sim().now(), obs::EventKind::kRestore, {}, [&] {
+    return std::string(snapshot_valid_ ? "from last snapshot"
+                                       : "from scratch");
+  });
   if (!snapshot_valid_) {
     // Failure before the first snapshot: nothing saved, restart everything.
     for (net::ProcId p = 0; p < rt_->processor_count(); ++p) {
@@ -160,9 +163,11 @@ void PeriodicGlobalPolicy::on_rejoin(runtime::Runtime& rt, net::ProcId back) {
   if (it == parked_.end()) return;
   std::vector<Task> tasks = std::move(it->second);
   parked_.erase(it);
-  rt.trace().add(rt.sim().now(), back, "unpark", [&] {
-    return std::to_string(tasks.size()) + " parked tasks resumed";
-  });
+  rt.recorder().record(
+      rt.sim().now(), obs::EventKind::kUnpark,
+      {.proc = back, .arg = static_cast<std::uint64_t>(tasks.size())}, [&] {
+        return std::to_string(tasks.size()) + " parked tasks resumed";
+      });
   // Each resumed task is a redistribution (and the reissue traffic it
   // implies) the park avoided — the counter E15/E18 compare against the
   // splice stack's transfer-avoided reissues.
@@ -189,9 +194,11 @@ void PeriodicGlobalPolicy::redistribute_parked(net::ProcId home) {
     if (!rt_->processor(p).crashed()) alive.push_back(p);
   }
   if (alive.empty()) return;
-  rt_->trace().add(rt_->sim().now(), home, "park-expired", [&] {
-    return std::to_string(tasks.size()) + " tasks redistributed cold";
-  });
+  rt_->recorder().record(
+      rt_->sim().now(), obs::EventKind::kParkExpired,
+      {.proc = home, .arg = static_cast<std::uint64_t>(tasks.size())}, [&] {
+        return std::to_string(tasks.size()) + " tasks redistributed cold";
+      });
   std::vector<std::vector<Task>> plan(rt_->processor_count());
   std::size_t rr = 0;
   for (Task& task : tasks) {

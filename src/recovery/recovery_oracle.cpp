@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/causal.h"
+
 namespace splice::recovery {
 
 std::string OracleReport::to_string() const {
@@ -74,6 +76,41 @@ OracleReport RecoveryOracle::check(const core::RunResult& result,
              std::to_string(ckpt_accounted) + ")");
   }
 
+  return report;
+}
+
+OracleReport RecoveryOracle::check(const core::RunResult& result,
+                                   const obs::Journal& journal,
+                                   const Expect& expect) {
+  OracleReport report = check(result, expect);
+  if (report.violations.empty()) return report;
+  // Leaf selection is a linear scan over the journal's id order — no
+  // container-iteration nondeterminism — so a violation renders the same
+  // chain on every transport backend.
+  const auto last_of = [&journal](auto&& pred) {
+    obs::EventId leaf = obs::kNoEvent;
+    for (const obs::Event& event : journal.events) {
+      if (pred(event)) leaf = event.id;
+    }
+    return leaf;
+  };
+  const obs::EventId last_chaos = last_of([](const obs::Event& e) {
+    return e.kind == obs::EventKind::kCrash ||
+           e.kind == obs::EventKind::kPartition ||
+           e.kind == obs::EventKind::kGray;
+  });
+  for (OracleViolation& violation : report.violations) {
+    obs::EventId leaf = obs::kNoEvent;
+    if (violation.invariant == "task-leak") {
+      leaf = last_of([](const obs::Event& e) {
+        return e.kind == obs::EventKind::kOracleLeak;
+      });
+    }
+    if (leaf == obs::kNoEvent) leaf = last_chaos;
+    if (leaf == obs::kNoEvent) continue;  // recorder off or fault-free run
+    const std::string chain = obs::render_chain(journal, leaf);
+    if (!chain.empty()) violation.detail += "\ncausal chain:\n" + chain;
+  }
   return report;
 }
 

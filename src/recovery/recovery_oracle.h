@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "obs/journal.h"
 
 namespace splice::recovery {
 
@@ -72,6 +73,14 @@ class RecoveryOracle {
 
   /// Validate every applicable invariant; the report lists what failed.
   [[nodiscard]] static OracleReport check(const core::RunResult& result,
+                                          const Expect& expect = {});
+
+  /// Journal-aware variant: every violation's detail gains the causal chain
+  /// the flight recorder journaled for it — the leak's lineage walked back
+  /// to the fault for task-leak, the last chaos event's chain otherwise —
+  /// so a failed invariant arrives with its §4.1 story attached.
+  [[nodiscard]] static OracleReport check(const core::RunResult& result,
+                                          const obs::Journal& journal,
                                           const Expect& expect = {});
 };
 

@@ -85,8 +85,9 @@ void SplicePolicy::escalate(Processor& proc, ResultMsg msg) {
     }
   }
   ++proc.counters().orphans_stranded;
-  proc.runtime().trace().add(
-      proc.runtime().sim().now(), proc.id(), "stranded",
+  proc.runtime().recorder().record(
+      proc.runtime().sim().now(), obs::EventKind::kStranded,
+      {.proc = proc.id(), .stamp = &msg.stamp},
       [&] { return msg.stamp.to_string() + " (ancestor chain exhausted)"; });
 }
 

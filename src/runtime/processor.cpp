@@ -20,6 +20,18 @@ store::StateStreamer::Env make_streamer_env(Processor& self, Runtime& rt) {
   env.send = [&self, &rt](net::ProcId to, store::StateChunkMsg chunk) {
     if (self.crashed()) return;
     ++self.counters().state_chunks_sent;
+    rt.recorder().record(rt.sim().now(), obs::EventKind::kStateChunk,
+                         {.proc = self.id(),
+                          .peer = to,
+                          .arg = static_cast<std::uint64_t>(
+                              chunk.packets.size())},
+                         [&] {
+                           return "seq " + std::to_string(chunk.seq) + " (" +
+                                  std::to_string(chunk.packets.size()) +
+                                  " packets" +
+                                  (chunk.last ? ", last)" : ")") + " -> P" +
+                                  std::to_string(to);
+                         });
     Envelope env_out;
     env_out.kind = MsgKind::kStateChunk;
     env_out.from = self.id();
@@ -190,10 +202,12 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
   auto task = std::make_unique<Task>(uid, std::move(packet), rt_.sim().now());
   tasks_.emplace(uid, std::move(task));
 
-  rt_.trace().add(rt_.sim().now(), id_, "place", [&] {
-    return rt_.program().function(fn).name + " " + stamp.to_string() +
-           " uid=" + std::to_string(uid);
-  });
+  rt_.recorder().record(rt_.sim().now(), obs::EventKind::kPlace,
+                        {.proc = id_, .uid = uid, .stamp = &stamp}, [&] {
+                          return rt_.program().function(fn).name + " " +
+                                 stamp.to_string() +
+                                 " uid=" + std::to_string(uid);
+                        });
 
   // Positive acknowledgement: establishes the parent-to-child pointer
   // (Fig. 6 state b -> c).
@@ -376,12 +390,15 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
     env.payload = std::move(copy);
     rt_.network().send(std::move(env));
   }
-  rt_.trace().add(rt_.sim().now(), id_, "spawn", [&] {
-    return rt_.program().function(packet.fn).name + " " +
-           packet.stamp.to_string() + " -> P" + std::to_string(dests[0]) +
-           (dests.size() > 1 ? " (+" + std::to_string(dests.size() - 1) + ")"
-                             : "");
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kSpawn,
+      {.proc = id_, .peer = dests[0], .stamp = &packet.stamp}, [&] {
+        return rt_.program().function(packet.fn).name + " " +
+               packet.stamp.to_string() + " -> P" + std::to_string(dests[0]) +
+               (dests.size() > 1
+                    ? " (+" + std::to_string(dests.size() - 1) + ")"
+                    : "");
+      });
   // Functional checkpoint (replica 0's destination keys the table entry).
   if (rt_.policy().functional_checkpointing()) {
     if (slot.respawns > 0) {
@@ -396,12 +413,19 @@ void Processor::send_packet(Task& owner, CallSlot& slot) {
     record.site = slot.site;
     record.packet = packet;
     const auto outcome = table_.record(dests[0], std::move(record));
-    rt_.trace().add(rt_.sim().now(), id_, "checkpoint", [&] {
-      return packet.stamp.to_string() + " entry P" +
-             std::to_string(dests[0]) +
-             (outcome == checkpoint::RecordOutcome::kSubsumed ? " (subsumed)"
-                                                             : "");
-    });
+    rt_.recorder().record(
+        rt_.sim().now(), obs::EventKind::kCheckpoint,
+        {.proc = id_,
+         .peer = dests[0],
+         .uid = owner.uid(),
+         .stamp = &packet.stamp},
+        [&] {
+          return packet.stamp.to_string() + " entry P" +
+                 std::to_string(dests[0]) +
+                 (outcome == checkpoint::RecordOutcome::kSubsumed
+                      ? " (subsumed)"
+                      : "");
+        });
   }
 }
 
@@ -425,10 +449,17 @@ void Processor::complete_task(TaskUid uid, const lang::Value& value) {
   msg.ancestors = task->packet().ancestors;
   msg.replica = task->packet().replica;
 
-  rt_.trace().add(rt_.sim().now(), id_, "complete", [&] {
-    return rt_.program().function(task->packet().fn).name + " " +
-           task->stamp().to_string() + " = " + value.to_string();
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kComplete,
+      {.proc = id_,
+       .uid = task->uid(),
+       .stamp = &task->stamp(),
+       .arg = static_cast<std::uint64_t>(
+           (rt_.sim().now() - task->created_at()).ticks())},
+      [&] {
+        return rt_.program().function(task->packet().fn).name + " " +
+               task->stamp().to_string() + " = " + value.to_string();
+      });
   if (rt_.has_triggers()) {
     rt_.fire_trigger("complete:" +
                      rt_.program().function(task->packet().fn).name);
@@ -518,9 +549,11 @@ void Processor::deliver_parent_result(Task& task, const ResultMsg& msg) {
 
   if (msg.relayed) {
     ++counters_.orphan_results_salvaged;
-    rt_.trace().add(rt_.sim().now(), id_, "salvage", [&] {
-      return msg.stamp.to_string() + " into " + task.stamp().to_string();
-    });
+    rt_.recorder().record(
+        rt_.sim().now(), obs::EventKind::kSalvage,
+        {.proc = id_, .uid = task.uid(), .stamp = &msg.stamp}, [&] {
+          return msg.stamp.to_string() + " into " + task.stamp().to_string();
+        });
   }
   // An unspawned slot can be pre-filled here (twin not yet scanned, or a
   // stamp-matched delivery into a re-hosted task); its default-constructed
@@ -593,9 +626,10 @@ void Processor::handle_ack(AckMsg msg) {
       // fresh child would nullify the only remaining copy.
       return;
     }
-    rt_.trace().add(rt_.sim().now(), id_, "ack-of-corpse", [&] {
-      return msg.stamp.to_string() + " " + std::string(why);
-    });
+    rt_.recorder().record(
+        rt_.sim().now(), obs::EventKind::kAckOfCorpse,
+        {.proc = id_, .uid = msg.child.uid, .stamp = &msg.stamp},
+        [&] { return msg.stamp.to_string() + " " + std::string(why); });
     send_cancel(msg.stamp, msg.replica, msg.child.uid, msg.parent,
                 msg.child.proc);
   };
@@ -650,10 +684,13 @@ void Processor::relay_or_buffer(Task& ancestor, CallSlot& slot,
   msg.ancestor_index = static_cast<std::uint32_t>(gap - 1);
   msg.relayed = true;
   ++counters_.results_relayed;
-  rt_.trace().add(rt_.sim().now(), id_, "relay", [&] {
-    return msg.stamp.to_string() + " -> twin " + std::to_string(twin.uid) +
-           "@P" + std::to_string(twin.proc);
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kRelay,
+      {.proc = id_, .peer = twin.proc, .uid = twin.uid, .stamp = &msg.stamp},
+      [&] {
+        return msg.stamp.to_string() + " -> twin " + std::to_string(twin.uid) +
+               "@P" + std::to_string(twin.proc);
+      });
   send_result_msg(std::move(msg), twin.proc);
 }
 
@@ -771,13 +808,16 @@ void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
   known_dead_.insert(dead);
   // A catch-up peer that died mid-stream will never send its last chunk.
   note_transfer_peer_done(dead);
-  rt_.trace().add(rt_.sim().now(), id_, "detect", [&] {
-    // Incremental concatenation dodges a gcc 12 -Wrestrict false positive.
-    std::string detail = "P";
-    detail += std::to_string(dead);
-    detail += direct_detection ? " (direct)" : " (broadcast)";
-    return detail;
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kDetect,
+      {.proc = id_, .peer = dead, .arg = direct_detection ? 1u : 0u}, [&] {
+        // Incremental concatenation dodges a gcc 12 -Wrestrict false
+        // positive.
+        std::string detail = "P";
+        detail += std::to_string(dead);
+        detail += direct_detection ? " (direct)" : " (broadcast)";
+        return detail;
+      });
   rt_.note_detection(dead);
   if (direct_detection) {
     // First-hand detector: broadcast error-detection so every processor can
@@ -813,10 +853,14 @@ void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
     slot.twin_active = true;
     ++counters_.twins_created;
   }
-  rt_.trace().add(rt_.sim().now(), id_, as_twin ? "twin" : "reissue", [&] {
-    return rt_.program().function(slot.retained.fn).name + " " +
-           slot.retained.stamp.to_string() + " (" + std::string(reason) + ")";
-  });
+  rt_.recorder().record(
+      rt_.sim().now(),
+      as_twin ? obs::EventKind::kTwin : obs::EventKind::kReissue,
+      {.proc = id_, .stamp = &slot.retained.stamp}, [&] {
+        return rt_.program().function(slot.retained.fn).name + " " +
+               slot.retained.stamp.to_string() + " (" + std::string(reason) +
+               ")";
+      });
   send_packet(owner, slot);
 }
 
@@ -836,13 +880,15 @@ void Processor::respawn_slot(Task& owner, CallSlot& slot, bool as_twin,
 void Processor::send_cancel(const LevelStamp& stamp, std::uint32_t replica,
                             TaskUid uid, TaskRef parent, net::ProcId to) {
   ++counters_.cancels_sent;
-  rt_.trace().add(rt_.sim().now(), id_, "cancel", [&] {
-    return stamp.to_string() + (uid != kNoTask
-                                    ? " uid=" + std::to_string(uid)
-                                    : " (of parent uid=" +
-                                          std::to_string(parent.uid) + ")") +
-           " -> P" + std::to_string(to);
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kCancel,
+      {.proc = id_, .peer = to, .uid = uid, .stamp = &stamp}, [&] {
+        return stamp.to_string() +
+               (uid != kNoTask
+                    ? " uid=" + std::to_string(uid)
+                    : " (of parent uid=" + std::to_string(parent.uid) + ")") +
+               " -> P" + std::to_string(to);
+      });
   CancelMsg msg;
   msg.stamp = stamp;
   msg.replica = replica;
@@ -942,9 +988,11 @@ void Processor::abort_task(TaskUid uid, std::string_view reason) {
   }
   task->set_state(TaskState::kAborted);
   ++counters_.tasks_aborted;
-  rt_.trace().add(rt_.sim().now(), id_, "abort", [&] {
-    return task->stamp().to_string() + " (" + std::string(reason) + ")";
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kAbort,
+      {.proc = id_, .uid = uid, .stamp = &task->stamp()}, [&] {
+        return task->stamp().to_string() + " (" + std::string(reason) + ")";
+      });
   tasks_.erase(uid);
 }
 
@@ -1021,10 +1069,12 @@ void Processor::respawn_from_record(checkpoint::CheckpointRecord record,
   const net::ProcId dest = rt_.scheduler().choose(id_, packet);
   if (dest == net::kNoProc) return;
   ++counters_.tasks_respawned;
-  rt_.trace().add(rt_.sim().now(), id_, "reissue", [&] {
-    return packet.stamp.to_string() + " from restored record (" +
-           std::string(reason) + ")";
-  });
+  rt_.recorder().record(rt_.sim().now(), obs::EventKind::kReissue,
+                        {.proc = id_, .stamp = &packet.stamp}, [&] {
+                          return packet.stamp.to_string() +
+                                 " from restored record (" +
+                                 std::string(reason) + ")";
+                        });
   Envelope env;
   env.kind = MsgKind::kTaskPacket;
   env.from = id_;
@@ -1085,11 +1135,14 @@ void Processor::revive() {
   }
   if (store_.enabled()) table_.set_listener(&store_);
   ++counters_.rejoins;
-  rt_.trace().add(rt_.sim().now(), id_, "rejoin", [&] {
-    return warm ? "repaired, warm (" + std::to_string(restored) +
-                      " checkpoints restored)"
-                : std::string("repaired, blank");
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kRejoin,
+      {.proc = id_, .arg = warm ? static_cast<std::uint64_t>(restored) : 0},
+      [&] {
+        return warm ? "repaired, warm (" + std::to_string(restored) +
+                          " checkpoints restored)"
+                    : std::string("repaired, blank");
+      });
   // Announce the rejoin so live peers drop this node from their dead sets
   // (dead peers either stay silent forever or rejoin themselves).
   for (net::ProcId p = 0; p < rt_.network().size(); ++p) {
@@ -1181,8 +1234,9 @@ void Processor::accept_transferred_packet(TaskPacket packet) {
   ++counters_.state_packets_transferred;
   ++counters_.reissues_avoided;  // the peer would have respawned this task
   const LevelStamp stamp = packet.stamp;
-  rt_.trace().add(rt_.sim().now(), id_, "transfer-in",
-                  [&] { return stamp.to_string() + " re-hosted"; });
+  rt_.recorder().record(rt_.sim().now(), obs::EventKind::kTransferIn,
+                        {.proc = id_, .stamp = &stamp},
+                        [&] { return stamp.to_string() + " re-hosted"; });
   const TaskUid uid = accept_packet(std::move(packet));
   Task* task = find_task(uid);
   if (task == nullptr) return;
@@ -1207,10 +1261,12 @@ void Processor::accept_transferred_packet(TaskPacket packet) {
     // incarnation's owner uid as its parent ref; a cancel for it (pre-link
     // grace expiry) must name that instance, not the re-hosted owner.
     slot.prelink_prev_owner = prev_owner;
-    rt_.trace().add(rt_.sim().now(), id_, "pre-link", [&] {
-      return record->packet.stamp.to_string() + " awaiting P" +
-             std::to_string(dest);
-    });
+    rt_.recorder().record(
+        rt_.sim().now(), obs::EventKind::kPreLink,
+        {.proc = id_, .peer = dest, .stamp = &record->packet.stamp}, [&] {
+          return record->packet.stamp.to_string() + " awaiting P" +
+                 std::to_string(dest);
+        });
   }
 }
 
@@ -1223,10 +1279,16 @@ void Processor::note_transfer_peer_done(net::ProcId peer) {
 
 void Processor::complete_catch_up() {
   counters_.catch_up_ticks += (rt_.sim().now() - revive_time_).ticks();
-  rt_.trace().add(rt_.sim().now(), id_, "catch-up", [&] {
-    return "state transfer complete after " +
-           std::to_string((rt_.sim().now() - revive_time_).ticks()) + " ticks";
-  });
+  rt_.recorder().record(
+      rt_.sim().now(), obs::EventKind::kCatchUp,
+      {.proc = id_,
+       .arg = static_cast<std::uint64_t>(
+           (rt_.sim().now() - revive_time_).ticks())},
+      [&] {
+        return "state transfer complete after " +
+               std::to_string((rt_.sim().now() - revive_time_).ticks()) +
+               " ticks";
+      });
   flush_warm_results();  // stragglers now resolve or discard normally
   // Liveness guard on the awaited orphans: a pre-linked result can be lost
   // to a later fault (ancestor chain exhausted, host re-crash) or be a
@@ -1271,24 +1333,26 @@ void Processor::learn_alive(net::ProcId back) {
   // Incremental concatenation in the thunks dodges a gcc 12 -Wrestrict
   // false positive (same workaround as learn_dead).
   if (known_dead_.erase(back) > 0) {
-    rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", [&] {
-      std::string detail = "P";
-      detail += std::to_string(back);
-      detail += " is back";
-      return detail;
-    });
+    rt_.recorder().record(rt_.sim().now(), obs::EventKind::kPeerRejoin,
+                          {.proc = id_, .peer = back}, [&] {
+                            std::string detail = "P";
+                            detail += std::to_string(back);
+                            detail += " is back";
+                            return detail;
+                          });
     return;
   }
   // We never saw this node die: the repair beat our detection timeout. Its
   // volatile state — including any of our children it hosted — is gone all
   // the same, so honour the reissue obligations a death notification would
   // have triggered. (No-op when we hold no checkpoints toward it.)
-  rt_.trace().add(rt_.sim().now(), id_, "peer-rejoin", [&] {
-    std::string detail = "P";
-    detail += std::to_string(back);
-    detail += " rejoined undetected";
-    return detail;
-  });
+  rt_.recorder().record(rt_.sim().now(), obs::EventKind::kPeerRejoin,
+                        {.proc = id_, .peer = back}, [&] {
+                          std::string detail = "P";
+                          detail += std::to_string(back);
+                          detail += " rejoined undetected";
+                          return detail;
+                        });
   rt_.policy().on_error_detected(*this, back);
 }
 

@@ -178,6 +178,11 @@ class Processor {
   /// True from a warm revive until the next crash: enables stamp-matched
   /// delivery of results addressed to this node's previous incarnation.
   [[nodiscard]] bool warm_rejoined() const noexcept { return warm_rejoined_; }
+  /// Crash count of this node — 0 for the first life, bumped per crash.
+  /// splice_noded tags its log lines with it.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
   /// While warm catch-up is streaming, park a result whose consumer has not
   /// been re-hosted yet; it re-delivers as transfers land. Returns false
   /// once catch-up is over (the caller discards normally).

@@ -17,9 +17,15 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
       network_(network),
       config_(config),
       program_(program),
-      trace_(config.collect_trace),
       hosts_super_root_(network.transport().local(0)),
       detection_noted_(config.processors, false) {
+  // The recorder is the single write path for observability: an explicit
+  // obs.recorder opt-in journals typed events, and collect_trace (the
+  // legacy human-readable trace) additionally keeps rendered detail
+  // strings — the Trace accessor materialises its view from this journal.
+  recorder_.configure(config_.obs.recorder || config_.collect_trace,
+                      config_.obs.journal_capacity, config_.collect_trace);
+  recorder_.set_processors(config_.processors);
   scheduler_ = sched::make_scheduler(config_.scheduler);
   policy_ = recovery::make_policy(config_.recovery);
 
@@ -65,7 +71,7 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
   };
   sr.relay = [this](ResultMsg msg) { host_send_result(std::move(msg)); };
   sr.on_stranded = [this] { ++stranded_from_host_; };
-  sr.trace = &trace_;
+  sr.recorder = &recorder_;
   sr.quorum = quorum_for(0);
   sr.replicas = replication_for(0);
   // Root respawn is itself a recovery action: the no-recovery control arm
@@ -104,6 +110,46 @@ void Runtime::start() {
   }
   schedule_scheduler_tick();
   schedule_gc_tick();
+  schedule_obs_sample();
+}
+
+core::Trace& Runtime::trace() {
+  // Rebuild the rendering view when the journal advanced. With the
+  // recorder off both counts are 0 after the first call, so this stays a
+  // cheap comparison.
+  if (trace_materialized_ != recorder_.total_recorded()) {
+    trace_ = core::Trace(true);
+    recorder_.for_each([this](const obs::Event& event,
+                              const std::string& detail) {
+      trace_.add(sim::SimTime(event.ticks), event.proc,
+                 std::string(obs::to_string(event.kind)), detail);
+    });
+    trace_.set_enabled(recorder_.enabled());
+    trace_materialized_ = recorder_.total_recorded();
+  }
+  return trace_;
+}
+
+void Runtime::schedule_obs_sample() {
+  if (!recorder_.enabled() || config_.obs.sample_interval <= 0) return;
+  sim_.after(sim::SimTime(config_.obs.sample_interval), [this] {
+    recorder_.metrics().sample(sim_.now().ticks(), sim_.pending_events(),
+                               network_.in_flight(),
+                               checkpoint_resident_now());
+    // The window closing at (or after) completion is the last one; without
+    // this stop the rearming tick would keep the event queue alive until
+    // the deadline.
+    if (done_) return;
+    schedule_obs_sample();
+  });
+}
+
+std::uint64_t Runtime::checkpoint_resident_now() const {
+  std::uint64_t resident = 0;
+  for (const auto& proc : procs_) {
+    if (!proc->crashed()) resident += proc->table().total_records();
+  }
+  return resident;
 }
 
 net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
@@ -118,10 +164,11 @@ net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
       network_.distributed() ? 0 : scheduler_->choose(0, packet);
   if (dest == net::kNoProc) return net::kNoProc;
   ++host_messages_;
-  trace_.add(sim_.now(), net::kNoProc, "inject-root", [&] {
-    return "replica " + std::to_string(packet.replica) + " -> P" +
-           std::to_string(dest);
-  });
+  recorder_.record(sim_.now(), obs::EventKind::kInjectRoot,
+                   {.peer = dest, .arg = packet.replica}, [&] {
+                     return "replica " + std::to_string(packet.replica) +
+                            " -> P" + std::to_string(dest);
+                   });
   sim_.after(sim::SimTime(config_.latency.base),
              [this, dest, packet = std::move(packet)]() mutable {
                if (!network_.alive(dest)) {
@@ -144,8 +191,9 @@ void Runtime::deliver_to_super_root(ResultMsg msg) {
                if (!was_done && super_root_->done()) {
                  done_ = true;
                  completion_time_ = sim_.now();
-                 trace_.add(sim_.now(), net::kNoProc, "done",
-                            [&] { return super_root_->answer().to_string(); });
+                 recorder_.record(sim_.now(), obs::EventKind::kDone, {}, [&] {
+                   return super_root_->answer().to_string();
+                 });
                }
              });
 }
@@ -185,7 +233,8 @@ void Runtime::note_detection(net::ProcId dead) {
 
 void Runtime::on_kill(net::ProcId dead) {
   procs_.at(dead)->nuke();
-  trace_.add(sim_.now(), dead, "crash", "processor failed (fail-silent)");
+  recorder_.record(sim_.now(), obs::EventKind::kCrash, {.proc = dead},
+                   [] { return std::string("processor failed (fail-silent)"); });
 }
 
 void Runtime::on_revive(net::ProcId back) {
@@ -195,9 +244,10 @@ void Runtime::on_revive(net::ProcId back) {
   // rejoin, detection and the global policy hooks must fire again.
   if (back < detection_noted_.size()) detection_noted_[back] = false;
   procs_.at(back)->revive();
-  trace_.add(sim_.now(), back, "revive",
-             warm_rejoin_ ? "processor repaired (warm)"
-                          : "processor repaired (blank)");
+  recorder_.record(sim_.now(), obs::EventKind::kRevive, {.proc = back}, [&] {
+    return std::string(warm_rejoin_ ? "processor repaired (warm)"
+                                    : "processor repaired (blank)");
+  });
   if (undetected) {
     // The repair completed before anyone observed the death (stale bounce
     // notices are suppressed once the node is alive again), but the
@@ -242,9 +292,11 @@ bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
   // per observer per death.
   if (!proc.has_stake_in(dead)) return false;
   ++proc.counters().reissues_deferred;
-  trace_.add(sim_.now(), proc.id(), "defer", [&] {
-    return "reissue against P" + std::to_string(dead) + " (warm rejoin)";
-  });
+  recorder_.record(sim_.now(), obs::EventKind::kDefer,
+                   {.proc = proc.id(), .peer = dead}, [&] {
+                     return "reissue against P" + std::to_string(dead) +
+                            " (warm rejoin)";
+                   });
   const net::ProcId holder = proc.id();
   sim_.after(sim::SimTime(config_.store.warm_grace), [this, holder, dead] {
     if (done_) return;
@@ -252,9 +304,10 @@ bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
     Processor& p = *procs_.at(holder);
     if (p.crashed()) return;  // the holder died meanwhile; its own recovery
                               // (or its peers') regrows the branch
-    trace_.add(sim_.now(), holder, "grace-expired", [&] {
-      return "cold reissue against P" + std::to_string(dead);
-    });
+    recorder_.record(sim_.now(), obs::EventKind::kGraceExpired,
+                     {.proc = holder, .peer = dead}, [&] {
+                       return "cold reissue against P" + std::to_string(dead);
+                     });
     policy_->reissue_against(p, dead);
   });
   return true;
@@ -493,10 +546,11 @@ void Runtime::gc_oracle_check(const std::vector<GcVictim>& victims) {
     if (std::binary_search(oracle_prev_sightings_.begin(),
                            oracle_prev_sightings_.end(), sighting)) {
       ++gc_oracle_orphans_;
-      trace_.add(sim_.now(), sighting.first, "oracle-leak", [&] {
-        return "uid=" + std::to_string(sighting.second) +
-               " outlived the cancel protocol";
-      });
+      recorder_.record(sim_.now(), obs::EventKind::kOracleLeak,
+                       {.proc = sighting.first, .uid = sighting.second}, [&] {
+                         return "uid=" + std::to_string(sighting.second) +
+                                " outlived the cancel protocol";
+                       });
     }
   }
   oracle_prev_sightings_ = std::move(sightings);

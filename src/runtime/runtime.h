@@ -17,6 +17,7 @@
 #include "lang/interpreter.h"
 #include "lang/program.h"
 #include "net/network.h"
+#include "obs/journal.h"
 #include "recovery/policy.h"
 #include "runtime/processor.h"
 #include "sched/scheduler.h"
@@ -56,7 +57,17 @@ class Runtime {
   }
   [[nodiscard]] sched::Scheduler& scheduler() noexcept { return *scheduler_; }
   [[nodiscard]] recovery::RecoveryPolicy& policy() noexcept { return *policy_; }
-  [[nodiscard]] core::Trace& trace() noexcept { return trace_; }
+  /// The flight recorder every protocol hook journals into (obs/journal.h).
+  /// Hooks call recorder().record(...) unconditionally; when the recorder
+  /// is off that is a single branch.
+  [[nodiscard]] obs::Recorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const obs::Recorder& recorder() const noexcept {
+    return recorder_;
+  }
+  /// The human-readable trace, materialised on demand as a rendering view
+  /// over the typed journal (the write path is recorder(); this is the
+  /// read path the figure walkthroughs and test assertions consume).
+  [[nodiscard]] core::Trace& trace();
   [[nodiscard]] checkpoint::SuperRoot& super_root() noexcept {
     return *super_root_;
   }
@@ -187,7 +198,9 @@ class Runtime {
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<recovery::RecoveryPolicy> policy_;
   std::unique_ptr<checkpoint::SuperRoot> super_root_;
-  core::Trace trace_;
+  obs::Recorder recorder_;
+  core::Trace trace_;  // lazily rebuilt view over recorder_'s journal
+  std::uint64_t trace_materialized_ = UINT64_MAX;
 
   TaskUid uid_counter_ = checkpoint::SuperRoot::kSuperRootUid + 1;
   bool done_ = false;
@@ -203,6 +216,12 @@ class Runtime {
   std::function<void(const std::string&)> trigger_sink_;
 
   void schedule_scheduler_tick();
+  /// Flight-recorder metrics sampling (config.obs.sample_interval): close
+  /// one goodput/gauge window per interval. Read-only — it perturbs no
+  /// protocol state, so seeded runs journal identically with it on or off.
+  void schedule_obs_sample();
+  /// Live checkpoint entries across all healthy processors (gauge feed).
+  [[nodiscard]] std::uint64_t checkpoint_resident_now() const;
   /// Orphan GC (config.reclaim.gc_interval): periodically reclaim — or, in oracle
   /// mode, merely identify — duplicate live tasks left behind by racing
   /// recovery actions. See gc_sweep().

@@ -46,6 +46,11 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;
   }
+  /// Live (uncancelled, unfired) events — the queue-depth gauge the
+  /// flight recorder's metrics sampler reads.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.pending();
+  }
 
   /// Hard stop: request run_until to return after the current event.
   void request_stop() noexcept { stop_requested_ = true; }

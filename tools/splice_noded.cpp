@@ -25,22 +25,37 @@
 //   REJOIN_COMPLETE rank=R  warm/cold catch-up finished
 //   DONE answer=V           rank 0 only: root program completed
 //   SHUTDOWN rank=R         exiting on the group teardown broadcast
+//   JOURNAL rank=R file=F   flight-recorder dump written (--journal only)
+//
+// With --journal FILE the per-rank flight recorder is on: the journal dumps
+// to FILE on exit and on SIGUSR1 (live inspection of a running group), a
+// periodic STATS line reports recorder counters, and `splice_trace merge`
+// stitches the per-rank dumps into one timeline. Log lines are prefixed
+// with `[rank R inc I]` so interleaved stderr from the group stays
+// attributable.
+#include <csignal>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/config.h"
 #include "lang/programs.h"
+#include "obs/journal.h"
 #include "util/logging.h"
 #include "net/tcp_transport.h"
 #include "runtime/runtime.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
 
 struct Options {
   std::uint32_t rank = 0;
@@ -53,6 +68,8 @@ struct Options {
   bool warm = false;
   std::uint64_t seed = 1;
   std::string log_level;
+  std::string journal;               // empty: recorder off
+  std::int64_t stats_ticks = 2'000'000;  // STATS cadence (with --journal)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +77,7 @@ struct Options {
       stderr,
       "usage: %s --rank R --ranks N [--base-port P] [--program NAME:ARG]\n"
       "          [--tick-ns NS] [--deadline-ticks T] [--seed S]\n"
-      "          [--rejoin] [--warm]\n",
+      "          [--rejoin] [--warm] [--journal FILE] [--stats-ticks T]\n",
       argv0);
   std::exit(2);
 }
@@ -89,6 +106,10 @@ Options parse_args(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--log") {
       opt.log_level = value();
+    } else if (arg == "--journal") {
+      opt.journal = value();
+    } else if (arg == "--stats-ticks") {
+      opt.stats_ticks = std::atoll(value());
     } else if (arg == "--rejoin") {
       opt.rejoin = true;
     } else if (arg == "--warm") {
@@ -139,6 +160,7 @@ int main(int argc, char** argv) {
   cfg.heartbeat_interval = 2000;
   cfg.seed = opt.seed;
   cfg.transport.backend = net::TransportKind::kTcp;
+  cfg.obs.recorder = !opt.journal.empty();
 
   const lang::Program program = make_program(opt.program);
 
@@ -159,6 +181,34 @@ int main(int argc, char** argv) {
                        cfg.latency, std::move(transport));
   runtime::Runtime rt(sim, network, cfg, program);
   rt.set_warm_rejoin(opt.warm);
+  rt.recorder().set_rank(opt.rank);
+  // Interleaved stderr from N ranks must stay attributable: prefix every
+  // log line with the rank and the local node's incarnation (bumps when
+  // this rank's processor is crashed, e.g. a --rejoin arrival).
+  util::Logger::instance().set_sink(
+      [&rt, rank = opt.rank](util::LogLevel level, std::string_view message) {
+        std::fprintf(stderr, "[rank %u inc %llu] [%s] %.*s\n", rank,
+                     static_cast<unsigned long long>(
+                         rt.processor(rank).incarnation()),
+                     util::to_string(level).data(),
+                     static_cast<int>(message.size()), message.data());
+      });
+  const auto dump_journal = [&](const char* why) {
+    if (opt.journal.empty()) return;
+    const obs::Journal journal = rt.recorder().snapshot();
+    const std::vector<std::uint8_t> bytes = obs::serialize(journal);
+    std::ofstream out(opt.journal, std::ios::binary | std::ios::trunc);
+    if (!out.write(reinterpret_cast<const char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()))) {
+      std::fprintf(stderr, "rank %u: cannot write %s\n", opt.rank,
+                   opt.journal.c_str());
+      return;
+    }
+    std::printf("JOURNAL rank=%u file=%s events=%zu reason=%s\n", opt.rank,
+                opt.journal.c_str(), journal.events.size(), why);
+    std::fflush(stdout);
+  };
+  if (!opt.journal.empty()) std::signal(SIGUSR1, on_sigusr1);
 
   rt.start();
   if (opt.rejoin) {
@@ -178,10 +228,29 @@ int main(int argc, char** argv) {
   bool rejoin_pending = opt.rejoin;
   bool done_announced = false;
   std::int64_t linger_until = -1;  // rank 0: flush window after DONE
+  std::int64_t next_stats = opt.stats_ticks;
   const auto wall0 = Clock::now();
 
   for (;;) {
     network.poll();
+
+    if (g_dump_requested) {
+      g_dump_requested = 0;
+      dump_journal("sigusr1");
+    }
+    if (!opt.journal.empty() && opt.stats_ticks > 0 &&
+        sim.now().ticks() >= next_stats) {
+      next_stats = sim.now().ticks() + opt.stats_ticks;
+      std::printf(
+          "STATS rank=%u t=%lld events=%llu dropped=%llu windows=%zu "
+          "in_flight=%llu\n",
+          opt.rank, static_cast<long long>(sim.now().ticks()),
+          static_cast<unsigned long long>(rt.recorder().total_recorded()),
+          static_cast<unsigned long long>(rt.recorder().dropped()),
+          rt.recorder().metrics().series().size(),
+          static_cast<unsigned long long>(network.in_flight()));
+      std::fflush(stdout);
+    }
 
     const std::int64_t target_ticks =
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -230,9 +299,11 @@ int main(int argc, char** argv) {
     if (sim.now().ticks() >= opt.deadline_ticks) {
       std::fprintf(stderr, "rank %u: deadline reached without completion\n",
                    opt.rank);
+      dump_journal("deadline");
       return 3;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  dump_journal("exit");
   return 0;
 }
