@@ -227,7 +227,7 @@ std::vector<net::Envelope> sample_wire_mix() {
 
 // Serialization cost per message: items/sec over the representative mix is
 // messages/sec (ns/msg = 1e9 / items_per_second); bytes/sec reflects the
-// encoded density. bench_json.py records both into BENCH_PR8.json.
+// encoded density. bench_json.py records both into BENCH_PR9.json.
 void BM_CodecEncode(benchmark::State& state) {
   const std::vector<net::Envelope> mix = sample_wire_mix();
   std::vector<std::uint8_t> buf;
@@ -273,7 +273,7 @@ BENCHMARK(BM_CodecDecode);
 // End-to-end wire density: a full seeded run over the shared-memory ring
 // backend (every protocol message serialized through the codec) reporting
 // encoded bytes per simulated event and per message, plus the measured
-// encode/decode ns per message. These counters land in BENCH_PR8.json.
+// encode/decode ns per message. These counters land in BENCH_PR9.json.
 void BM_WireBytesPerEvent(benchmark::State& state) {
   const lang::Program program = lang::programs::tree_sum(8, 2, 60, 10);
   core::SystemConfig cfg;
@@ -314,7 +314,7 @@ void BM_WireBytesPerEvent(benchmark::State& state) {
 BENCHMARK(BM_WireBytesPerEvent)->Unit(benchmark::kMillisecond);
 
 // Whole-simulator throughput gate (bench_json.py records items/sec =
-// simulated events/sec into BENCH_PR8.json alongside the tab_scalability
+// simulated events/sec into BENCH_PR9.json alongside the tab_scalability
 // sweep).
 void BM_SimThroughput(benchmark::State& state) {
   const auto procs = static_cast<std::uint32_t>(state.range(0));
@@ -339,6 +339,42 @@ void BM_SimThroughput(benchmark::State& state) {
   state.SetItemsProcessed(events);
 }
 BENCHMARK(BM_SimThroughput)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Per-shard journal rings: in engine mode each worker records into its own
+// ring during the window and merge_journals() splices them into the
+// canonical journal afterwards, so journaling a sharded run must cost about
+// what the single-ring recorder does (~12% over recorder-off is the gate
+// bench_json.py tracks). Arg = shard count; 0 is the classic single-queue
+// path with the recorder on, the baseline the sharded rings are held to.
+void BM_JournalRecordSharded(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  const lang::Program program = lang::programs::tree_sum(8, 2, 60, 10);
+  core::SystemConfig cfg;
+  cfg.processors = 32;
+  cfg.topology = net::TopologyKind::kTorus2D;
+  cfg.scheduler.kind = core::SchedulerKind::kLocalFirst;
+  cfg.recovery.kind = core::RecoveryKind::kSplice;
+  cfg.heartbeat_interval = 2000;
+  cfg.seed = 71;
+  cfg.parallel.shards = shards;
+  cfg.obs.recorder = true;
+  const std::int64_t makespan =
+      core::Simulation::fault_free_makespan(cfg, program);
+  const auto plan = net::FaultPlan::single(
+      static_cast<net::ProcId>(32 / 3), sim::SimTime(makespan / 2));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const core::RunResult r = core::run_once(cfg, program, plan);
+    if (!r.completed) state.SkipWithError("did not complete");
+    events += static_cast<std::int64_t>(r.sim_events);
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_JournalRecordSharded)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GradientRelaxation(benchmark::State& state) {
   const auto n = static_cast<net::ProcId>(state.range(0));

@@ -18,7 +18,7 @@
 // clock throughput of the simulator itself — events/sec, heap allocations
 // per event (global counting allocator in this binary), and peak RSS — at
 // 32/64/128/256 processors. `--perf-json PATH` dumps table 3 as JSON;
-// scripts/bench_json.py wraps it into BENCH_PR8.json and enforces the
+// scripts/bench_json.py wraps it into BENCH_PR9.json and enforces the
 // regression guard.
 #include <sys/resource.h>
 
@@ -682,6 +682,114 @@ int main(int argc, char** argv) {
   }
   bench::emit(perf, opt);
 
+  // ---- E21: sharded-engine scaling + scheduler x workload matrix ----------
+  // The PDES engine runs the same seeded computation at every shard count,
+  // so this sweep is pure wall-clock: events/sec at 1/2/4/8 worker threads
+  // (the scaling curve), and the E16 workload matrix re-run across
+  // schedulers at 1 and 8 shards (the "does any scheduler break the
+  // parallel path" gate — every cell must stay answer-correct, and the
+  // events/sec/thread aggregate feeds the bench_json.py regression guard).
+  // On a single-core host the curve is honest overhead measurement: shards
+  // > 1 pay barrier + context-switch cost with no parallel speedup.
+  struct E21Row {
+    const char* workload = nullptr;
+    const char* scheduler = nullptr;
+    std::uint32_t shards = 0;
+    double events_per_sec = 0;
+    std::uint64_t events = 0;
+    int correct = 0;
+    int runs = 0;
+  };
+  std::vector<E21Row> e21_rows;
+  {
+    const struct {
+      const char* name;
+      lang::Program program;
+    } workloads[] = {
+        {"tree_sum(10,2)", lang::programs::tree_sum(10, 2, 60, 10)},
+        {"nqueens(6)", lang::programs::nqueens(6)},
+    };
+    const struct {
+      const char* name;
+      core::SchedulerKind kind;
+    } scheds[] = {
+        {"random", core::SchedulerKind::kRandom},
+        {"local-first", core::SchedulerKind::kLocalFirst},
+        {"gradient", core::SchedulerKind::kGradient},
+    };
+    const int e21_reps = opt.quick ? 1 : 2;
+    auto run_cell = [&](const lang::Program& program, const char* wl_name,
+                        const char* sc_name, core::SchedulerKind kind,
+                        std::uint32_t shards) {
+      core::SystemConfig cfg =
+          config_for(64, net::TopologyKind::kTorus2D, 71);
+      cfg.scheduler.kind = kind;
+      cfg.parallel.shards = shards;
+      const std::int64_t makespan =
+          core::Simulation::fault_free_makespan(cfg, program);
+      const auto plan = net::FaultPlan::single(
+          static_cast<net::ProcId>(64 / 3), sim::SimTime(makespan / 2));
+      E21Row row;
+      row.workload = wl_name;
+      row.scheduler = sc_name;
+      row.shards = shards;
+      double best = 0;
+      for (int batch = 0; batch < 2; ++batch) {
+        std::uint64_t batch_events = 0;
+        row.events = 0;
+        row.correct = 0;
+        row.runs = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < e21_reps; ++i) {
+          cfg.seed = 71 + static_cast<std::uint64_t>(i);
+          const core::RunResult r = core::run_once(cfg, program, plan);
+          batch_events += r.sim_events;
+          row.events += r.sim_events;
+          ++row.runs;
+          if (r.completed && r.answer_correct) ++row.correct;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::max(best,
+                        static_cast<double>(batch_events) /
+                            std::chrono::duration<double>(t1 - t0).count());
+      }
+      row.events_per_sec = best;
+      row.events /= static_cast<std::uint64_t>(e21_reps);
+      e21_rows.push_back(row);
+    };
+    // Scaling curve: one workload/scheduler across the full thread sweep.
+    for (std::uint32_t shards : {1U, 2U, 4U, 8U}) {
+      run_cell(workloads[0].program, workloads[0].name, scheds[1].name,
+               scheds[1].kind, shards);
+    }
+    // Matrix: every workload x scheduler at the endpoints (1 and 8 shards),
+    // skipping the curve's own cells.
+    for (const auto& wl : workloads) {
+      for (const auto& sc : scheds) {
+        for (std::uint32_t shards : {1U, 8U}) {
+          if (wl.name == workloads[0].name && sc.name == scheds[1].name) {
+            continue;
+          }
+          run_cell(wl.program, wl.name, sc.name, sc.kind, shards);
+        }
+      }
+    }
+    util::Table e21({"workload", "scheduler", "shards", "events/sec",
+                     "events/sec/thread", "correct"});
+    e21.set_title(
+        "E21 sharded engine — scaling curve + scheduler x workload matrix "
+        "(engine(K) vs engine(1), same seeded computation)");
+    for (const E21Row& r : e21_rows) {
+      e21.add_row({std::string(r.workload), std::string(r.scheduler),
+                   util::Table::num(static_cast<std::uint64_t>(r.shards)),
+                   util::Table::num(r.events_per_sec, 0),
+                   util::Table::num(r.events_per_sec / r.shards, 0),
+                   std::to_string(r.correct) + "/" +
+                       std::to_string(r.runs)});
+    }
+    bench::emit(e21, opt);
+  }
+
   if (perf_json != nullptr) {
     const double calib = calibration_mops();
     std::FILE* out = std::fopen(perf_json, "w");
@@ -739,6 +847,22 @@ int main(int argc, char** argv) {
                    r.procs, r.scenario, r.correct, r.runs, r.goodput,
                    r.slowdown, r.reclaimed, r.latency, r.msgs_lost,
                    r.cancel_msgs, i + 1 < e19_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"e21_pdes\": [\n");
+    for (std::size_t i = 0; i < e21_rows.size(); ++i) {
+      const E21Row& r = e21_rows[i];
+      std::fprintf(out,
+                   "    {\"workload\": \"%s\", \"scheduler\": \"%s\", "
+                   "\"shards\": %u, \"events_per_sec\": %.0f, "
+                   "\"normalized_events_per_mop\": %.1f, "
+                   "\"events_per_sec_per_thread\": %.0f, "
+                   "\"events_per_run\": %llu, \"correct\": %d, "
+                   "\"runs\": %d}%s\n",
+                   r.workload, r.scheduler, r.shards, r.events_per_sec,
+                   r.events_per_sec / calib,
+                   r.events_per_sec / r.shards,
+                   static_cast<unsigned long long>(r.events), r.correct,
+                   r.runs, i + 1 < e21_rows.size() ? "," : "");
     }
     std::fprintf(out,
                  "  ],\n  \"recorder_overhead\": {\"procs\": 128, "

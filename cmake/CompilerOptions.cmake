@@ -2,7 +2,7 @@
 # splice target links against. Kept out of the root CMakeLists so the
 # warning contract is visible (and editable) in one place.
 #
-# Consumes: SPLICE_WERROR, SPLICE_SANITIZE.
+# Consumes: SPLICE_WERROR, SPLICE_SANITIZE, SPLICE_TSAN.
 
 add_library(splice_options INTERFACE)
 
@@ -20,8 +20,22 @@ if(SPLICE_WERROR)
   target_compile_options(splice_options INTERFACE -Werror)
 endif()
 
+if(SPLICE_SANITIZE AND SPLICE_TSAN)
+  message(FATAL_ERROR "SPLICE_SANITIZE (ASan) and SPLICE_TSAN are mutually exclusive")
+endif()
+
 if(SPLICE_SANITIZE)
   target_compile_options(splice_options INTERFACE
     -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
   target_link_options(splice_options INTERFACE -fsanitize=address,undefined)
+endif()
+
+# ThreadSanitizer: the witness for the PDES engine's lock-light protocol.
+# Every cross-thread edge in the sharded simulator (inbox slots, window
+# state, the barrier handoffs) is meant to be ordered by the two window
+# barriers alone — TSan checks that claim on every run of the suite.
+if(SPLICE_TSAN)
+  target_compile_options(splice_options INTERFACE
+    -fsanitize=thread -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(splice_options INTERFACE -fsanitize=thread)
 endif()

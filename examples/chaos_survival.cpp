@@ -4,16 +4,19 @@
 // spec to wreck it your own way (regional outages, cascades, Poisson fault
 // rates, crash-recovery rejoin — see core::parse_fault_plan).
 //
-//   $ ./chaos_survival [n] [processors] [scenario] [transport]
+//   $ ./chaos_survival [n] [processors] [scenario] [backend]
 //   $ ./chaos_survival 6 16 "rect:0,0,2x2@20000;rejoin:8000"
 //   $ ./chaos_survival 6 16 "cascade:5@15000,p=0.9,hops=2;rejoin:10000"
 //   $ ./chaos_survival 6 16 "poisson:mean=9000,stop=200000;rejoin:12000" shm
+//   $ ./chaos_survival 6 16 "rect:0,0,2x2@20000;rejoin:8000" pdes4
 //
-// `transport` is inproc (default) or shm: the latter routes every message
-// through the wire codec and shared-memory rings — same seeded answer,
-// real bytes (net/transport.h).
+// `backend` is inproc (default) or shm — the latter routes every message
+// through the wire codec and shared-memory rings (same seeded answer, real
+// bytes; net/transport.h) — or pdesK for the sharded parallel engine with
+// K worker threads (runtime/pdes_engine.h; same seeded answer as pdes1).
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "core/simulation.h"
 #include "lang/programs.h"
@@ -43,15 +46,27 @@ int main(int argc, char** argv) {
   cfg.heartbeat_interval = 1000;
   cfg.seed = 99;
   if (argc > 4) {
-    try {
-      cfg.transport.backend = net::parse_transport(argv[4]);
-    } catch (const std::exception& err) {
-      std::fprintf(stderr, "bad transport: %s\n", err.what());
-      return 2;
+    const std::string_view backend = argv[4];
+    if (backend.starts_with("pdes")) {
+      const int shards = std::atoi(argv[4] + 4);
+      if (shards < 1) {
+        std::fprintf(stderr, "bad backend: expected pdesK with K >= 1\n");
+        return 2;
+      }
+      cfg.parallel.shards = static_cast<std::uint32_t>(shards);
+      std::printf("backend: sharded engine, %u shards\n", cfg.parallel.shards);
+    } else {
+      try {
+        cfg.transport.backend = net::parse_transport(argv[4]);
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "bad transport: %s\n", err.what());
+        return 2;
+      }
+      std::printf("transport: %.*s\n",
+                  static_cast<int>(
+                      net::to_string(cfg.transport.backend).size()),
+                  net::to_string(cfg.transport.backend).data());
     }
-    std::printf("transport: %.*s\n",
-                static_cast<int>(net::to_string(cfg.transport.backend).size()),
-                net::to_string(cfg.transport.backend).data());
   }
 
   const std::int64_t makespan =

@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
-"""Emit and check the repo's recorded perf trajectory (BENCH_PR8.json).
+"""Emit and check the repo's recorded perf trajectory (BENCH_PR9.json).
 
-Emit: runs the E16 throughput section of tab_scalability (and, when present,
-the BM_SimThroughput gate plus the wire-codec benches in micro_structures),
-then writes one merged JSON:
+Emit: runs the E16 throughput + E21 sharded-engine sections of
+tab_scalability (and, when present, the BM_SimThroughput /
+BM_JournalRecordSharded gates plus the wire-codec benches in
+micro_structures), then writes one merged JSON:
 
-    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR8.json
+    python3 scripts/bench_json.py --bin-dir build/release --out BENCH_PR9.json
 
 Check: compares a freshly emitted JSON against the trajectory checked into
 the repo and fails (exit 1) if events/sec regressed by more than the
-threshold at any machine size:
+threshold at any machine size, or if the E21 aggregate events/sec/thread
+(the sharded engine's per-worker efficiency, normalized) regressed:
 
     python3 scripts/bench_json.py --bin-dir build/release \
-        --out /tmp/fresh.json --check BENCH_PR8.json
+        --out /tmp/fresh.json --check BENCH_PR9.json
 
 Machines differ, so the guard compares *normalized* throughput: events/sec
 divided by a fixed pure-CPU calibration loop's rate measured in the same
@@ -29,7 +31,9 @@ codec's bytes/event, bytes/msg, and encode/decode ns/msg measured by
 BM_WireBytesPerEvent + BM_CodecEncode/BM_CodecDecode over the
 shared-memory ring backend. PR8 adds a "recorder_overhead" section (E20):
 throughput with the flight recorder off vs. on, plus the partition-heal
-goodput/latency time series summary, emitted by tab_scalability.
+goodput/latency time series summary, emitted by tab_scalability. PR9 adds
+the "e21_pdes" section: the sharded engine's thread-scaling curve and the
+scheduler x workload matrix at 1 and 8 shards.
 """
 
 from __future__ import annotations
@@ -70,7 +74,8 @@ def run_micro(bin_dir: str) -> dict:
         return {}
     out = subprocess.run(
         [exe, "--benchmark_filter="
-              "BM_SimThroughput|BM_EventQueue|BM_Codec|BM_WireBytesPerEvent",
+              "BM_SimThroughput|BM_EventQueue|BM_Codec|BM_WireBytesPerEvent"
+              "|BM_JournalRecordSharded",
          "--benchmark_min_time=0.05", "--benchmark_format=json"],
         check=True, capture_output=True, text=True).stdout
     data = json.loads(out)
@@ -107,6 +112,16 @@ def wire_section(micro: dict) -> dict:
     return wire
 
 
+def e21_aggregate(data: dict):
+    """Aggregate normalized events/sec/thread across every E21 cell — the
+    sharded engine's per-worker efficiency. One number so the guard is not
+    hostage to a single noisy cell."""
+    rows = data.get("e21_pdes") or []
+    vals = [row["normalized_events_per_mop"] / row["shards"]
+            for row in rows if row.get("shards")]
+    return sum(vals) / len(vals) if vals else None
+
+
 def check(fresh: dict, baseline_path: str, threshold: float) -> int:
     with open(baseline_path, encoding="utf-8") as f:
         baseline = json.load(f)
@@ -127,6 +142,18 @@ def check(fresh: dict, baseline_path: str, threshold: float) -> int:
         else:
             print(f"  {row['procs']} procs: {have:.3f} vs recorded "
                   f"{want:.3f} normalized events/mop — ok")
+    agg_have = e21_aggregate(fresh)
+    agg_want = e21_aggregate(baseline)
+    if agg_have is not None and agg_want is not None:
+        if agg_have < agg_want * (1.0 - threshold):
+            failures.append(
+                f"  E21 aggregate events/sec/thread: {agg_have:.3f} vs "
+                f"recorded {agg_want:.3f} "
+                f"({(1 - agg_have / agg_want) * 100:.0f}% drop > "
+                f"{threshold * 100:.0f}% threshold)")
+        else:
+            print(f"  E21 aggregate events/sec/thread: {agg_have:.3f} vs "
+                  f"recorded {agg_want:.3f} normalized — ok")
     if failures:
         print("PERF REGRESSION against " + baseline_path + ":")
         print("\n".join(failures))
@@ -139,7 +166,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin-dir", default="build/release",
                         help="CMake binary dir holding bench/ executables")
-    parser.add_argument("--out", default="BENCH_PR8.json",
+    parser.add_argument("--out", default="BENCH_PR9.json",
                         help="where to write the merged JSON")
     parser.add_argument("--full", action="store_true",
                         help="run the full (non --smoke) throughput sweep")
@@ -168,13 +195,13 @@ def main() -> int:
         with open(carry_from, encoding="utf-8") as f:
             previous = json.load(f)
         for block in ("baseline_pre_pr4", "baseline_pr4", "baseline_pr5",
-                      "baseline_pr6", "baseline_pr7"):
+                      "baseline_pr6", "baseline_pr7", "baseline_pr8"):
             if block in previous:
                 merged[block] = previous[block]
-        # First carry from the PR7 JSON: snapshot its live measurements as
-        # the "baseline_pr7" trajectory point.
-        if "baseline_pr7" not in previous and "throughput" in previous:
-            merged["baseline_pr7"] = {
+        # First carry from the PR8 JSON: snapshot its live measurements as
+        # the "baseline_pr8" trajectory point.
+        if "baseline_pr8" not in previous and "throughput" in previous:
+            merged["baseline_pr8"] = {
                 "workload": previous.get("workload"),
                 "calibration_mops": previous.get("calibration_mops"),
                 "throughput": previous["throughput"],

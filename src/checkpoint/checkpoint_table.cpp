@@ -8,11 +8,13 @@ namespace splice::checkpoint {
 
 CheckpointTable::CheckpointTable(net::ProcId self, net::ProcId processors)
     : self_(self), processors_(processors) {
+  stripes_.reserve(kStripeCount);
   for (std::uint32_t s = 0; s < kStripeCount; ++s) {
     // Stripe s owns dests s, s + kStripeCount, ...
     const std::uint32_t owned =
         (processors > s) ? (processors - s - 1) / kStripeCount + 1 : 0;
-    stripes_[s].entries.resize(owned);
+    stripes_.emplace_back(arena_);
+    stripes_.back().entries.resize(owned);
   }
 }
 

@@ -28,6 +28,7 @@
 #include "net/topology.h"
 #include "runtime/level_stamp.h"
 #include "runtime/task_packet.h"
+#include "util/slab.h"
 
 namespace splice::checkpoint {
 
@@ -143,7 +144,18 @@ class CheckpointTable {
   [[nodiscard]] net::ProcId self() const noexcept { return self_; }
 
  private:
+  /// The stamp index allocates one node per live record; a churn-heavy run
+  /// (record on spawn, release on result) makes and frees millions of them,
+  /// so the nodes come from the table's slab arena and recycle through its
+  /// free lists instead of hitting the global allocator every time.
+  using StampIndex = std::unordered_multimap<
+      std::size_t, net::ProcId, std::hash<std::size_t>,
+      std::equal_to<std::size_t>,
+      util::PoolAllocator<std::pair<const std::size_t, net::ProcId>>>;
+
   struct Stripe {
+    explicit Stripe(util::SlabArena& arena)
+        : by_stamp(StampIndex::allocator_type(arena)) {}
     /// entries[d] holds the checkpoints against processor
     /// d * kStripeCount + stripe_index (the §3.2 "table of linked lists",
     /// striped).
@@ -151,7 +163,7 @@ class CheckpointTable {
     /// stamp-hash -> destination, one value per live record in this stripe.
     /// A multimap because distinct stamps may collide; hits re-verify
     /// against the actual records.
-    std::unordered_multimap<std::size_t, net::ProcId> by_stamp;
+    StampIndex by_stamp;
   };
 
   [[nodiscard]] static std::uint32_t stripe_of(net::ProcId dest) noexcept {
@@ -169,7 +181,8 @@ class CheckpointTable {
   net::ProcId self_;
   net::ProcId processors_;
   Listener* listener_ = nullptr;
-  Stripe stripes_[kStripeCount];
+  util::SlabArena arena_;  // must outlive stripes_ (backs their indexes)
+  std::vector<Stripe> stripes_;
 
   std::size_t total_records_ = 0;
   std::uint64_t total_units_ = 0;

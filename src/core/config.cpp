@@ -460,6 +460,7 @@ std::string SystemConfig::describe() const {
   if (transport.backend != net::TransportKind::kInProcess) {
     out << " transport=" << net::to_string(transport.backend);
   }
+  if (parallel.engine()) out << " shards=" << parallel.shards;
   out << " seed=" << seed;
   return out.str();
 }

@@ -218,6 +218,21 @@ struct ObsConfig {
   std::int64_t sample_interval = 1000;
 };
 
+/// Parallel (PDES) simulation driver. `shards == 0` (default) keeps the
+/// classic single-threaded path bit-for-bit untouched; `shards >= 1` routes
+/// the run through runtime::PdesEngine — processors partitioned across
+/// shard-owned event queues synchronized on a conservative time-window
+/// barrier with lookahead = latency.base. `shards == 1` exercises the full
+/// engine machinery on one worker and is the A/B determinism oracle for
+/// `shards > 1`. Engine mode rejects features whose semantics need the
+/// global event order (kTcp/kShmRing transports, kRestart/kPeriodicGlobal
+/// recovery, triggered faults, the legacy reclaiming GC sweep).
+struct ParallelConfig {
+  std::uint32_t shards = 0;
+
+  [[nodiscard]] bool engine() const noexcept { return shards >= 1; }
+};
+
 struct SystemConfig {
   std::uint32_t processors = 8;
   net::TopologyKind topology = net::TopologyKind::kMesh2D;
@@ -230,6 +245,7 @@ struct SystemConfig {
   ReclaimConfig reclaim;
   TransportConfig transport;
   ObsConfig obs;
+  ParallelConfig parallel;
 
   /// Liveness probing period (ticks); 0 disables. Needed so failures of
   /// quiescent processors are detected (§1's "identified as faulty by other

@@ -18,25 +18,45 @@ RunResult Simulation::run() {
   ran_ = true;
 
   sim_ = std::make_unique<sim::Simulator>();
-  std::unique_ptr<net::Transport> transport;  // null = in-process default
-  switch (config_.transport.backend) {
-    case net::TransportKind::kInProcess:
-      break;
-    case net::TransportKind::kShmRing:
-      transport = net::make_shm_ring_transport(*sim_, config_.processors,
-                                               config_.transport.shm_ring_bytes);
-      break;
-    case net::TransportKind::kTcp:
-      // TCP spans OS processes; a single-process Simulation cannot host it.
+  if (config_.parallel.engine()) {
+    // Sharded (PDES) driver: the Network shapes envelopes exactly as on the
+    // classic path but hands them to the engine's router instead of a
+    // transport. Triggered faults are rejected here because their firing
+    // order depends on the classic global event order.
+    if (!fault_plan_.triggered.empty()) {
       throw std::invalid_argument(
-          "Simulation::run cannot drive the tcp transport; use the "
-          "splice_noded multi-process driver");
+          "parallel engine: triggered faults need the classic event order");
+    }
+    network_ = std::make_unique<net::Network>(
+        *sim_, net::Topology(config_.topology, config_.processors),
+        config_.latency, net::Network::RouterMode{config_.parallel.shards});
+  } else {
+    std::unique_ptr<net::Transport> transport;  // null = in-process default
+    switch (config_.transport.backend) {
+      case net::TransportKind::kInProcess:
+        break;
+      case net::TransportKind::kShmRing:
+        transport = net::make_shm_ring_transport(
+            *sim_, config_.processors, config_.transport.shm_ring_bytes);
+        break;
+      case net::TransportKind::kTcp:
+        // TCP spans OS processes; a single-process Simulation cannot host it.
+        throw std::invalid_argument(
+            "Simulation::run cannot drive the tcp transport; use the "
+            "splice_noded multi-process driver");
+    }
+    network_ = std::make_unique<net::Network>(
+        *sim_, net::Topology(config_.topology, config_.processors),
+        config_.latency, std::move(transport));
   }
-  network_ = std::make_unique<net::Network>(
-      *sim_, net::Topology(config_.topology, config_.processors),
-      config_.latency, std::move(transport));
   runtime_ = std::make_unique<runtime::Runtime>(*sim_, *network_, config_,
                                                 program_);
+  if (config_.parallel.engine()) {
+    engine_ = std::make_unique<runtime::PdesEngine>(*runtime_, *network_,
+                                                    config_);
+    network_->set_router(*engine_);
+    runtime_->set_engine(engine_.get());
+  }
   runtime_->set_warm_rejoin(fault_plan_.rejoin.enabled &&
                             fault_plan_.rejoin.mode == net::RejoinMode::kWarm);
   injector_ = std::make_unique<net::FaultInjector>(
@@ -115,10 +135,18 @@ RunResult Simulation::run() {
     }
   }
   runtime_->start();
-  sim_->run_until(sim::SimTime(deadline));
+  sim::SimTime end_time;
+  if (engine_ != nullptr) {
+    engine_->run(sim::SimTime(deadline));
+    engine_->merge_journals();
+    end_time = engine_->horizon();
+  } else {
+    sim_->run_until(sim::SimTime(deadline));
+    end_time = sim_->now();
+  }
 
   RunResult result =
-      runtime_->collect(sim_->now(), injector_->kills_executed());
+      runtime_->collect(end_time, injector_->kills_executed());
   // The injector records the first kill that actually executed — with
   // regional/cascade/recurring plans the earliest *scheduled* entry may
   // target an already-dead node and never fire.

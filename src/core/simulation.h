@@ -28,6 +28,7 @@
 #include "net/fault_injector.h"
 #include "net/network.h"
 #include "obs/journal.h"
+#include "runtime/pdes_engine.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 
@@ -71,6 +72,8 @@ class Simulation {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<runtime::Runtime> runtime_;
   std::unique_ptr<net::FaultInjector> injector_;
+  /// Sharded (PDES) driver; non-null iff config.parallel.engine().
+  std::unique_ptr<runtime::PdesEngine> engine_;
   bool ran_ = false;
 };
 

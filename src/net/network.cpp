@@ -18,35 +18,55 @@ Network::Network(sim::Simulator& simulator, Topology topology,
       transport_(transport ? std::move(transport)
                            : make_in_process_transport(simulator)),
       receivers_(topology_.size()),
-      alive_(topology_.size(), true) {
+      alive_(topology_.size(), true),
+      lanes_(1) {
   transport_->set_deliver(
       [this](Envelope&& envelope) { deliver(std::move(envelope)); });
   transport_->set_unreachable([this](Envelope&& envelope) {
-    ++stats_.dropped_dead_dest;
+    ++lane().stats.dropped_dead_dest;
     bounce(std::move(envelope));
   });
 }
+
+Network::Network(sim::Simulator& coordinator_sim, Topology topology,
+                 LatencyModel latency, RouterMode mode)
+    : sim_(coordinator_sim),
+      topology_(std::move(topology)),
+      latency_(latency),
+      receivers_(topology_.size()),
+      alive_(topology_.size(), true),
+      lanes_(mode.shards + 1) {}
 
 void Network::set_receiver(ProcId p, Receiver receiver) {
   receivers_.at(p) = std::move(receiver);
 }
 
+void Network::dispatch(Envelope&& envelope, sim::SimTime delay) {
+  if (router_ != nullptr) {
+    router_->route(std::move(envelope), net_now() + delay);
+    return;
+  }
+  transport_->submit(std::move(envelope), delay);
+}
+
 void Network::send(Envelope envelope) {
   assert(envelope.from < size() && envelope.to < size());
-  envelope.sent_at = sim_.now();
-  ++stats_.sent[static_cast<std::size_t>(envelope.kind)];
-  stats_.total_units += envelope.size_units;
+  const sim::SimTime now = net_now();
+  Lane& ln = lane();
+  envelope.sent_at = now;
+  ++ln.stats.sent[static_cast<std::size_t>(envelope.kind)];
+  ln.stats.total_units += envelope.size_units;
 
   // A dead processor transmits nothing (fail-silent, §1). Sends attempted
   // by a processor after its death are artefacts of same-tick event
   // ordering; drop them.
   if (!alive_[envelope.from]) {
-    ++stats_.dropped_dead_sender;
+    ++ln.stats.dropped_dead_sender;
     return;
   }
 
   const std::uint32_t hops = topology_.hops(envelope.from, envelope.to);
-  stats_.total_hop_units +=
+  ln.stats.total_hop_units +=
       static_cast<std::uint64_t>(hops) * envelope.size_units;
   sim::SimTime delay = latency_.latency(hops, envelope.size_units);
 
@@ -56,11 +76,11 @@ void Network::send(Envelope envelope) {
   if (link_faults_ != nullptr && envelope.from != envelope.to &&
       envelope.kind != MsgKind::kDeliveryFailure) {
     const LinkFaultModel::Verdict verdict = link_faults_->shape(
-        envelope.kind, envelope.from, envelope.to, sim_.now(), delay);
+        envelope.kind, envelope.from, envelope.to, now, delay);
     if (verdict.cut) {
       // Crossing an active partition: undeliverable, and the sender's
       // timeout legitimately concludes the peer is faulty (§1).
-      ++stats_.partition_cut;
+      ++ln.stats.partition_cut;
       bounce(std::move(envelope));
       return;
     }
@@ -69,25 +89,24 @@ void Network::send(Envelope envelope) {
       // timeout; handle_delivery_failure sees the peer alive and reachable,
       // so recovery retransmits at the payload level without any false
       // crash detection.
-      ++(verdict.gray_drop ? stats_.gray_dropped : stats_.link_dropped);
+      ++(verdict.gray_drop ? ln.stats.gray_dropped : ln.stats.link_dropped);
       bounce(std::move(envelope));
       return;
     }
-    if (verdict.reordered) ++stats_.link_reordered;
+    if (verdict.reordered) ++ln.stats.link_reordered;
     if (verdict.extra.ticks() > 0) {
-      stats_.link_delay_ticks +=
+      ln.stats.link_delay_ticks +=
           static_cast<std::uint64_t>(verdict.extra.ticks());
       delay = delay + verdict.extra;
     }
     if (verdict.duplicate) {
-      ++stats_.link_duplicated;
-      ++in_flight_;
-      transport_->submit(clone_envelope(envelope),
-                         delay + verdict.dup_extra);
+      ++ln.stats.link_duplicated;
+      ++ln.in_flight;
+      dispatch(clone_envelope(envelope), delay + verdict.dup_extra);
     }
   }
-  ++in_flight_;
-  transport_->submit(std::move(envelope), delay);
+  ++ln.in_flight;
+  dispatch(std::move(envelope), delay);
 }
 
 Envelope Network::clone_envelope(const Envelope& envelope) {
@@ -113,21 +132,28 @@ Envelope Network::clone_envelope(const Envelope& envelope) {
 }
 
 void Network::deliver(Envelope&& envelope) {
-  // In-flight gauge: the transport just handed the envelope back. Remote
-  // arrivals on the TCP backend were never submitted locally, so the gauge
-  // stays non-negative (saturating guard for that case).
-  if (in_flight_ > 0) --in_flight_;
+  Lane& ln = lane();
+  // In-flight gauge: the substrate just handed the envelope back. In router
+  // mode the executing shard decrements its own lane — individual lanes go
+  // signed-negative and only the sum matters. On the classic path remote
+  // arrivals on the TCP backend were never submitted locally, so the single
+  // lane saturates at zero instead.
+  if (router_ != nullptr) {
+    --ln.in_flight;
+  } else if (ln.in_flight > 0) {
+    --ln.in_flight;
+  }
   if (!alive_[envelope.to]) {
     // A bounce notice whose addressee has since died notifies nobody; a
     // regular message to a dead destination is lost and bounces to its
     // sender.
     if (envelope.kind != MsgKind::kDeliveryFailure) {
-      ++stats_.dropped_dead_dest;
+      ++ln.stats.dropped_dead_dest;
       bounce(std::move(envelope));
     }
     return;
   }
-  ++stats_.delivered[static_cast<std::size_t>(envelope.kind)];
+  ++ln.stats.delivered[static_cast<std::size_t>(envelope.kind)];
   Receiver& receiver = receivers_[envelope.to];
   if (!receiver) {
     // Synthetic notices tolerate a missing receiver (the addressee may be
@@ -153,12 +179,12 @@ void Network::bounce(Envelope envelope) {
   notice.from = envelope.to;  // nominally "from" the dead node
   notice.to = sender;
   notice.size_units = 1;
-  notice.sent_at = sim_.now();
+  notice.sent_at = net_now();
   notice.payload = EnvelopeBox(std::move(envelope));
-  ++stats_.failure_notices;
-  ++in_flight_;
-  transport_->submit(std::move(notice),
-                     sim::SimTime(latency_.failure_timeout));
+  Lane& ln = lane();
+  ++ln.stats.failure_notices;
+  ++ln.in_flight;
+  dispatch(std::move(notice), sim::SimTime(latency_.failure_timeout));
 }
 
 void Network::kill(ProcId p) {
@@ -166,16 +192,16 @@ void Network::kill(ProcId p) {
   if (!alive_[p]) return;
   alive_[p] = false;
   SPLICE_DEBUG() << "network: processor " << p << " killed at t="
-                 << sim_.now().ticks();
+                 << net_now().ticks();
 }
 
 void Network::revive(ProcId p) {
   assert(p < size());
   if (alive_[p]) return;
   alive_[p] = true;
-  ++stats_.revives;
+  ++lane().stats.revives;
   SPLICE_DEBUG() << "network: processor " << p << " revived at t="
-                 << sim_.now().ticks();
+                 << net_now().ticks();
 }
 
 std::uint32_t Network::alive_count() const noexcept {

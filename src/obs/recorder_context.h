@@ -1,0 +1,47 @@
+// Thread-local Recorder override for the sharded (PDES) engine.
+//
+// The classic runtime records into one Recorder owned by the Runtime. Under
+// the engine every worker thread records into its *own* shard ring (the
+// whole point of the per-shard journal satellite: no global lock on the
+// record hot path), and the rings are merged into the canonical journal by
+// (time, phase, proc) at the end of the run. Runtime::recorder() resolves
+// through this context exactly like sim::ctx resolves the clock, so the
+// hundreds of existing record sites stay untouched.
+//
+// This lives in obs/ (not sim/) because sim must not depend on obs.
+#pragma once
+
+#include "obs/journal.h"
+
+namespace splice::obs {
+
+namespace detail {
+inline Recorder*& recorder_tls() noexcept {
+  thread_local Recorder* current = nullptr;
+  return current;
+}
+}  // namespace detail
+
+/// The calling thread's Recorder: the scoped override when inside a shard
+/// window, else the fallback (the Runtime's own recorder).
+[[nodiscard]] inline Recorder& recorder_ctx(Recorder& fallback) noexcept {
+  Recorder* r = detail::recorder_tls();
+  return r != nullptr ? *r : fallback;
+}
+
+/// RAII: install `recorder` as this thread's Recorder for the current scope.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder* recorder) noexcept
+      : previous_(detail::recorder_tls()) {
+    detail::recorder_tls() = recorder;
+  }
+  ~ScopedRecorder() { detail::recorder_tls() = previous_; }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+}  // namespace splice::obs

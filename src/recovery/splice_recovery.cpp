@@ -72,7 +72,7 @@ void SplicePolicy::escalate(Processor& proc, ResultMsg msg) {
     next.ancestor_index = idx;
     if (ancestor.proc == net::kNoProc) {
       // The super-root is the root's parent (§4.3.1): it buffers and relays.
-      proc.runtime().deliver_to_super_root(std::move(next));
+      proc.runtime().deliver_to_super_root(std::move(next), proc.id());
       return;
     }
     if (ancestor.proc == proc.id()) {

@@ -72,6 +72,7 @@ store::StateStreamer::Env make_streamer_env(Processor& self, Runtime& rt) {
 Processor::Processor(Runtime& rt, net::ProcId id)
     : rt_(rt),
       id_(id),
+      tasks_(util::PoolAllocator<std::pair<const TaskUid, TaskPtr>>(arena_)),
       table_(id, rt.config().processors),
       store_(id, rt.config().store.model, rt.config().store.survive_p,
              rt.config().seed),
@@ -179,7 +180,7 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
     }
   }
   ++counters_.tasks_created;
-  const TaskUid uid = rt_.next_uid();
+  const TaskUid uid = rt_.next_uid(id_);
   const LevelStamp stamp = packet.stamp;
   const TaskRef parent = packet.parent();
   const lang::ExprId call_site = packet.call_site;
@@ -199,8 +200,8 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
       cancel_task(older->uid(), "cancelled: superseded by local respawn");
     }
   }
-  auto task = std::make_unique<Task>(uid, std::move(packet), rt_.sim().now());
-  tasks_.emplace(uid, std::move(task));
+  tasks_.emplace(uid,
+                 task_pool_.make(uid, std::move(packet), rt_.sim().now()));
 
   rt_.recorder().record(rt_.sim().now(), obs::EventKind::kPlace,
                         {.proc = id_, .uid = uid, .stamp = &stamp}, [&] {
@@ -219,7 +220,7 @@ TaskUid Processor::accept_packet(TaskPacket packet) {
   ack.replica = replica;
   ack.lineage = lineage;
   if (parent.proc == net::kNoProc) {
-    rt_.super_root_ack(ack);
+    rt_.super_root_ack(ack, id_);
   } else {
     Envelope env;
     env.kind = MsgKind::kSpawnAck;
@@ -471,7 +472,7 @@ void Processor::complete_task(TaskUid uid, const lang::Value& value) {
   tasks_.erase(uid);
 
   if (msg.target.proc == net::kNoProc) {
-    rt_.deliver_to_super_root(std::move(msg));
+    rt_.deliver_to_super_root(std::move(msg), id_);
     return;
   }
   if (knows_dead(msg.target.proc)) {
@@ -784,14 +785,14 @@ void Processor::retransmit_after_backoff(Envelope env) {
   LevelStamp cancel_stamp;
   if (is_cancel) {
     cancel_stamp = std::get<CancelMsg>(env.payload).stamp;
-    rt_.note_cancel_backoff(cancel_stamp, +1);
+    note_cancel_backoff(cancel_stamp, +1);
   }
   const sim::SimTime backoff =
       sim::SimTime(2 * rt_.network().latency_model().failure_timeout);
   rt_.sim().after(
       backoff, [this, env = std::move(env), dest, is_cancel, cancel_stamp,
                 life = incarnation_]() mutable {
-        if (is_cancel) rt_.note_cancel_backoff(cancel_stamp, -1);
+        if (is_cancel) note_cancel_backoff(cancel_stamp, -1);
         if (dead_ || life != incarnation_ || rt_.done()) return;
         if (!rt_.network().alive(dest)) return;  // addressee died meanwhile
         if (is_cancel) {
@@ -801,6 +802,21 @@ void Processor::retransmit_after_backoff(Envelope env) {
         }
         rt_.network().send(std::move(env));
       });
+}
+
+void Processor::note_cancel_backoff(const LevelStamp& stamp, int delta) {
+  if (delta > 0) {
+    cancels_in_backoff_[stamp] += static_cast<std::uint32_t>(delta);
+    return;
+  }
+  const auto it = cancels_in_backoff_.find(stamp);
+  if (it == cancels_in_backoff_.end()) return;
+  const auto dec = static_cast<std::uint32_t>(-delta);
+  if (it->second <= dec) {
+    cancels_in_backoff_.erase(it);
+  } else {
+    it->second -= dec;
+  }
 }
 
 void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
@@ -818,7 +834,7 @@ void Processor::learn_dead(net::ProcId dead, bool direct_detection) {
         detail += direct_detection ? " (direct)" : " (broadcast)";
         return detail;
       });
-  rt_.note_detection(dead);
+  rt_.note_detection(dead, id_);
   if (direct_detection) {
     // First-hand detector: broadcast error-detection so every processor can
     // honour its reissue obligations.
@@ -1114,7 +1130,7 @@ void Processor::revive() {
   dead_ = false;
   frozen_ = false;
   executing_ = false;
-  incarnation_uid_floor_ = rt_.current_uid();
+  incarnation_uid_floor_ = rt_.current_uid(id_);
   // Whatever the rejoin mode, the node has no memory of which peers failed
   // while it was down; warm catch-up re-learns that from survivors.
   known_dead_.clear();
@@ -1384,7 +1400,7 @@ void Processor::restore_tasks(std::vector<Task> tasks) {
   for (Task& task : tasks) {
     const TaskUid uid = task.uid();
     task.set_state(TaskState::kQueued);
-    tasks_.emplace(uid, std::make_unique<Task>(std::move(task)));
+    tasks_.emplace(uid, task_pool_.make(std::move(task)));
     step_queue_.push_back(uid);
   }
   start_next_step();
@@ -1395,7 +1411,7 @@ void Processor::adopt_tasks(std::vector<Task> tasks) {
   for (Task& task : tasks) {
     const TaskUid uid = task.uid();
     task.set_state(TaskState::kQueued);
-    tasks_.emplace(uid, std::make_unique<Task>(std::move(task)));
+    tasks_.emplace(uid, task_pool_.make(std::move(task)));
     step_queue_.push_back(uid);
   }
   start_next_step();

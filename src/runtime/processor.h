@@ -36,6 +36,7 @@
 #include "runtime/task_packet.h"
 #include "store/durable_store.h"
 #include "store/state_transfer.h"
+#include "util/slab.h"
 
 namespace splice::runtime {
 
@@ -43,6 +44,15 @@ class Runtime;
 
 class Processor {
  public:
+  /// Task objects and the uid-map nodes that index them come from
+  /// processor-local slab pools: tasks churn at every spawn/complete, and on
+  /// the sharded engine per-processor ownership makes the pools lock-free.
+  using TaskPtr = util::SlabPool<Task>::Ptr;
+  using TaskMap =
+      std::unordered_map<TaskUid, TaskPtr, std::hash<TaskUid>,
+                         std::equal_to<TaskUid>,
+                         util::PoolAllocator<std::pair<const TaskUid, TaskPtr>>>;
+
   Processor(Runtime& rt, net::ProcId id);
 
   [[nodiscard]] net::ProcId id() const noexcept { return id_; }
@@ -193,6 +203,14 @@ class Processor {
   /// stake neither schedule grace timers nor count deferrals.
   [[nodiscard]] bool has_stake_in(net::ProcId dead) const;
 
+  /// This node's share of the cancel-retransmission backoff books (see
+  /// Runtime::cancel_backoff_pending for the aggregate view and why the
+  /// storage is per-processor).
+  void note_cancel_backoff(const LevelStamp& stamp, int delta);
+  [[nodiscard]] bool cancel_backoff_pending(const LevelStamp& stamp) const {
+    return cancels_in_backoff_.contains(stamp);
+  }
+
   // ---- periodic-global baseline support ------------------------------------
   void freeze();
   void unfreeze();
@@ -276,7 +294,13 @@ class Processor {
 
   Runtime& rt_;
   net::ProcId id_;
-  std::unordered_map<TaskUid, std::unique_ptr<Task>> tasks_;
+  /// Allocation substrate for the task map's hash nodes (and any other
+  /// small per-processor container that opts in). Declared before every
+  /// container that allocates from it, so destruction order releases the
+  /// containers first.
+  util::SlabArena arena_;
+  util::SlabPool<Task> task_pool_;
+  TaskMap tasks_;
   std::deque<TaskUid> step_queue_;
   bool executing_ = false;
   /// Outcome of the step in flight (valid while executing_): parked here so
@@ -301,6 +325,10 @@ class Processor {
   /// incarnation abandon themselves instead of beating alongside the chain
   /// the revived node starts.
   std::uint64_t incarnation_ = 0;
+  /// Cancels from this node waiting out a lossy-link retransmission backoff
+  /// (keyed by lineage stamp; see Runtime::cancel_backoff_pending).
+  std::unordered_map<LevelStamp, std::uint32_t, LevelStamp::Hash>
+      cancels_in_backoff_;
   /// Uid watermark of this incarnation: every task this life hosts has a
   /// uid at or above it (uids are global and monotone). An ack addressed
   /// to a parent uid *below* the watermark names a crash casualty, not a

@@ -1,7 +1,9 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -17,7 +19,7 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
       network_(network),
       config_(config),
       program_(program),
-      hosts_super_root_(network.transport().local(0)),
+      hosts_super_root_(network.is_local(0)),
       detection_noted_(config.processors, false) {
   // The recorder is the single write path for observability: an explicit
   // obs.recorder opt-in journals typed events, and collect_trace (the
@@ -37,33 +39,7 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
     });
   }
 
-  sched::SchedulerEnv env;
-  env.topology = &network_.topology();
-  env.program = &program_;
-  env.alive = [this](net::ProcId p) { return network_.alive(p); };
-  // A processor never spawns toward a peer it has itself declared dead:
-  // its reissue obligation against that peer is already discharged, so a
-  // checkpoint recorded there afterwards would never be taken — the slot
-  // would be unrecoverable. (Partitions make this reachable: the far side
-  // is globally alive yet locally suspected.)
-  env.suspected = [this](net::ProcId origin, net::ProcId p) {
-    return origin < procs_.size() && procs_[origin]->knows_dead(p);
-  };
-  env.queue_length = [this](net::ProcId p) {
-    return procs_[p]->queue_length();
-  };
-  if (config_.replication.enabled() && config_.replication.zoned) {
-    // Replica-lane confinement: zone z tasks live on processors p with
-    // p % factor == z, so one crash damages at most one lane (§5.3/§5.4).
-    env.eligible = [this](net::ProcId p, const TaskPacket& packet) {
-      if (packet.zone < 0) return true;
-      return static_cast<std::int32_t>(p % config_.replication.factor) ==
-             packet.zone % static_cast<std::int32_t>(
-                               config_.replication.factor);
-    };
-  }
-  env.seed = config_.seed;
-  scheduler_->attach(env);
+  attach_scheduler();
 
   checkpoint::SuperRoot::Env sr;
   sr.spawn = [this](TaskPacket packet) {
@@ -88,6 +64,55 @@ Runtime::Runtime(sim::Simulator& sim, net::Network& network,
 
 Runtime::~Runtime() = default;
 
+void Runtime::attach_scheduler() {
+  sched::SchedulerEnv env;
+  env.topology = &network_.topology();
+  env.program = &program_;
+  env.alive = [this](net::ProcId p) { return network_.alive(p); };
+  // A processor never spawns toward a peer it has itself declared dead:
+  // its reissue obligation against that peer is already discharged, so a
+  // checkpoint recorded there afterwards would never be taken — the slot
+  // would be unrecoverable. (Partitions make this reachable: the far side
+  // is globally alive yet locally suspected.)
+  env.suspected = [this](net::ProcId origin, net::ProcId p) {
+    return origin < procs_.size() && procs_[origin]->knows_dead(p);
+  };
+  if (engine_ != nullptr) {
+    // A worker must not read another shard's live queue; the engine
+    // publishes a load snapshot at every window barrier. Staleness of at
+    // most one window is the same imperfect-information regime the
+    // schedulers already operate in between gradient refreshes.
+    env.queue_length = [this](net::ProcId p) { return engine_->load_of(p); };
+    env.sharded = true;
+  } else {
+    env.queue_length = [this](net::ProcId p) {
+      return procs_[p]->queue_length();
+    };
+  }
+  if (config_.replication.enabled() && config_.replication.zoned) {
+    // Replica-lane confinement: zone z tasks live on processors p with
+    // p % factor == z, so one crash damages at most one lane (§5.3/§5.4).
+    env.eligible = [this](net::ProcId p, const TaskPacket& packet) {
+      if (packet.zone < 0) return true;
+      return static_cast<std::int32_t>(p % config_.replication.factor) ==
+             packet.zone % static_cast<std::int32_t>(
+                               config_.replication.factor);
+    };
+  }
+  env.seed = config_.seed;
+  scheduler_->attach(env);
+}
+
+void Runtime::set_engine(EngineHooks* engine) {
+  engine_ = engine;
+  uid_stream_next_.assign(procs_.size(), 0);
+  for (net::ProcId p = 0; p < procs_.size(); ++p) {
+    uid_stream_next_[p] = checkpoint::SuperRoot::kSuperRootUid + 1 + p;
+  }
+  // Per-origin scheduler streams replace the shared classic streams.
+  attach_scheduler();
+}
+
 void Runtime::start() {
   // Multi-process group: only the OS process hosting rank 0 owns the
   // super-root (and therefore injects the root program); every process
@@ -106,7 +131,21 @@ void Runtime::start() {
   }
 
   for (auto& proc : procs_) {
-    if (network_.transport().local(proc->id())) proc->start_heartbeats();
+    if (!network_.is_local(proc->id())) continue;
+    if (engine_ != nullptr) {
+      // Heartbeat timers live on the owning shard's simulator; workers are
+      // not running yet, so installing the context here is safe.
+      Processor* raw = proc.get();
+      engine_->with_shard_of(raw->id(), [raw] { raw->start_heartbeats(); });
+    } else {
+      proc->start_heartbeats();
+    }
+  }
+  if (engine_ != nullptr &&
+      config_.scheduler.kind == core::SchedulerKind::kGradient) {
+    // Prime the gradient field before any worker calls choose(): the lazy
+    // first refresh mutates shared state and must stay off worker threads.
+    scheduler_messages_ += scheduler_->on_tick(sim::SimTime(0));
   }
   schedule_scheduler_tick();
   schedule_gc_tick();
@@ -133,9 +172,20 @@ core::Trace& Runtime::trace() {
 void Runtime::schedule_obs_sample() {
   if (!recorder_.enabled() || config_.obs.sample_interval <= 0) return;
   sim_.after(sim::SimTime(config_.obs.sample_interval), [this] {
-    recorder_.metrics().sample(sim_.now().ticks(), sim_.pending_events(),
-                               network_.in_flight(),
-                               checkpoint_resident_now());
+    if (engine_ != nullptr) {
+      // The engine's shard rings are merged (and the metrics rebuilt) after
+      // the run; live samples are stored with the engine and interleaved at
+      // replay so the gauge series is identical across shard counts. The
+      // gauge itself sums the same logical event set regardless of K:
+      // coordinator queue + shard queues + staged ops.
+      engine_->note_gauge_sample(
+          sim_.now(), sim_.pending_events() + engine_->shard_pending(),
+          network_.in_flight(), checkpoint_resident_now());
+    } else {
+      recorder_.metrics().sample(sim_.now().ticks(), sim_.pending_events(),
+                                 network_.in_flight(),
+                                 checkpoint_resident_now());
+    }
     // The window closing at (or after) completion is the last one; without
     // this stop the rearming tick would keep the event queue alive until
     // the deadline.
@@ -177,12 +227,39 @@ net::ProcId Runtime::spawn_root_packet(TaskPacket packet) {
                  super_root_->on_processor_dead(dest);
                  return;
                }
+               if (engine_ != nullptr) {
+                 // Accepting records/sends/schedules on dest — run it on
+                 // dest's shard at the next window start. A kill ordered
+                 // after this post at the same barrier can still land first,
+                 // so the shard op re-checks and bounces to the super-root
+                 // through the host channel (coordinator context).
+                 engine_->post_shard(
+                     dest, [this, dest, packet = std::move(packet)]() mutable {
+                       if (procs_[dest]->crashed()) {
+                         engine_->post_host(dest, [this, dest] {
+                           super_root_->on_processor_dead(dest);
+                         });
+                         return;
+                       }
+                       procs_[dest]->accept_packet(std::move(packet));
+                     });
+                 return;
+               }
                procs_[dest]->accept_packet(std::move(packet));
              });
   return dest;
 }
 
-void Runtime::deliver_to_super_root(ResultMsg msg) {
+void Runtime::deliver_to_super_root(ResultMsg msg, net::ProcId acting) {
+  if (in_shard_context()) {
+    // Re-enter on the coordinator at the next barrier; the replay executes
+    // at the posting time, so the base-latency leg below is unchanged.
+    engine_->post_host(acting,
+                       [this, msg = std::move(msg), acting]() mutable {
+                         deliver_to_super_root(std::move(msg), acting);
+                       });
+    return;
+  }
   ++host_messages_;
   sim_.after(sim::SimTime(config_.latency.base),
              [this, msg = std::move(msg)]() mutable {
@@ -198,13 +275,21 @@ void Runtime::deliver_to_super_root(ResultMsg msg) {
              });
 }
 
-void Runtime::super_root_ack(AckMsg msg) {
+void Runtime::super_root_ack(AckMsg msg, net::ProcId acting) {
+  if (in_shard_context()) {
+    engine_->post_host(acting, [this, msg, acting] {
+      super_root_ack(msg, acting);
+    });
+    return;
+  }
   ++host_messages_;
   sim_.after(sim::SimTime(config_.latency.base),
              [this, msg] { super_root_->on_ack(msg); });
 }
 
 void Runtime::host_send_result(ResultMsg msg) {
+  assert(!in_shard_context() &&
+         "host_send_result is a coordinator-context channel");
   ++host_messages_;
   sim_.after(sim::SimTime(config_.latency.base),
              [this, msg = std::move(msg)]() mutable {
@@ -219,11 +304,33 @@ void Runtime::host_send_result(ResultMsg msg) {
                env.to = dest;
                env.size_units = msg.size_units();
                env.payload = std::move(msg);
+               if (engine_ != nullptr) {
+                 // handle() records/sends on dest — shard-op it, with the
+                 // same late-crash re-check as the root inject leg.
+                 auto shared = std::make_shared<net::Envelope>(std::move(env));
+                 engine_->post_shard(dest, [this, dest, shared] {
+                   if (procs_[dest]->crashed()) {
+                     engine_->post_host(dest, [this] { ++stranded_from_host_; });
+                     return;
+                   }
+                   procs_[dest]->handle(std::move(*shared));
+                 });
+                 return;
+               }
                procs_[dest]->handle(std::move(env));
              });
 }
 
-void Runtime::note_detection(net::ProcId dead) {
+void Runtime::note_detection(net::ProcId dead, net::ProcId detector) {
+  if (in_shard_context()) {
+    // Once-per-death bookkeeping touches coordinator-owned state
+    // (detection_noted_, super-root, global policy hooks); replay at the
+    // barrier. The dedup below makes concurrent detections idempotent.
+    engine_->post_host(detector, [this, dead, detector] {
+      note_detection(dead, detector);
+    });
+    return;
+  }
   if (dead >= detection_noted_.size() || detection_noted_[dead]) return;
   detection_noted_[dead] = true;
   if (first_detection_ticks_ < 0) first_detection_ticks_ = sim_.now().ticks();
@@ -243,7 +350,15 @@ void Runtime::on_revive(net::ProcId back) {
   // Re-arm once-per-death bookkeeping: if the node dies again after this
   // rejoin, detection and the global policy hooks must fire again.
   if (back < detection_noted_.size()) detection_noted_[back] = false;
-  procs_.at(back)->revive();
+  if (engine_ != nullptr) {
+    // revive() sends rejoin notices and re-arms timers — it must run on the
+    // node's own shard. The network-level revive already happened (the
+    // injector flips liveness before this callback), so peers' sends toward
+    // `back` deliver from the next window on either path.
+    engine_->post_shard(back, [this, back] { procs_.at(back)->revive(); });
+  } else {
+    procs_.at(back)->revive();
+  }
   recorder_.record(sim_.now(), obs::EventKind::kRevive, {.proc = back}, [&] {
     return std::string(warm_rejoin_ ? "processor repaired (warm)"
                                     : "processor repaired (blank)");
@@ -274,7 +389,14 @@ void Runtime::on_partition_heal(const std::vector<net::ProcId>& side) {
       if (p == q || in_side[p] == in_side[q] || procs_[p]->crashed()) continue;
       if (!procs_[p]->knows_dead(q)) continue;
       suspected = true;
-      procs_[p]->learn_alive(q);
+      if (engine_ != nullptr) {
+        // learn_alive sends a state request from p — p's shard runs it.
+        engine_->post_shard(p, [this, p, q] {
+          if (!procs_[p]->crashed()) procs_[p]->learn_alive(q);
+        });
+      } else {
+        procs_[p]->learn_alive(q);
+      }
     }
     if (suspected && q < detection_noted_.size()) {
       // The false detection consumed the once-per-death bookkeeping; re-arm
@@ -292,22 +414,24 @@ bool Runtime::defer_reissue(Processor& proc, net::ProcId dead) {
   // per observer per death.
   if (!proc.has_stake_in(dead)) return false;
   ++proc.counters().reissues_deferred;
-  recorder_.record(sim_.now(), obs::EventKind::kDefer,
-                   {.proc = proc.id(), .peer = dead}, [&] {
-                     return "reissue against P" + std::to_string(dead) +
-                            " (warm rejoin)";
-                   });
+  // Context-aware clock/recorder/timer: on the engine path this runs on the
+  // holder's shard thread, and the grace timer belongs on that same shard.
+  recorder().record(sim().now(), obs::EventKind::kDefer,
+                    {.proc = proc.id(), .peer = dead}, [&] {
+                      return "reissue against P" + std::to_string(dead) +
+                             " (warm rejoin)";
+                    });
   const net::ProcId holder = proc.id();
-  sim_.after(sim::SimTime(config_.store.warm_grace), [this, holder, dead] {
+  sim().after(sim::SimTime(config_.store.warm_grace), [this, holder, dead] {
     if (done_) return;
     if (network_.alive(dead)) return;  // rejoined: state transfer covered it
     Processor& p = *procs_.at(holder);
     if (p.crashed()) return;  // the holder died meanwhile; its own recovery
                               // (or its peers') regrows the branch
-    recorder_.record(sim_.now(), obs::EventKind::kGraceExpired,
-                     {.proc = holder, .peer = dead}, [&] {
-                       return "cold reissue against P" + std::to_string(dead);
-                     });
+    recorder().record(sim().now(), obs::EventKind::kGraceExpired,
+                      {.proc = holder, .peer = dead}, [&] {
+                        return "cold reissue against P" + std::to_string(dead);
+                      });
     policy_->reissue_against(p, dead);
   });
   return true;
@@ -556,23 +680,15 @@ void Runtime::gc_oracle_check(const std::vector<GcVictim>& victims) {
   oracle_prev_sightings_ = std::move(sightings);
 }
 
-void Runtime::note_cancel_backoff(const LevelStamp& stamp, int delta) {
-  if (delta > 0) {
-    cancels_in_backoff_[stamp] += static_cast<std::uint32_t>(delta);
-    return;
-  }
-  const auto it = cancels_in_backoff_.find(stamp);
-  if (it == cancels_in_backoff_.end()) return;
-  const auto dec = static_cast<std::uint32_t>(-delta);
-  if (it->second <= dec) {
-    cancels_in_backoff_.erase(it);
-  } else {
-    it->second -= dec;
-  }
-}
-
 bool Runtime::cancel_backoff_pending(const LevelStamp& stamp) const {
-  return cancels_in_backoff_.contains(stamp);
+  // A backoff's +1 and its matching -1 always come from the same sender, so
+  // the books are per-processor (shard-local on the engine path). The OR
+  // over processors reproduces the retired global map exactly. Read at
+  // coordinator barriers only (gc oracle), where workers are parked.
+  for (const auto& proc : procs_) {
+    if (proc->cancel_backoff_pending(stamp)) return true;
+  }
+  return false;
 }
 
 void Runtime::freeze_all() {
@@ -606,7 +722,8 @@ core::RunResult Runtime::collect(sim::SimTime end_time,
   result.faults_injected = faults_injected;
   result.processors = config_.processors;
   result.processors_alive_at_end = network_.alive_count();
-  result.sim_events = sim_.events_executed();
+  result.sim_events = sim_.events_executed() +
+                      (engine_ != nullptr ? engine_->shard_events() : 0);
   result.net = network_.stats();
   result.net.sent[static_cast<std::size_t>(net::MsgKind::kLoadUpdate)] +=
       scheduler_messages_;

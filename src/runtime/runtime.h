@@ -18,12 +18,54 @@
 #include "lang/program.h"
 #include "net/network.h"
 #include "obs/journal.h"
+#include "obs/recorder_context.h"
 #include "recovery/policy.h"
 #include "runtime/processor.h"
 #include "sched/scheduler.h"
+#include "sim/context.h"
 #include "sim/simulator.h"
 
 namespace splice::runtime {
+
+/// The sharded (PDES) engine's service interface, as the Runtime sees it.
+/// Null on the classic single-thread path. The contract mirrors the
+/// conservative-window design:
+///  * worker -> coordinator traffic goes through post_host: the op is
+///    stamped with the posting thread's simulated time and a per-acting-
+///    processor sequence number, and the coordinator replays the batch at
+///    the next barrier in (when, acting, seq) order — a pure function of
+///    each processor's own event history, hence independent of the shard
+///    count;
+///  * coordinator -> worker traffic goes through post_shard while the
+///    workers are parked at a barrier: the op lands in the target shard's
+///    heap and executes at the start of the next window, ordered by the
+///    coordinator's posting sequence.
+class EngineHooks {
+ public:
+  virtual ~EngineHooks() = default;
+  /// Stage `fn` to run on the coordinator thread at the next barrier, as a
+  /// coordinator event at the posting thread's current simulated time.
+  virtual void post_host(net::ProcId acting, std::function<void()> fn) = 0;
+  /// Coordinator-only: stage `fn` to run on `target`'s shard thread at the
+  /// start of the next window.
+  virtual void post_shard(net::ProcId target, std::function<void()> fn) = 0;
+  /// Run `fn` with `p`'s shard simulator installed as the thread context.
+  /// Setup-time only (no worker may be running).
+  virtual void with_shard_of(net::ProcId p,
+                             const std::function<void()>& fn) = 0;
+  /// Barrier-published queue length of `p` — the scheduler's load snapshot.
+  /// Workers must not read another shard's live queue.
+  [[nodiscard]] virtual std::uint32_t load_of(net::ProcId p) const = 0;
+  /// Events executed across all shard simulators (coordinator excluded).
+  [[nodiscard]] virtual std::uint64_t shard_events() const = 0;
+  /// Pending events + staged ops across all shards (queue-depth gauge).
+  [[nodiscard]] virtual std::uint64_t shard_pending() const = 0;
+  /// Record one metrics gauge sample; the engine interleaves stored samples
+  /// with journal events when it merges the shard rings.
+  virtual void note_gauge_sample(sim::SimTime now, std::uint64_t queue_depth,
+                                 std::uint64_t in_flight,
+                                 std::uint64_t residency) = 0;
+};
 
 class Runtime {
  public:
@@ -47,7 +89,14 @@ class Runtime {
   }
 
   // ---- services for processors & policies ---------------------------------
-  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  /// The calling thread's simulator: the shard simulator inside an engine
+  /// window, the owning (classic/coordinator) simulator otherwise. Protocol
+  /// code schedules and reads the clock through this accessor, so the same
+  /// code runs unchanged on both paths.
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim::ctx(sim_); }
+  /// The coordinator's simulator regardless of thread context (engine and
+  /// run-loop plumbing; protocol code wants sim()).
+  [[nodiscard]] sim::Simulator& coordinator_sim() noexcept { return sim_; }
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] const core::SystemConfig& config() const noexcept {
     return config_;
@@ -59,11 +108,18 @@ class Runtime {
   [[nodiscard]] recovery::RecoveryPolicy& policy() noexcept { return *policy_; }
   /// The flight recorder every protocol hook journals into (obs/journal.h).
   /// Hooks call recorder().record(...) unconditionally; when the recorder
-  /// is off that is a single branch.
-  [[nodiscard]] obs::Recorder& recorder() noexcept { return recorder_; }
-  [[nodiscard]] const obs::Recorder& recorder() const noexcept {
-    return recorder_;
+  /// is off that is a single branch. Thread-context aware like sim(): on an
+  /// engine worker this resolves to the shard's own ring (no global lock on
+  /// the record hot path), which the engine merges post-run.
+  [[nodiscard]] obs::Recorder& recorder() noexcept {
+    return obs::recorder_ctx(recorder_);
   }
+  [[nodiscard]] const obs::Recorder& recorder() const noexcept {
+    return obs::recorder_ctx(const_cast<obs::Recorder&>(recorder_));
+  }
+  /// The canonical (merged) recorder, ignoring thread context — the engine
+  /// replays shard rings into this one at the end of a run.
+  [[nodiscard]] obs::Recorder& base_recorder() noexcept { return recorder_; }
   /// The human-readable trace, materialised on demand as a rendering view
   /// over the typed journal (the write path is recorder(); this is the
   /// read path the figure walkthroughs and test assertions consume).
@@ -76,7 +132,18 @@ class Runtime {
     return static_cast<std::uint32_t>(procs_.size());
   }
 
-  [[nodiscard]] TaskUid next_uid() noexcept { return uid_counter_++; }
+  /// Allocate a task uid for work hosted on `acting`. Classic path: one
+  /// global counter. Engine path: per-processor arithmetic streams
+  /// (uid = base + k * P + acting), so allocation is thread-free and each
+  /// processor's uid sequence depends only on its own accept history —
+  /// identical across shard counts.
+  [[nodiscard]] TaskUid next_uid(net::ProcId acting) noexcept {
+    if (engine_ == nullptr) return uid_counter_++;
+    TaskUid& next = uid_stream_next_[acting];
+    const TaskUid uid = next;
+    next += procs_.size();
+    return uid;
+  }
 
   // ---- multi-process group (distributed transports) ------------------------
   /// Does this OS process own the super-root / host channel? True for every
@@ -90,9 +157,25 @@ class Runtime {
   [[nodiscard]] bool shutdown_requested() const noexcept {
     return shutdown_requested_;
   }
-  /// The next uid that will be allocated (nothing consumed). Processors
-  /// snapshot this at revive time as their incarnation's uid watermark.
-  [[nodiscard]] TaskUid current_uid() const noexcept { return uid_counter_; }
+  /// The next uid `acting` will allocate (nothing consumed). Processors
+  /// snapshot this at revive time as their incarnation's uid watermark;
+  /// the watermark only ever filters acks for parents allocated from the
+  /// host's own stream, so the per-stream value is the right one on the
+  /// engine path.
+  [[nodiscard]] TaskUid current_uid(net::ProcId acting) const noexcept {
+    return engine_ == nullptr ? uid_counter_ : uid_stream_next_[acting];
+  }
+
+  // ---- sharded (PDES) engine ----------------------------------------------
+  /// Install the engine's service hooks (null = classic path). Re-attaches
+  /// the scheduler with per-origin streams and switches uid allocation to
+  /// per-processor streams. Call before start().
+  void set_engine(EngineHooks* engine);
+  [[nodiscard]] EngineHooks* engine() const noexcept { return engine_; }
+  /// True on an engine worker thread (inside a shard window).
+  [[nodiscard]] bool in_shard_context() const noexcept {
+    return engine_ != nullptr && sim::ctx_shard() != sim::kNoShard;
+  }
 
   // ---- warm rejoin (store/ subsystem) --------------------------------------
   /// Set by the simulation facade when the armed fault plan repairs nodes
@@ -114,21 +197,28 @@ class Runtime {
   [[nodiscard]] std::uint32_t quorum_for(std::size_t depth) const noexcept;
 
   /// Host channel: deliver a result addressed to the super-root sentinel.
-  void deliver_to_super_root(ResultMsg msg);
+  /// `acting` is the processor on whose behalf the call is made (the result
+  /// holder) — the engine uses it to order the op deterministically.
+  void deliver_to_super_root(ResultMsg msg, net::ProcId acting);
   /// Host channel: root spawn acknowledgement.
-  void super_root_ack(AckMsg msg);
+  void super_root_ack(AckMsg msg, net::ProcId acting);
   /// Host channel: relay a message to a processor (reliable, small delay).
+  /// Coordinator-context only on the engine path (super-root relay).
   void host_send_result(ResultMsg msg);
 
   /// System-wide once-per-dead-processor bookkeeping (detection latency,
-  /// super-root notification, global policy hooks).
-  void note_detection(net::ProcId dead);
+  /// super-root notification, global policy hooks). `detector` is the
+  /// processor whose timeout fired.
+  void note_detection(net::ProcId dead, net::ProcId detector);
 
   /// A kCancel for `stamp` bounced off a lossy link and is waiting out its
   /// retransmission backoff (+1), or the backoff fired (-1). While any
   /// cancel for a stamp is in this pipeline, the gc oracle must not call
   /// its victim a protocol leak — the reclaim is delayed, not lost.
-  void note_cancel_backoff(const LevelStamp& stamp, int delta);
+  /// Storage is per-processor (the +1 and its matching -1 always come from
+  /// the same sender), so the engine path needs no coordination; the
+  /// pending check ORs across processors, which is exactly the old global
+  /// map's semantics.
   [[nodiscard]] bool cancel_backoff_pending(const LevelStamp& stamp) const;
 
   /// FaultInjector callback: destroy the node's volatile state.
@@ -202,6 +292,11 @@ class Runtime {
   core::Trace trace_;  // lazily rebuilt view over recorder_'s journal
   std::uint64_t trace_materialized_ = UINT64_MAX;
 
+  EngineHooks* engine_ = nullptr;
+  /// Engine path: per-processor uid stream cursors (see next_uid). Written
+  /// only by the owning processor's shard thread.
+  std::vector<TaskUid> uid_stream_next_;
+
   TaskUid uid_counter_ = checkpoint::SuperRoot::kSuperRootUid + 1;
   bool done_ = false;
   bool hosts_super_root_ = true;
@@ -215,6 +310,8 @@ class Runtime {
   std::uint64_t stranded_from_host_ = 0;
   std::function<void(const std::string&)> trigger_sink_;
 
+  /// Build the scheduler environment (classic or engine flavour) and attach.
+  void attach_scheduler();
   void schedule_scheduler_tick();
   /// Flight-recorder metrics sampling (config.obs.sample_interval): close
   /// one goodput/gauge window per interval. Read-only — it perturbs no
@@ -239,8 +336,6 @@ class Runtime {
   /// Oracle memory: victims sighted at the previous tick.
   std::vector<std::pair<net::ProcId, TaskUid>> oracle_prev_sightings_;
   std::uint64_t gc_oracle_orphans_ = 0;
-  std::unordered_map<LevelStamp, std::uint32_t, LevelStamp::Hash>
-      cancels_in_backoff_;
 };
 
 }  // namespace splice::runtime

@@ -11,7 +11,7 @@ constexpr std::uint32_t kFarAway = UINT32_MAX / 2;
 
 void GradientScheduler::attach(const SchedulerEnv& env) {
   Scheduler::attach(env);
-  rng_ = util::Xoshiro256(util::hash_combine(env.seed, 0x96AD));
+  seed_streams(origin_rng_, rng_, 0x96AD);
   proximity_.assign(proc_count(), 0);
   last_refresh_ = sim::SimTime(-1);
 }
@@ -63,6 +63,10 @@ std::uint64_t GradientScheduler::on_tick(sim::SimTime now) {
 net::ProcId GradientScheduler::choose(net::ProcId origin,
                                       const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
+  util::Xoshiro256& rng = stream(origin_rng_, rng_, origin);
+  // Lazy first refresh mutates the shared field, so it must not happen on a
+  // sharded worker thread; the engine primes the field with on_tick(0)
+  // before the workers start, making this a coordinator-only path.
   if (proximity_.size() != n || last_refresh_.ticks() < 0) refresh_now();
 
   if (ok(origin, origin, packet)) {
@@ -82,7 +86,7 @@ net::ProcId GradientScheduler::choose(net::ProcId origin,
         ties = 1;
       } else if (proximity_[q] == best_prox && best != origin) {
         ++ties;
-        if (rng_.next_below(ties) == 0) best = q;
+        if (rng.next_below(ties) == 0) best = q;
       }
     }
     return best;

@@ -49,6 +49,7 @@ class GradientScheduler final : public Scheduler {
   std::vector<std::uint32_t> proximity_;
   sim::SimTime last_refresh_ = sim::SimTime(-1);
   util::Xoshiro256 rng_{1};
+  std::vector<util::Xoshiro256> origin_rng_;  // sharded mode only
 };
 
 }  // namespace splice::sched

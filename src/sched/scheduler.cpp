@@ -27,16 +27,17 @@ Scheduler::DestVec Scheduler::choose_replicas(
 
 void RandomScheduler::attach(const SchedulerEnv& env) {
   Scheduler::attach(env);
-  rng_ = util::Xoshiro256(util::hash_combine(env.seed, 0xA11CE));
+  seed_streams(origin_rng_, rng_, 0xA11CE);
 }
 
 net::ProcId RandomScheduler::choose(net::ProcId origin,
                                     const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
+  util::Xoshiro256& rng = stream(origin_rng_, rng_, origin);
   // Rejection-sample eligible processors; bounded fallback scans (first
   // eligible, then merely alive-from-origin — the zone constraint is soft).
   for (int attempt = 0; attempt < 64; ++attempt) {
-    const auto p = static_cast<net::ProcId>(rng_.next_below(n));
+    const auto p = static_cast<net::ProcId>(rng.next_below(n));
     if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
@@ -48,20 +49,36 @@ net::ProcId RandomScheduler::choose(net::ProcId origin,
   return net::kNoProc;
 }
 
+void RoundRobinScheduler::attach(const SchedulerEnv& env) {
+  Scheduler::attach(env);
+  cursor_ = 0;
+  origin_cursor_.clear();
+  if (env_.sharded) {
+    // Per-origin cursors start one past the origin so the first spawn from p
+    // probes p+1 — the same neighbourly spread the shared cursor produces.
+    origin_cursor_.resize(proc_count());
+    for (net::ProcId p = 0; p < proc_count(); ++p) {
+      origin_cursor_[p] = (p + 1) % std::max<net::ProcId>(proc_count(), 1);
+    }
+  }
+}
+
 net::ProcId RoundRobinScheduler::choose(net::ProcId origin,
                                         const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
+  net::ProcId& cursor =
+      origin < origin_cursor_.size() ? origin_cursor_[origin] : cursor_;
   for (net::ProcId step = 0; step < n; ++step) {
-    const net::ProcId p = (cursor_ + step) % n;
+    const net::ProcId p = (cursor + step) % n;
     if (ok(origin, p, packet)) {
-      cursor_ = (p + 1) % n;
+      cursor = (p + 1) % n;
       return p;
     }
   }
   for (net::ProcId step = 0; step < n; ++step) {
-    const net::ProcId p = (cursor_ + step) % n;
+    const net::ProcId p = (cursor + step) % n;
     if (alive(origin, p)) {
-      cursor_ = (p + 1) % n;
+      cursor = (p + 1) % n;
       return p;
     }
   }
@@ -70,11 +87,12 @@ net::ProcId RoundRobinScheduler::choose(net::ProcId origin,
 
 void LocalFirstScheduler::attach(const SchedulerEnv& env) {
   Scheduler::attach(env);
-  rng_ = util::Xoshiro256(util::hash_combine(env.seed, 0x10CA1));
+  seed_streams(origin_rng_, rng_, 0x10CA1);
 }
 
 net::ProcId LocalFirstScheduler::choose(net::ProcId origin,
                                         const runtime::TaskPacket& packet) {
+  util::Xoshiro256& rng = stream(origin_rng_, rng_, origin);
   if (ok(origin, origin, packet) && load_of(origin) < threshold_) {
     return origin;
   }
@@ -100,7 +118,7 @@ net::ProcId LocalFirstScheduler::choose(net::ProcId origin,
   // any alive node.
   const net::ProcId n = proc_count();
   for (int attempt = 0; attempt < 64; ++attempt) {
-    const auto p = static_cast<net::ProcId>(rng_.next_below(n));
+    const auto p = static_cast<net::ProcId>(rng.next_below(n));
     if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {
@@ -144,12 +162,13 @@ net::ProcId NeighborScheduler::choose(net::ProcId origin,
 
 void PinnedScheduler::attach(const SchedulerEnv& env) {
   Scheduler::attach(env);
-  rng_ = util::Xoshiro256(util::hash_combine(env.seed, 0x919));
+  seed_streams(origin_rng_, rng_, 0x919);
 }
 
 net::ProcId PinnedScheduler::choose(net::ProcId origin,
                                     const runtime::TaskPacket& packet) {
   const net::ProcId n = proc_count();
+  util::Xoshiro256& rng = stream(origin_rng_, rng_, origin);
   if (env_.program != nullptr) {
     const auto pin = env_.program->function(packet.fn).pinned_processor;
     if (pin >= 0 && static_cast<net::ProcId>(pin) < n &&
@@ -158,7 +177,7 @@ net::ProcId PinnedScheduler::choose(net::ProcId origin,
     }
   }
   for (int attempt = 0; attempt < 64; ++attempt) {
-    const auto p = static_cast<net::ProcId>(rng_.next_below(n));
+    const auto p = static_cast<net::ProcId>(rng.next_below(n));
     if (ok(origin, p, packet)) return p;
   }
   for (net::ProcId p = 0; p < n; ++p) {

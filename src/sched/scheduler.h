@@ -44,6 +44,14 @@ struct SchedulerEnv {
   /// exists they fall back to any alive one rather than losing the task.
   std::function<bool(net::ProcId, const runtime::TaskPacket&)> eligible;
   std::uint64_t seed = 1;
+  /// True under the sharded (PDES) engine: choose() is then called
+  /// concurrently from worker threads, one per origin's shard. Stateful
+  /// schedulers switch to per-origin rng/cursor streams so (a) no mutable
+  /// state is shared across threads and (b) each origin's decision sequence
+  /// depends only on its own spawn history — which the determinism contract
+  /// makes identical across shard counts. Classic runs keep the historical
+  /// single-stream behaviour bit-for-bit.
+  bool sharded = false;
 };
 
 class Scheduler {
@@ -98,6 +106,25 @@ class Scheduler {
   [[nodiscard]] net::ProcId proc_count() const {
     return env_.topology ? env_.topology->size() : 0;
   }
+  /// Seed the per-origin generators for sharded mode (one stream per
+  /// processor, re-salted with the origin id) or the single classic stream.
+  void seed_streams(std::vector<util::Xoshiro256>& per_origin,
+                    util::Xoshiro256& classic, std::uint64_t salt) const {
+    classic = util::Xoshiro256(util::hash_combine(env_.seed, salt));
+    per_origin.clear();
+    if (!env_.sharded) return;
+    per_origin.reserve(proc_count());
+    for (net::ProcId p = 0; p < proc_count(); ++p) {
+      per_origin.emplace_back(
+          util::hash_combine(util::hash_combine(env_.seed, salt), p));
+    }
+  }
+  [[nodiscard]] util::Xoshiro256& stream(
+      std::vector<util::Xoshiro256>& per_origin, util::Xoshiro256& classic,
+      net::ProcId origin) const {
+    if (origin < per_origin.size()) return per_origin[origin];
+    return classic;
+  }
 
   SchedulerEnv env_;
 };
@@ -114,11 +141,13 @@ class RandomScheduler final : public Scheduler {
 
  private:
   util::Xoshiro256 rng_{1};
+  std::vector<util::Xoshiro256> origin_rng_;  // sharded mode only
 };
 
 /// Cyclic over alive processors.
 class RoundRobinScheduler final : public Scheduler {
  public:
+  void attach(const SchedulerEnv& env) override;
   [[nodiscard]] net::ProcId choose(net::ProcId origin,
                                    const runtime::TaskPacket& packet) override;
   [[nodiscard]] core::SchedulerKind kind() const override {
@@ -127,6 +156,7 @@ class RoundRobinScheduler final : public Scheduler {
 
  private:
   net::ProcId cursor_ = 0;
+  std::vector<net::ProcId> origin_cursor_;  // sharded mode only
 };
 
 /// Keep tasks local until the queue passes a threshold, then push to the
@@ -145,6 +175,7 @@ class LocalFirstScheduler final : public Scheduler {
  private:
   std::uint32_t threshold_;
   util::Xoshiro256 rng_{1};
+  std::vector<util::Xoshiro256> origin_rng_;  // sharded mode only
 };
 
 /// Grit's constraint (paper §5.4, ref. [6]): "each node in the system is
@@ -174,6 +205,7 @@ class PinnedScheduler final : public Scheduler {
 
  private:
   util::Xoshiro256 rng_{1};
+  std::vector<util::Xoshiro256> origin_rng_;  // sharded mode only
 };
 
 /// Factory from configuration.

@@ -1,0 +1,68 @@
+// Execution context for the sharded (PDES) driver.
+//
+// The classic single-threaded path has exactly one Simulator, so components
+// hold a `Simulator&` and call now()/after() on it directly. The PDES engine
+// (runtime/pdes_engine.h) runs one Simulator per shard plus a coordinator
+// Simulator, and the *same* component code must transparently talk to
+// whichever one drives the calling thread's current phase. This header is
+// that indirection: a thread-local override the engine installs around each
+// worker window / shard op, consulted via ctx() with the classic simulator
+// as the fallback.
+//
+// Cost when the engine is not running: one thread-local pointer read and a
+// predictable branch — nothing on the classic path changes behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace splice::sim {
+
+/// Shard index reported by ctx_shard() while no override is installed (the
+/// classic path, and the PDES coordinator phase which shares index 0 slots
+/// only where explicitly stated).
+inline constexpr std::uint32_t kNoShard = 0xffffffffU;
+
+namespace detail {
+struct ThreadContext {
+  Simulator* sim = nullptr;
+  std::uint32_t shard = kNoShard;
+};
+inline ThreadContext& tls() noexcept {
+  thread_local ThreadContext context;
+  return context;
+}
+}  // namespace detail
+
+/// The simulator driving the calling thread right now: the engine-installed
+/// override if one is active, else `fallback` (the classic simulator — or
+/// the coordinator simulator, which is what the engine passes through).
+[[nodiscard]] inline Simulator& ctx(Simulator& fallback) noexcept {
+  Simulator* over = detail::tls().sim;
+  return over != nullptr ? *over : fallback;
+}
+
+/// The calling thread's shard index, or kNoShard outside a worker window.
+[[nodiscard]] inline std::uint32_t ctx_shard() noexcept {
+  return detail::tls().shard;
+}
+
+/// RAII override installer. The engine scopes one of these around each
+/// worker window, shard-op execution and the sharded setup walk; nesting
+/// restores the previous override on destruction.
+class ScopedContext {
+ public:
+  ScopedContext(Simulator* sim, std::uint32_t shard) noexcept
+      : saved_(detail::tls()) {
+    detail::tls() = detail::ThreadContext{sim, shard};
+  }
+  ~ScopedContext() { detail::tls() = saved_; }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  detail::ThreadContext saved_;
+};
+
+}  // namespace splice::sim

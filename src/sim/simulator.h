@@ -42,6 +42,21 @@ class Simulator {
   /// event executed, not at the deadline.
   void advance_to(SimTime t) noexcept;
 
+  /// Time of the earliest pending event; SimTime::max() when idle. The PDES
+  /// window driver peeks this to decide whether the next event is inside the
+  /// current time window.
+  [[nodiscard]] SimTime next_event_time() const noexcept {
+    return queue_.empty() ? SimTime::max() : queue_.next_time();
+  }
+
+  /// Pop and run exactly one event (precondition: !idle()). The PDES window
+  /// driver interleaves sim events with shard-op execution at matching
+  /// timestamps, so it needs single-step granularity run_until can't give.
+  void run_one() {
+    queue_.run_next(&now_);
+    ++events_executed_;
+  }
+
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;
