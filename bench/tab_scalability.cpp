@@ -42,12 +42,17 @@ namespace {
 std::atomic<unsigned long long> g_allocs{0};
 }  // namespace
 
-void* operator new(std::size_t n) {
+// noinline: when GCC >= 12 inlines these TU-local replacements into STL
+// container code it pairs the malloc in the inlined new with the free in the
+// inlined delete and misreports -Wmismatched-new-delete; keeping the bodies
+// opaque preserves the standard new/delete pairing the analyzer checks.
+__attribute__((noinline)) void* operator new(std::size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
-void* operator new(std::size_t n, std::align_val_t align) {
+__attribute__((noinline)) void* operator new(std::size_t n,
+                                             std::align_val_t align) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
                                    (n + static_cast<std::size_t>(align) - 1) &
@@ -56,10 +61,18 @@ void* operator new(std::size_t n, std::align_val_t align) {
   }
   throw std::bad_alloc();
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::align_val_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t,
+                                               std::align_val_t) noexcept {
   std::free(p);
 }
 
@@ -718,7 +731,7 @@ int main(int argc, char** argv) {
         {"gradient", core::SchedulerKind::kGradient},
     };
     const int e21_reps = opt.quick ? 1 : 2;
-    auto run_cell = [&](const lang::Program& program, const char* wl_name,
+    auto run_cell = [&](const lang::Program& wl_program, const char* wl_name,
                         const char* sc_name, core::SchedulerKind kind,
                         std::uint32_t shards) {
       core::SystemConfig cfg =
@@ -726,7 +739,7 @@ int main(int argc, char** argv) {
       cfg.scheduler.kind = kind;
       cfg.parallel.shards = shards;
       const std::int64_t makespan =
-          core::Simulation::fault_free_makespan(cfg, program);
+          core::Simulation::fault_free_makespan(cfg, wl_program);
       const auto plan = net::FaultPlan::single(
           static_cast<net::ProcId>(64 / 3), sim::SimTime(makespan / 2));
       E21Row row;
@@ -742,7 +755,7 @@ int main(int argc, char** argv) {
         const auto t0 = std::chrono::steady_clock::now();
         for (int i = 0; i < e21_reps; ++i) {
           cfg.seed = 71 + static_cast<std::uint64_t>(i);
-          const core::RunResult r = core::run_once(cfg, program, plan);
+          const core::RunResult r = core::run_once(cfg, wl_program, plan);
           batch_events += r.sim_events;
           row.events += r.sim_events;
           ++row.runs;

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Static-analysis driver with a committed ratchet.
+
+Runs both analysis layers and compares the findings against the committed
+baseline (scripts/static_analysis_baseline.json):
+
+  1. tools/splice_lint.py  -- the project-invariant linter (always runs;
+     pure Python, no toolchain dependency).
+  2. clang-tidy            -- runs when a clang-tidy binary and a
+     compile_commands.json are found; skipped (with a notice) otherwise,
+     so the driver works in toolchains that only ship GCC.
+
+Ratchet semantics:
+  * A finding whose key (tool:rule:file) appears in the baseline with a
+    count >= the observed count is grandfathered: reported, never fatal.
+  * Any finding NOT covered by the baseline fails the run. CI therefore
+    fails on *new* findings only; the grandfathered debt is visible and
+    shrinks monotonically (see --update-baseline).
+  * Every baseline entry must carry a non-empty "reason". An empty or
+    missing reason is itself an error: debt without a justification is
+    just debt.
+
+Exit codes: 0 clean (or fully grandfathered), 1 new findings or baseline
+format errors, 2 usage/environment errors.
+
+Usage:
+  scripts/run_static_analysis.py [--build-dir build/release]
+                                 [--update-baseline] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO / "scripts" / "static_analysis_baseline.json"
+SPLICE_LINT = REPO / "tools" / "splice_lint.py"
+
+# clang-tidy findings are advisory until they are ratcheted: the reference
+# toolchain for this repo is GCC, so clang-tidy may be absent locally. When
+# it IS available (CI installs it), new findings still fail the run.
+TIDY_DIRS = ("src", "tools")
+
+
+def run_splice_lint() -> list[dict]:
+    """Run the project linter; returns a list of finding dicts."""
+    proc = subprocess.run(
+        [sys.executable, str(SPLICE_LINT), "--root", str(REPO), "--json"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode not in (0, 1):
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        raise RuntimeError(f"splice_lint failed with exit {proc.returncode}")
+    payload = json.loads(proc.stdout) if proc.stdout.strip() else {}
+    findings = payload.get("findings", [])
+    return [
+        {
+            "tool": "splice_lint",
+            "rule": f["rule"],
+            "file": f["path"],
+            "line": f["line"],
+            "message": f["message"],
+        }
+        for f in findings
+    ]
+
+
+def find_compile_db(build_dir: pathlib.Path | None) -> pathlib.Path | None:
+    candidates = []
+    if build_dir is not None:
+        candidates.append(build_dir)
+    candidates += [REPO / "build" / "release", REPO / "build" / "debug"]
+    for c in candidates:
+        if (c / "compile_commands.json").is_file():
+            return c
+    return None
+
+
+def run_clang_tidy(build_dir: pathlib.Path) -> list[dict]:
+    """Run clang-tidy over the library/tool TUs listed in the compile db."""
+    tidy = shutil.which("clang-tidy")
+    assert tidy is not None
+    db = json.loads((build_dir / "compile_commands.json").read_text())
+    sources = sorted(
+        {
+            entry["file"]
+            for entry in db
+            if any(
+                pathlib.Path(entry["file"])
+                .resolve()
+                .is_relative_to(REPO / d)
+                for d in TIDY_DIRS
+            )
+        }
+    )
+    findings: list[dict] = []
+    for i in range(0, len(sources), 8):
+        chunk = sources[i : i + 8]
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet", *chunk],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        findings.extend(parse_tidy_output(proc.stdout))
+    return findings
+
+
+def parse_tidy_output(text: str) -> list[dict]:
+    out = []
+    for line in text.splitlines():
+        # /path/file.cpp:12:3: warning: message [check-name]
+        if ": warning: " not in line and ": error: " not in line:
+            continue
+        loc, _, rest = line.partition(": warning: ")
+        if not rest:
+            loc, _, rest = line.partition(": error: ")
+        if not rest or "[" not in rest:
+            continue
+        msg, _, check = rest.rpartition("[")
+        check = check.rstrip("]")
+        parts = loc.rsplit(":", 2)
+        if len(parts) != 3:
+            continue
+        path = pathlib.Path(parts[0])
+        try:
+            rel = str(path.resolve().relative_to(REPO))
+        except ValueError:
+            continue
+        out.append(
+            {
+                "tool": "clang-tidy",
+                "rule": check,
+                "file": rel,
+                "line": int(parts[1]),
+                "message": msg.strip(),
+            }
+        )
+    return out
+
+
+def key_of(finding: dict) -> str:
+    return f"{finding['tool']}:{finding['rule']}:{finding['file']}"
+
+
+def load_baseline() -> tuple[dict[str, dict], list[str]]:
+    """Returns (entries, format_errors)."""
+    errors: list[str] = []
+    if not BASELINE_PATH.is_file():
+        return {}, [f"baseline missing: {BASELINE_PATH}"]
+    data = json.loads(BASELINE_PATH.read_text())
+    entries = data.get("entries", {})
+    for key, entry in entries.items():
+        if not isinstance(entry, dict) or "count" not in entry:
+            errors.append(f"baseline entry {key!r}: missing count")
+            continue
+        if not str(entry.get("reason", "")).strip():
+            errors.append(
+                f"baseline entry {key!r}: empty reason — every "
+                "grandfathered finding needs a justification"
+            )
+    return entries, errors
+
+
+def write_baseline(findings: list[dict]) -> None:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[key_of(f)] = counts.get(key_of(f), 0) + 1
+    old_entries, _ = load_baseline() if BASELINE_PATH.is_file() else ({}, [])
+    entries = {
+        key: {
+            "count": count,
+            "reason": old_entries.get(key, {}).get(
+                "reason", "TODO: justify or fix"
+            ),
+        }
+        for key, count in sorted(counts.items())
+    }
+    BASELINE_PATH.write_text(
+        json.dumps(
+            {
+                "_comment": (
+                    "Static-analysis ratchet. Keys are tool:rule:file; a "
+                    "finding is grandfathered while its count stays <= the "
+                    "recorded count AND carries a reason. New findings fail "
+                    "scripts/run_static_analysis.py. Shrink this file, "
+                    "never grow it."
+                ),
+                "entries": entries,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=pathlib.Path, default=None)
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings (keeps reasons)",
+    )
+    ap.add_argument("--json", action="store_true", help="emit findings JSON")
+    args = ap.parse_args()
+
+    findings = run_splice_lint()
+
+    tidy_ran = False
+    if shutil.which("clang-tidy"):
+        build_dir = find_compile_db(args.build_dir)
+        if build_dir is None:
+            print(
+                "note: clang-tidy found but no compile_commands.json; "
+                "configure a preset first (CMAKE_EXPORT_COMPILE_COMMANDS "
+                "is on in every preset)",
+                file=sys.stderr,
+            )
+        else:
+            tidy_ran = True
+            findings.extend(run_clang_tidy(build_dir))
+    else:
+        print(
+            "note: clang-tidy not on PATH — skipping that layer "
+            "(splice_lint still enforced)",
+            file=sys.stderr,
+        )
+
+    if args.update_baseline:
+        write_baseline(findings)
+        print(f"baseline rewritten: {BASELINE_PATH}")
+        return 0
+
+    baseline, fmt_errors = load_baseline()
+    for err in fmt_errors:
+        print(f"error: {err}", file=sys.stderr)
+
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[key_of(f)] = counts.get(key_of(f), 0) + 1
+
+    new_findings = []
+    grandfathered = 0
+    for f in findings:
+        entry = baseline.get(key_of(f))
+        if entry is not None and counts[key_of(f)] <= int(entry["count"]):
+            grandfathered += 1
+        else:
+            new_findings.append(f)
+
+    if args.json:
+        print(json.dumps(findings, indent=2))
+    else:
+        for f in new_findings:
+            print(
+                f"{f['file']}:{f['line']}: {f['rule']}: {f['message']} "
+                f"[{f['tool']}]"
+            )
+
+    layers = "splice_lint" + (" + clang-tidy" if tidy_ran else "")
+    print(
+        f"static analysis ({layers}): {len(findings)} finding(s), "
+        f"{grandfathered} grandfathered, {len(new_findings)} new",
+        file=sys.stderr,
+    )
+    if fmt_errors:
+        return 1
+    return 1 if new_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

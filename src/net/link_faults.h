@@ -42,6 +42,9 @@ namespace splice::net {
 /// Control-class kinds keep flowing (slowed, never gray-dropped) through a
 /// gray node: they are what makes it *look* alive while its work starves.
 [[nodiscard]] constexpr bool is_control_kind(MsgKind kind) noexcept {
+  // Exhaustive by SPL003: a 16th MsgKind must decide here whether a gray
+  // node lets it through (control plane) or starves it (payload plane) —
+  // a default: would make that call silently.
   switch (kind) {
     case MsgKind::kHeartbeat:
     case MsgKind::kErrorDetection:
@@ -49,9 +52,19 @@ namespace splice::net {
     case MsgKind::kDeliveryFailure:
     case MsgKind::kControl:
       return true;
-    default:
+    case MsgKind::kTaskPacket:
+    case MsgKind::kSpawnAck:
+    case MsgKind::kForwardResult:
+    case MsgKind::kFetchData:
+    case MsgKind::kDataReply:
+    case MsgKind::kLoadUpdate:
+    case MsgKind::kCheckpointXfer:
+    case MsgKind::kStateRequest:
+    case MsgKind::kStateChunk:
+    case MsgKind::kCancel:
       return false;
   }
+  return false;
 }
 
 class LinkFaultModel {

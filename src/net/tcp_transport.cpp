@@ -264,7 +264,10 @@ class TcpTransport final : public Transport {
       deliver_(std::move(env));
       ++delivered;
     }
-    if (off > 0) in.buf.erase(in.buf.begin(), in.buf.begin() + off);
+    if (off > 0) {
+      in.buf.erase(in.buf.begin(),
+                   in.buf.begin() + static_cast<std::ptrdiff_t>(off));
+    }
     return delivered;
   }
 

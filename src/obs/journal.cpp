@@ -13,6 +13,10 @@ namespace {
 // One name per EventKind, in enum order. These are the historical
 // core::Trace kind strings (tests assert on them via Trace::contains), plus
 // the four kinds PR 8 introduces (state-chunk/partition/heal/gray).
+// The array bound pins the entry *count*; the lint marker additionally
+// requires every enumerator to be named in the block, so a new kind cannot
+// silently value-initialize an empty name at the end of the table.
+// splice-lint: exhaustive(EventKind)
 constexpr std::string_view kKindNames[kEventKindCount] = {
     "place",          // kPlace
     "spawn",          // kSpawn
@@ -239,9 +243,17 @@ EventId Recorder::infer_cause(EventKind kind, const Fields& f) const {
     }
     case EventKind::kRestore:
       return last_fault_;
-    default:
-      return kNoEvent;  // inject-root, done, answer, snapshot
+    // Run milestones are causal roots: nothing upstream explains them.
+    // Exhaustive by SPL003 and -Wswitch-enum — a 35th EventKind must pick
+    // its causal-inference rule here explicitly, not inherit "no cause".
+    case EventKind::kInjectRoot:
+    case EventKind::kDone:
+    case EventKind::kAnswer:
+    case EventKind::kSnapshot:
+    case EventKind::kCount:
+      return kNoEvent;
   }
+  return kNoEvent;
 }
 
 void Recorder::note_links(const Event& event) {
@@ -292,7 +304,30 @@ void Recorder::note_links(const Event& event) {
     case EventKind::kRejoin:
       rejoin_of_[event.proc] = event.id;
       break;
-    default:
+    // Kinds that feed no linker map. Exhaustive by SPL003 and
+    // -Wswitch-enum: a new EventKind must state here that nothing links
+    // *through* it (it can still be linked *from*, via infer_cause).
+    case EventKind::kCheckpoint:
+    case EventKind::kPeerRejoin:
+    case EventKind::kSalvage:
+    case EventKind::kAckOfCorpse:
+    case EventKind::kStranded:
+    case EventKind::kDefer:
+    case EventKind::kGraceExpired:
+    case EventKind::kOracleLeak:
+    case EventKind::kStateChunk:
+    case EventKind::kTransferIn:
+    case EventKind::kPreLink:
+    case EventKind::kCatchUp:
+    case EventKind::kHeal:
+    case EventKind::kInjectRoot:
+    case EventKind::kDone:
+    case EventKind::kAnswer:
+    case EventKind::kSnapshot:
+    case EventKind::kRestore:
+    case EventKind::kUnpark:
+    case EventKind::kParkExpired:
+    case EventKind::kCount:
       break;
   }
 }

@@ -41,6 +41,8 @@ void validate(const core::SystemConfig& config) {
 
 }  // namespace
 
+// Entry: runs strictly before the worker team exists.
+SPLICE_SHARD_ENTRY
 PdesEngine::PdesEngine(Runtime& runtime, net::Network& network,
                        const core::SystemConfig& config)
     : rt_(runtime),
@@ -79,11 +81,14 @@ bool PdesEngine::op_after(const Op& a, const Op& b) noexcept {
          std::tuple(b.when.ticks(), b.cls, b.stream, b.seq);
 }
 
+// Entry: called only by the shard's owner thread on its own heap.
+SPLICE_SHARD_ENTRY
 void PdesEngine::push_op(Shard& shard, Op&& op) {
   shard.heap.push_back(std::move(op));
   std::push_heap(shard.heap.begin(), shard.heap.end(), op_after);
 }
 
+SPLICE_SHARD_ENTRY
 PdesEngine::Op PdesEngine::pop_op(Shard& shard) {
   std::pop_heap(shard.heap.begin(), shard.heap.end(), op_after);
   Op op = std::move(shard.heap.back());
@@ -112,6 +117,9 @@ std::uint32_t PdesEngine::posting_parity(std::uint32_t slot) const noexcept {
 
 // ---- net::EnvelopeRouter ---------------------------------------------------
 
+// Entry: the posting protocol proper — single-writer parity buffers,
+// per-(link, lane) counters owned by the posting thread.
+SPLICE_SHARD_ENTRY
 void PdesEngine::route(net::Envelope&& envelope, sim::SimTime when) {
   std::uint32_t lane = 0;
   if (envelope.kind == net::MsgKind::kDeliveryFailure) {
@@ -142,6 +150,7 @@ void PdesEngine::route(net::Envelope&& envelope, sim::SimTime when) {
 
 // ---- EngineHooks -----------------------------------------------------------
 
+SPLICE_SHARD_ENTRY
 void PdesEngine::post_host(net::ProcId acting, std::function<void()> fn) {
   if (sim::ctx_shard() == sim::kNoShard) {
     // Already on the coordinator: run in place, inside the current event.
@@ -158,6 +167,7 @@ void PdesEngine::post_host(net::ProcId acting, std::function<void()> fn) {
   host_inbox_[posting_slot()].push_back(std::move(op));
 }
 
+SPLICE_SHARD_ENTRY
 void PdesEngine::post_shard(net::ProcId target, std::function<void()> fn) {
   assert(sim::ctx_shard() == sim::kNoShard &&
          "post_shard is coordinator-only (workers must be parked)");
@@ -172,6 +182,7 @@ void PdesEngine::post_shard(net::ProcId target, std::function<void()> fn) {
   dest.inbox[slot][posting_parity(slot)].push_back(std::move(op));
 }
 
+SPLICE_SHARD_ENTRY
 void PdesEngine::with_shard_of(net::ProcId p,
                                const std::function<void()>& fn) {
   Shard& shard = shards_[shard_of_[p]];
@@ -183,12 +194,15 @@ void PdesEngine::with_shard_of(net::ProcId p,
 
 std::uint32_t PdesEngine::load_of(net::ProcId p) const { return loads_[p]; }
 
+// Entry: post-run / barrier-phase aggregation (workers parked or joined).
+SPLICE_SHARD_ENTRY
 std::uint64_t PdesEngine::shard_events() const {
   std::uint64_t n = 0;
   for (const Shard& s : shards_) n += s.sim.events_executed() + s.ops_executed;
   return n;
 }
 
+SPLICE_SHARD_ENTRY
 std::uint64_t PdesEngine::shard_pending() const {
   std::uint64_t n = 0;
   for (const Shard& s : shards_) {
@@ -207,12 +221,15 @@ void PdesEngine::note_gauge_sample(sim::SimTime now, std::uint64_t queue_depth,
 
 // ---- run loop --------------------------------------------------------------
 
+SPLICE_SHARD_ENTRY
 sim::SimTime PdesEngine::horizon() const noexcept {
   sim::SimTime t = sim_.now();
   for (const Shard& s : shards_) t = std::max(t, s.sim.now());
   return t;
 }
 
+// Entry: runs between the window barriers while every worker is parked.
+SPLICE_SHARD_ENTRY
 void PdesEngine::coordinator_phase(sim::SimTime wk) {
   // Replay staged host ops in (when, acting, seq) order — a pure function
   // of each processor's own event history. Scheduling them via at() keeps
@@ -240,11 +257,14 @@ void PdesEngine::coordinator_phase(sim::SimTime wk) {
   }
 }
 
+SPLICE_SHARD_ENTRY
 bool PdesEngine::globally_idle() const {
   if (!sim_.idle()) return false;
   return shard_pending() == 0;
 }
 
+// Entry: the owner thread itself.
+SPLICE_SHARD_ENTRY
 void PdesEngine::worker_loop(Shard& shard, std::barrier<>& gate) {
   while (true) {
     gate.arrive_and_wait();  // window start (coordinator published state)
@@ -254,6 +274,7 @@ void PdesEngine::worker_loop(Shard& shard, std::barrier<>& gate) {
   }
 }
 
+SPLICE_SHARD_ENTRY
 void PdesEngine::exec_op(Shard& shard, Op& op) {
   ++shard.ops_executed;
   if (op.cls == 1) {
@@ -263,6 +284,7 @@ void PdesEngine::exec_op(Shard& shard, Op& op) {
   }
 }
 
+SPLICE_SHARD_ENTRY
 void PdesEngine::run_window(Shard& shard) {
   sim::ScopedContext ctx(&shard.sim, shard.index);
   obs::ScopedRecorder rec(shard.recorder.enabled() ? &shard.recorder
@@ -298,6 +320,7 @@ void PdesEngine::run_window(Shard& shard) {
   }
 }
 
+SPLICE_SHARD_ENTRY
 void PdesEngine::run(sim::SimTime deadline) {
   std::barrier<> gate(static_cast<std::ptrdiff_t>(shards_.size()) + 1);
   std::vector<std::thread> team;
@@ -323,6 +346,8 @@ void PdesEngine::run(sim::SimTime deadline) {
 
 // ---- journal merge ---------------------------------------------------------
 
+// Entry: after run() joined the team; single-threaded again.
+SPLICE_SHARD_ENTRY
 void PdesEngine::merge_journals() {
   obs::Recorder& base = rt_.base_recorder();
   if (!base.enabled()) return;

@@ -58,6 +58,7 @@
 #include "runtime/runtime.h"
 #include "sim/context.h"
 #include "sim/simulator.h"
+#include "util/annotations.h"
 
 namespace splice::runtime {
 
@@ -144,13 +145,19 @@ class PdesEngine final : public net::EnvelopeRouter, public EngineHooks {
   /// owner drains the parity-k buffers at its window-k start. Every write
   /// and drain on one buffer is therefore separated by a window barrier —
   /// that barrier is the only synchronization; no slot ever needs a lock.
+  // The SPLICE_SHARD_CONFINED members are the window protocol's private
+  // state: every access must happen inside a SPLICE_SHARD_ENTRY function
+  // whose barrier ordering has been argued (lint rule SPL005,
+  // docs/STATIC_ANALYSIS.md#spl005). TSan checks the protocol dynamically;
+  // the annotation rejects un-argued access sites statically.
   struct alignas(64) Shard {
     std::uint32_t index = 0;
-    sim::Simulator sim;
-    obs::Recorder recorder;
-    std::vector<Op> heap;  // binary heap (std::push_heap) keyed by op order
-    std::vector<std::array<std::vector<Op>, 2>> inbox;
-    std::uint64_t ops_executed = 0;
+    SPLICE_SHARD_CONFINED sim::Simulator sim;
+    SPLICE_SHARD_CONFINED obs::Recorder recorder;
+    // binary heap (std::push_heap) keyed by op order
+    SPLICE_SHARD_CONFINED std::vector<Op> heap;
+    SPLICE_SHARD_CONFINED std::vector<std::array<std::vector<Op>, 2>> inbox;
+    SPLICE_SHARD_CONFINED std::uint64_t ops_executed = 0;
   };
 
   static bool op_after(const Op& a, const Op& b) noexcept;
@@ -188,16 +195,16 @@ class PdesEngine final : public net::EnvelopeRouter, public EngineHooks {
   /// notice itself — a send-path notice carries its timeout stamp at the
   /// boxed original's send time, a delivery-path one stamps strictly later
   /// — so the lane, and with it the op key, is shard-count independent.
-  std::vector<std::uint32_t> link_seq_;
+  SPLICE_SHARD_CONFINED std::vector<std::uint32_t> link_seq_;
   /// Per-acting-processor host-op counters (written by the acting
   /// processor's shard thread).
-  std::vector<std::uint32_t> host_seq_;
+  SPLICE_SHARD_CONFINED std::vector<std::uint32_t> host_seq_;
   /// Coordinator-posted op counter (coordinator thread only).
   std::uint32_t coordinator_seq_ = 0;
 
   /// Staged host ops, one slot per posting worker thread (last slot:
   /// coordinator, for uniformity). Drained at each barrier.
-  std::vector<std::vector<HostOp>> host_inbox_;
+  SPLICE_SHARD_CONFINED std::vector<std::vector<HostOp>> host_inbox_;
 
   /// Barrier-published scheduler load snapshot (coordinator writes while
   /// workers are parked; workers read during windows).

@@ -772,8 +772,14 @@ void Processor::handle_delivery_failure(Envelope original) {
         retransmit_after_backoff(std::move(original));
       }
       break;
-    default:
-      break;  // heartbeats/load gossip are periodic; the next one serves
+    case MsgKind::kHeartbeat:
+    case MsgKind::kLoadUpdate:
+      break;  // periodic gossip; the next beat serves the same purpose
+    case MsgKind::kDeliveryFailure:
+      // A bounce notice that itself bounced: the loss it reported was
+      // already handled when the notice was first generated, and the
+      // reverse link's health is the detector's problem, not ours.
+      break;
   }
 }
 

@@ -44,6 +44,10 @@ void EventQueue::free_slot(std::uint32_t slot) noexcept {
 // Occupancy bitmap
 // ---------------------------------------------------------------------------
 
+// The size_t casts below intend two's-complement wraparound: `when` is a
+// signed tick but the bucket index is its value modulo kWindowSize (a power
+// of two), and converting to unsigned before masking makes the modulo
+// well-defined for any tick the ring can legally hold.
 void EventQueue::set_occupied(std::int64_t when) noexcept {
   const std::size_t j = static_cast<std::size_t>(when) & (kWindowSize - 1);
   occupied_[j >> 6] |= std::uint64_t{1} << (j & 63);

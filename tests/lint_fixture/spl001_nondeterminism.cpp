@@ -1,0 +1,15 @@
+// SPL001 fixture: every nondeterminism source the rule bans, one per line.
+// Lint-only — this file is never compiled (tests/lint_fixture is excluded
+// from the build and from tree-mode lint; check_fixtures.py runs it through
+// `splice_lint.py --fixture` and asserts the expect-lint markers).
+#include <random>
+
+unsigned fixture_entropy() {
+  std::random_device rd;  // expect-lint: SPL001
+  std::mt19937 gen;       // expect-lint: SPL001
+  return rd() + gen();
+}
+
+long fixture_wall_clock() {
+  return time(nullptr);  // expect-lint: SPL001
+}

@@ -1,0 +1,7 @@
+// SPL002 fixture: the banned header (glibc's splice(2) declaration breaks
+// `namespace splice`) and a C rand-family call. Lint-only, never compiled.
+#include <fcntl.h>  // expect-lint: SPL002
+
+int fixture_draw(unsigned* state) {
+  return rand_r(state);  // expect-lint: SPL002
+}

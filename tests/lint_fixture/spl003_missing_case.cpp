@@ -1,0 +1,28 @@
+// SPL003 fixture: a switch over the closed MsgKind enum (parsed from
+// src/net/message.h) that misses kCancel. Lint-only, never compiled.
+namespace splice::net {
+enum class MsgKind;
+}
+using splice::net::MsgKind;
+
+int fixture_payload_slot(MsgKind kind) {
+  switch (kind) {  // expect-lint: SPL003
+    case MsgKind::kTaskPacket:
+    case MsgKind::kSpawnAck:
+    case MsgKind::kForwardResult:
+    case MsgKind::kFetchData:
+    case MsgKind::kDataReply:
+    case MsgKind::kErrorDetection:
+    case MsgKind::kDeliveryFailure:
+    case MsgKind::kHeartbeat:
+    case MsgKind::kLoadUpdate:
+    case MsgKind::kCheckpointXfer:
+    case MsgKind::kRejoinNotice:
+    case MsgKind::kStateRequest:
+    case MsgKind::kStateChunk:
+    case MsgKind::kControl:
+      return 0;
+      // MsgKind::kCancel deliberately absent.
+  }
+  return -1;
+}

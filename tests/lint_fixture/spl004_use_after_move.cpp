@@ -1,0 +1,14 @@
+// SPL004 fixture: an Envelope read after std::move consumed it.
+// Lint-only, never compiled (the linter tracks the type by name).
+#include <utility>
+
+struct Envelope {
+  int to = 0;
+};
+
+void sink(Envelope&& e);
+
+int fixture_forward(Envelope envelope) {
+  sink(std::move(envelope));
+  return envelope.to;  // expect-lint: SPL004
+}

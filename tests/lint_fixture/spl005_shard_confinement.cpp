@@ -1,0 +1,16 @@
+// SPL005 fixture: a SPLICE_SHARD_CONFINED member touched from a function
+// that is not marked SPLICE_SHARD_ENTRY. Lint-only, never compiled — the
+// annotation macros appear as bare tokens exactly as the linter sees them
+// through util/annotations.h.
+struct Shard {
+  SPLICE_SHARD_CONFINED int heap_size = 0;
+};
+
+SPLICE_SHARD_ENTRY
+void fixture_vetted(Shard& shard) {
+  shard.heap_size = 0;  // fine: inside an entry function
+}
+
+void fixture_unvetted(Shard& shard) {
+  shard.heap_size += 1;  // expect-lint: SPL005
+}
